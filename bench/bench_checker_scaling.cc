@@ -1,0 +1,65 @@
+// Checks the paper's linearity claim (Sec. V): "the number of activated
+// checkers linearly affects the overhead in the overall simulation, in both
+// testcases and at each abstraction level". Sweeps the checker count from 0
+// to the full suite at every level and prints per-checker overhead.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_table_common.h"
+
+using namespace repro;
+using models::Design;
+using models::Level;
+
+namespace {
+
+void sweep(Design design, size_t workload, size_t suite_size) {
+  const size_t w = bench::scaled(workload);
+  std::printf("--- %s (workload %zu) ---\n", models::to_string(design), w);
+  std::printf("%-8s", "level");
+  for (size_t n = 0; n <= suite_size; ++n) std::printf(" %7zuC", n);
+  std::printf("\n");
+  for (Level level : {Level::kRtl, Level::kTlmCa, Level::kTlmAt}) {
+    models::RunConfig config;
+    config.design = design;
+    config.level = level;
+    config.workload = w;
+    std::vector<double> secs;
+    for (size_t n = 0; n <= suite_size; ++n) {
+      config.checkers = n;
+      secs.push_back(bench::measure(config, /*repeats=*/2).seconds);
+    }
+    std::printf("%-8s", models::to_string(level));
+    for (double s : secs) std::printf(" %8.4f", s);
+    std::printf("\n");
+    // Least-squares slope of overhead vs. checker count, as a linearity
+    // indicator: report overhead-per-checker and the correlation.
+    const double base = secs[0];
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    const double n_points = static_cast<double>(secs.size());
+    for (size_t i = 0; i < secs.size(); ++i) {
+      const double x = static_cast<double>(i);
+      const double y = (secs[i] / base - 1.0) * 100.0;
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      sxy += x * y;
+      syy += y * y;
+    }
+    const double slope = (n_points * sxy - sx * sy) / (n_points * sxx - sx * sx);
+    const double denom = (n_points * sxx - sx * sx) * (n_points * syy - sy * sy);
+    const double r = denom > 0 ? (n_points * sxy - sx * sy) / std::sqrt(denom) : 1.0;
+    std::printf("%-8s overhead/checker = %.1f%%, linearity r = %.3f\n", "",
+                slope, r);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Checker-count scaling (linearity claim, Sec. V) ===\n");
+  sweep(Design::kDes56, 1600, 9);
+  sweep(Design::kColorConv, 16000, 12);
+  return 0;
+}

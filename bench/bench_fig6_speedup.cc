@@ -1,0 +1,50 @@
+// Regenerates Fig. 6: RTL/TLM simulation speedup for both testcases, with
+// and without checkers ("with" = the full property suite, as in the paper's
+// All C configuration).
+#include <cstdio>
+
+#include "bench_table_common.h"
+
+using namespace repro;
+using models::Design;
+using models::Level;
+
+namespace {
+
+void speedups(Design design, size_t workload, size_t suite_size) {
+  const size_t w = bench::scaled(workload);
+  models::RunConfig config;
+  config.design = design;
+  config.workload = w;
+
+  double secs[3][2];  // [level][without/with]
+  bool ok = true;
+  int row = 0;
+  for (Level level : {Level::kRtl, Level::kTlmCa, Level::kTlmAt}) {
+    config.level = level;
+    config.checkers = 0;
+    const bench::Measurement base = bench::measure(config);
+    config.checkers = suite_size;
+    const bench::Measurement with = bench::measure(config);
+    secs[row][0] = base.seconds;
+    secs[row][1] = with.seconds;
+    ok = ok && base.functional_ok && with.functional_ok && with.properties_ok;
+    ++row;
+  }
+
+  std::printf("%-10s %-18s %14s %14s   %s\n", models::to_string(design), "",
+              "w/out checkers", "with checkers", ok ? "ok" : "CHECK-FAILED");
+  std::printf("%-10s %-18s %14.2f %14.2f\n", "", "RTL/TLM-CA speedup",
+              secs[0][0] / secs[1][0], secs[0][1] / secs[1][1]);
+  std::printf("%-10s %-18s %14.2f %14.2f\n", "", "RTL/TLM-AT speedup",
+              secs[0][0] / secs[2][0], secs[0][1] / secs[2][1]);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 6: RTL/TLM simulation speedup ===\n");
+  speedups(Design::kDes56, 2400, 9);
+  speedups(Design::kColorConv, 24000, 12);
+  return 0;
+}

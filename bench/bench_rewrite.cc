@@ -1,0 +1,93 @@
+// Micro-benchmarks of the abstraction engine itself: parsing, NNF,
+// push-ahead, Algorithm III.1 and the whole Methodology III.1 pipeline.
+// The paper's pitch is that the abstraction is automatic and cheap compared
+// to manually rewriting suites; these numbers quantify "cheap".
+#include <benchmark/benchmark.h>
+
+#include "models/properties.h"
+#include "psl/parser.h"
+#include "rewrite/methodology.h"
+#include "rewrite/next_substitution.h"
+#include "rewrite/nnf.h"
+#include "rewrite/push_ahead.h"
+
+using namespace repro;
+
+namespace {
+
+const psl::RtlProperty& p3() {
+  static const psl::RtlProperty p = models::des56_suite().properties[2];
+  return p;
+}
+
+void BM_ParseSuite(benchmark::State& state) {
+  for (auto _ : state) {
+    auto parsed = psl::parse_rtl_property_file(models::kDes56PropertyText);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ParseSuite);
+
+void BM_Nnf(benchmark::State& state) {
+  const psl::ExprPtr formula = p3().formula;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rewrite::to_nnf(formula));
+  }
+}
+BENCHMARK(BM_Nnf);
+
+void BM_PushAhead(benchmark::State& state) {
+  const psl::ExprPtr formula = rewrite::to_nnf(p3().formula);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rewrite::push_ahead_next(formula));
+  }
+}
+BENCHMARK(BM_PushAhead);
+
+void BM_NextSubstitution(benchmark::State& state) {
+  const psl::ExprPtr formula =
+      rewrite::push_ahead_next(rewrite::to_nnf(p3().formula));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rewrite::substitute_next(formula, 10));
+  }
+}
+BENCHMARK(BM_NextSubstitution);
+
+void BM_AbstractDes56Suite(benchmark::State& state) {
+  const models::PropertySuite suite = models::des56_suite();
+  rewrite::AbstractionOptions options;
+  options.clock_period_ns = suite.clock_period_ns;
+  options.abstracted_signals = suite.abstracted_signals;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rewrite::abstract_suite(suite.properties, options));
+  }
+}
+BENCHMARK(BM_AbstractDes56Suite);
+
+void BM_AbstractColorConvSuite(benchmark::State& state) {
+  const models::PropertySuite suite = models::colorconv_suite();
+  rewrite::AbstractionOptions options;
+  options.clock_period_ns = suite.clock_period_ns;
+  options.abstracted_signals = suite.abstracted_signals;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rewrite::abstract_suite(suite.properties, options));
+  }
+}
+BENCHMARK(BM_AbstractColorConvSuite);
+
+// Deeply nested synthetic property: stresses the rewriting passes.
+void BM_AbstractDeepNext(benchmark::State& state) {
+  std::string text = "always (!a || ";
+  for (int i = 0; i < state.range(0); ++i) text += "next(";
+  text += "b";
+  for (int i = 0; i < state.range(0); ++i) text += ")";
+  text += ") @clk_pos";
+  auto parsed = psl::parse_rtl_property(text);
+  rewrite::AbstractionOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rewrite::abstract_property(parsed.value(), options));
+  }
+}
+BENCHMARK(BM_AbstractDeepNext)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace

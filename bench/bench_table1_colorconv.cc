@@ -1,0 +1,8 @@
+// Regenerates the ColorConv half of Table I (12-property suite).
+#include "bench_table_common.h"
+
+int main() {
+  repro::bench::run_table1(repro::models::Design::kColorConv,
+                           /*workload=*/24000, /*suite_size=*/12);
+  return 0;
+}

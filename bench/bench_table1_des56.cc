@@ -1,0 +1,11 @@
+// Regenerates the DES56 half of Table I: simulation time without checkers
+// and with 1 / 5 / all 9 checkers, at RTL, TLM-CA (original RTL properties
+// on per-cycle transactions) and TLM-AT (properties abstracted with
+// Methodology III.1), plus the resulting overhead percentages.
+#include "bench_table_common.h"
+
+int main() {
+  repro::bench::run_table1(repro::models::Design::kDes56, /*workload=*/2400,
+                           /*suite_size=*/9);
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "bench_table_common.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace repro::bench {
+
+size_t scaled(size_t workload) {
+  const char* scale = std::getenv("REPRO_BENCH_SCALE");
+  if (scale == nullptr) return workload;
+  const long pct = std::strtol(scale, nullptr, 10);
+  if (pct <= 0) return workload;
+  return std::max<size_t>(1, workload * static_cast<size_t>(pct) / 100);
+}
+
+Measurement measure(const models::RunConfig& config, int repeats) {
+  Measurement m;
+  m.seconds = 1e100;
+  for (int i = 0; i < repeats; ++i) {
+    models::RunResult r = models::run_simulation(config);
+    if (r.wall_seconds < m.seconds) m.seconds = r.wall_seconds;
+    m.functional_ok = r.functional_ok;
+    m.properties_ok = config.checkers == 0 || r.properties_ok;
+    m.transactions = r.transactions;
+    m.result = std::move(r);
+  }
+  return m;
+}
+
+void print_row(const char* label, double without_s, double with_s, bool ok) {
+  const double overhead = (with_s / without_s - 1.0) * 100.0;
+  std::printf("%-14s %10.4f %10.4f %9.1f%%   %s\n", label, without_s, with_s,
+              overhead, ok ? "ok" : "CHECK-FAILED");
+}
+
+void run_table1(models::Design design, size_t workload, size_t suite_size) {
+  using models::Level;
+  const size_t w = scaled(workload);
+  std::printf("=== Table I: %s (workload %zu, properties %zu) ===\n",
+              models::to_string(design), w, suite_size);
+  std::printf("%-14s %10s %10s %10s\n", "config", "w/out c.(s)", "with c.(s)",
+              "overhead");
+
+  const size_t points[] = {1, 5, suite_size};
+  const char* point_names[] = {"1 C", "5 C", "All C"};
+
+  for (Level level : {Level::kRtl, Level::kTlmCa, Level::kTlmAt}) {
+    models::RunConfig config;
+    config.design = design;
+    config.level = level;
+    config.workload = w;
+    config.checkers = 0;
+    const Measurement base = measure(config);
+    for (int i = 0; i < 3; ++i) {
+      config.checkers = points[i];
+      const Measurement with = measure(config);
+      char label[64];
+      std::snprintf(label, sizeof label, "%s %s", models::to_string(level),
+                    point_names[i]);
+      print_row(label, base.seconds, with.seconds,
+                base.functional_ok && with.functional_ok && with.properties_ok);
+    }
+  }
+}
+
+}  // namespace repro::bench

@@ -1,0 +1,44 @@
+// Shared machinery for the Table I / Fig. 6 benchmark harnesses.
+#ifndef REPRO_BENCH_BENCH_TABLE_COMMON_H_
+#define REPRO_BENCH_BENCH_TABLE_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "models/testbench.h"
+
+namespace repro::bench {
+
+// Workload sizes picked so the RTL baseline runs a fraction of a second on a
+// small machine while keeping >= 10^5 simulated cycles. Override with the
+// REPRO_BENCH_SCALE environment variable (integer percentage, default 100).
+size_t scaled(size_t workload);
+
+struct Measurement {
+  double seconds = 0;
+  bool functional_ok = false;
+  bool properties_ok = false;
+  uint64_t transactions = 0;
+  models::RunResult result;
+};
+
+// Runs one configuration `repeats` times and keeps the minimum wall time.
+Measurement measure(const models::RunConfig& config, int repeats = 3);
+
+// Prints one Table-I-style row.
+void print_row(const char* label, double without_s, double with_s,
+               bool ok);
+
+// The paper's checker-count points: 1, 5 and the whole suite.
+struct CheckerPoints {
+  size_t one = 1;
+  size_t five = 5;
+  size_t all;
+};
+
+// Emits the full Table I block for one design.
+void run_table1(models::Design design, size_t workload, size_t suite_size);
+
+}  // namespace repro::bench
+
+#endif  // REPRO_BENCH_BENCH_TABLE_COMMON_H_

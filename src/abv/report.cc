@@ -1,0 +1,50 @@
+#include "abv/report.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace repro::abv {
+
+void Report::add(const checker::PropertyChecker& checker) {
+  const checker::CheckerStats& s = checker.stats();
+  properties_.push_back({checker.name(), s.events, s.activations, s.holds,
+                         s.failures, s.uncompleted, s.steps});
+}
+
+void Report::add(const checker::TlmCheckerWrapper& wrapper) {
+  const checker::WrapperStats& s = wrapper.stats();
+  properties_.push_back({wrapper.name(), s.transactions, s.activations, s.holds,
+                         s.failures, s.uncompleted, s.steps});
+}
+
+bool Report::all_ok() const {
+  for (const auto& p : properties_) {
+    if (!p.ok()) return false;
+  }
+  return true;
+}
+
+uint64_t Report::total_failures() const {
+  uint64_t total = 0;
+  for (const auto& p : properties_) total += p.failures;
+  return total;
+}
+
+uint64_t Report::total_activations() const {
+  uint64_t total = 0;
+  for (const auto& p : properties_) total += p.activations;
+  return total;
+}
+
+void Report::print(std::ostream& os) const {
+  os << std::left << std::setw(16) << "property" << std::right << std::setw(12)
+     << "events" << std::setw(12) << "activated" << std::setw(12) << "holds"
+     << std::setw(10) << "fails" << std::setw(12) << "pending" << "\n";
+  for (const auto& p : properties_) {
+    os << std::left << std::setw(16) << p.name << std::right << std::setw(12)
+       << p.events << std::setw(12) << p.activations << std::setw(12) << p.holds
+       << std::setw(10) << p.failures << std::setw(12) << p.uncompleted << "\n";
+  }
+}
+
+}  // namespace repro::abv

@@ -1,0 +1,47 @@
+// Aggregated verification report across the checkers of one simulation run.
+#ifndef REPRO_ABV_REPORT_H_
+#define REPRO_ABV_REPORT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "checker/checker.h"
+#include "checker/wrapper.h"
+
+namespace repro::abv {
+
+struct PropertyReport {
+  std::string name;
+  uint64_t events = 0;
+  uint64_t activations = 0;
+  uint64_t holds = 0;
+  uint64_t failures = 0;
+  uint64_t uncompleted = 0;
+  uint64_t steps = 0;
+
+  bool ok() const { return failures == 0; }
+};
+
+class Report {
+ public:
+  void add(const checker::PropertyChecker& checker);
+  void add(const checker::TlmCheckerWrapper& wrapper);
+
+  const std::vector<PropertyReport>& properties() const { return properties_; }
+
+  bool all_ok() const;
+  uint64_t total_failures() const;
+  uint64_t total_activations() const;
+
+  // Human-readable table, one row per property.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<PropertyReport> properties_;
+};
+
+}  // namespace repro::abv
+
+#endif  // REPRO_ABV_REPORT_H_

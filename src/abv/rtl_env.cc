@@ -1,0 +1,91 @@
+#include "abv/rtl_env.h"
+
+#include <cassert>
+
+namespace repro::abv {
+
+uint64_t SignalBag::value(std::string_view name) const {
+  auto it = getters_.find(name);
+  assert(it != getters_.end() && "signal not registered in SignalBag");
+  return it->second();
+}
+
+bool SignalBag::has(std::string_view name) const {
+  return getters_.find(name) != getters_.end();
+}
+
+void RtlAbvEnv::add_property(const psl::RtlProperty& property) {
+  checkers_.push_back(std::make_unique<checker::PropertyChecker>(
+      property.name, property.formula, property.context.guard));
+  kinds_.push_back(property.context.kind);
+  switch (property.context.kind) {
+    case psl::ClockContext::Kind::kTrue:
+    case psl::ClockContext::Kind::kClkPos:
+      any_pos_ = true;
+      break;
+    case psl::ClockContext::Kind::kClkNeg:
+      any_neg_ = true;
+      break;
+    case psl::ClockContext::Kind::kClk:
+      any_pos_ = true;
+      any_neg_ = true;
+      break;
+  }
+}
+
+void RtlAbvEnv::attach(sim::Clock& clock) {
+  // Sample after the design settles: edge callbacks run in the evaluate
+  // phase; signal writes commit in the update phase; watcher cascades run in
+  // the following deltas. Three nested deltas cover the register-style
+  // single-stage processes of the bundled models.
+  if (any_pos_) {
+    clock.on_posedge([this] {
+      kernel_.schedule_delta([this] {
+        kernel_.schedule_delta([this] {
+          kernel_.schedule_delta([this] { sample(/*rising=*/true); });
+        });
+      });
+    });
+  }
+  if (any_neg_) {
+    clock.on_negedge([this] {
+      kernel_.schedule_delta([this] {
+        kernel_.schedule_delta([this] {
+          kernel_.schedule_delta([this] { sample(/*rising=*/false); });
+        });
+      });
+    });
+  }
+}
+
+void RtlAbvEnv::sample(bool rising) {
+  const psl::TimeNs now = kernel_.now();
+  for (size_t i = 0; i < checkers_.size(); ++i) {
+    const psl::ClockContext::Kind kind = kinds_[i];
+    const bool wants =
+        kind == psl::ClockContext::Kind::kClk ||
+        (rising && (kind == psl::ClockContext::Kind::kClkPos ||
+                    kind == psl::ClockContext::Kind::kTrue)) ||
+        (!rising && kind == psl::ClockContext::Kind::kClkNeg);
+    if (wants) checkers_[i]->on_event(now, signals_);
+  }
+}
+
+void RtlAbvEnv::finish() {
+  for (auto& checker : checkers_) checker->finish();
+}
+
+Report RtlAbvEnv::report() const {
+  Report report;
+  for (const auto& checker : checkers_) report.add(*checker);
+  return report;
+}
+
+bool RtlAbvEnv::all_ok() const {
+  for (const auto& checker : checkers_) {
+    if (!checker->ok()) return false;
+  }
+  return true;
+}
+
+}  // namespace repro::abv

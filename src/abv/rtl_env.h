@@ -1,0 +1,84 @@
+// RTL dynamic ABV environment.
+//
+// Binds PropertyCheckers (synthesized from RTL properties) to a clock and a
+// set of design signals. At each clock edge selected by a property's clock
+// context the environment samples the design — after its delta cycles have
+// settled, so registered outputs written at the edge are visible — and
+// feeds the evaluation event to the checker.
+#ifndef REPRO_ABV_RTL_ENV_H_
+#define REPRO_ABV_RTL_ENV_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abv/report.h"
+#include "checker/checker.h"
+#include "psl/ast.h"
+#include "sim/clock.h"
+#include "sim/kernel.h"
+#include "sim/signal.h"
+
+namespace repro::abv {
+
+// Named read accessors into the design under verification. RTL models
+// register their observable signals here; the environment evaluates atoms
+// against it.
+class SignalBag : public checker::ValueContext {
+ public:
+  void add(const std::string& name, std::function<uint64_t()> getter) {
+    getters_[name] = std::move(getter);
+  }
+  void add(const std::string& name, const sim::Signal<uint64_t>& signal) {
+    add(name, [&signal] { return signal.read(); });
+  }
+  void add(const std::string& name, const sim::Signal<bool>& signal) {
+    add(name, [&signal] { return signal.read() ? uint64_t{1} : uint64_t{0}; });
+  }
+
+  uint64_t value(std::string_view name) const override;
+  bool has(std::string_view name) const override;
+
+ private:
+  std::map<std::string, std::function<uint64_t()>, std::less<>> getters_;
+};
+
+class RtlAbvEnv {
+ public:
+  RtlAbvEnv(sim::Kernel& kernel, SignalBag& signals)
+      : kernel_(kernel), signals_(signals) {}
+
+  // Synthesizes a checker for `property` and registers it. Properties with
+  // kClkPos (or the basic) context are evaluated at rising edges, kClkNeg at
+  // falling edges, kClk at both.
+  void add_property(const psl::RtlProperty& property);
+
+  // Attaches the environment to the DUV clock. Must be called after all
+  // add_property calls and before the simulation runs.
+  void attach(sim::Clock& clock);
+
+  // End of simulation: resolve outstanding obligations.
+  void finish();
+
+  Report report() const;
+  bool all_ok() const;
+  const std::vector<std::unique_ptr<checker::PropertyChecker>>& checkers() const {
+    return checkers_;
+  }
+
+ private:
+  void sample(bool rising);
+
+  sim::Kernel& kernel_;
+  SignalBag& signals_;
+  std::vector<std::unique_ptr<checker::PropertyChecker>> checkers_;
+  std::vector<psl::ClockContext::Kind> kinds_;
+  bool any_pos_ = false;
+  bool any_neg_ = false;
+};
+
+}  // namespace repro::abv
+
+#endif  // REPRO_ABV_RTL_ENV_H_

@@ -1,0 +1,60 @@
+#include "abv/tlm_env.h"
+
+#include <cassert>
+
+namespace repro::abv {
+
+uint64_t ObservablesContext::value(std::string_view name) const {
+  const std::optional<uint64_t> v = values_.get(name);
+  assert(v.has_value() && "observable missing from transaction record");
+  return *v;
+}
+
+bool ObservablesContext::has(std::string_view name) const {
+  return values_.get(name).has_value();
+}
+
+void TlmAbvEnv::add_property(const psl::TlmProperty& property) {
+  wrappers_.push_back(
+      std::make_unique<checker::TlmCheckerWrapper>(property, clock_period_ns_));
+}
+
+void TlmAbvEnv::add_rtl_property(const psl::RtlProperty& property) {
+  checkers_.push_back(std::make_unique<checker::PropertyChecker>(
+      property.name, property.formula, property.context.guard));
+}
+
+void TlmAbvEnv::attach(tlm::TransactionRecorder& recorder) {
+  recorder.subscribe(
+      [this](const tlm::TransactionRecord& record) { on_record(record); });
+}
+
+void TlmAbvEnv::on_record(const tlm::TransactionRecord& record) {
+  const ObservablesContext ctx(record.observables);
+  for (auto& wrapper : wrappers_) wrapper->on_transaction(record.end, ctx);
+  for (auto& checker : checkers_) checker->on_event(record.end, ctx);
+}
+
+void TlmAbvEnv::finish() {
+  for (auto& wrapper : wrappers_) wrapper->finish();
+  for (auto& checker : checkers_) checker->finish();
+}
+
+Report TlmAbvEnv::report() const {
+  Report report;
+  for (const auto& wrapper : wrappers_) report.add(*wrapper);
+  for (const auto& checker : checkers_) report.add(*checker);
+  return report;
+}
+
+bool TlmAbvEnv::all_ok() const {
+  for (const auto& wrapper : wrappers_) {
+    if (!wrapper->ok()) return false;
+  }
+  for (const auto& checker : checkers_) {
+    if (!checker->ok()) return false;
+  }
+  return true;
+}
+
+}  // namespace repro::abv

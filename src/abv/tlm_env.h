@@ -1,0 +1,74 @@
+// TLM dynamic ABV environment.
+//
+// Subscribes to a TransactionRecorder and drives, at the end of each
+// transaction (the basic transaction context Tb):
+//   - TlmCheckerWrappers for properties abstracted with Methodology III.1
+//     (the intended use, Sec. IV), and
+//   - plain PropertyCheckers for unabstracted RTL properties replayed at
+//     TLM-CA (the paper's TLM-CA rows of Table I), where every per-cycle
+//     transaction stands for a clock edge.
+#ifndef REPRO_ABV_TLM_ENV_H_
+#define REPRO_ABV_TLM_ENV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abv/report.h"
+#include "checker/checker.h"
+#include "checker/wrapper.h"
+#include "psl/ast.h"
+#include "tlm/recorder.h"
+
+namespace repro::abv {
+
+// Zero-copy ValueContext over a transaction's observables snapshot.
+class ObservablesContext : public checker::ValueContext {
+ public:
+  explicit ObservablesContext(const tlm::Snapshot& values) : values_(values) {}
+
+  uint64_t value(std::string_view name) const override;
+  bool has(std::string_view name) const override;
+
+ private:
+  const tlm::Snapshot& values_;
+};
+
+class TlmAbvEnv {
+ public:
+  // `clock_period_ns` is the reference RTL clock period, used to size the
+  // wrapper instance pools (Sec. IV point 1).
+  explicit TlmAbvEnv(psl::TimeNs clock_period_ns = 10)
+      : clock_period_ns_(clock_period_ns) {}
+
+  // Registers an abstracted TLM property (checked through the wrapper).
+  void add_property(const psl::TlmProperty& property);
+
+  // Registers an unabstracted RTL property evaluated on the transaction
+  // stream (per-cycle transactions at TLM-CA); the clock context guard, if
+  // any, carries over.
+  void add_rtl_property(const psl::RtlProperty& property);
+
+  // Subscribes to the recorder. Call after all add_* calls.
+  void attach(tlm::TransactionRecorder& recorder);
+
+  void finish();
+
+  Report report() const;
+  bool all_ok() const;
+
+  const std::vector<std::unique_ptr<checker::TlmCheckerWrapper>>& wrappers() const {
+    return wrappers_;
+  }
+
+ private:
+  void on_record(const tlm::TransactionRecord& record);
+
+  psl::TimeNs clock_period_ns_;
+  std::vector<std::unique_ptr<checker::TlmCheckerWrapper>> wrappers_;
+  std::vector<std::unique_ptr<checker::PropertyChecker>> checkers_;
+};
+
+}  // namespace repro::abv
+
+#endif  // REPRO_ABV_TLM_ENV_H_

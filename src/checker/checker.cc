@@ -1,0 +1,87 @@
+#include "checker/checker.h"
+
+#include <cassert>
+
+namespace repro::checker {
+
+PropertyChecker::PropertyChecker(std::string name, psl::ExprPtr formula,
+                                 psl::ExprPtr guard)
+    : name_(std::move(name)), formula_(std::move(formula)), guard_(std::move(guard)) {
+  assert(formula_);
+  body_ = formula_;
+  while (body_->kind == psl::ExprKind::kAlways) {
+    repeating_ = true;
+    body_ = body_->lhs;
+  }
+}
+
+void PropertyChecker::retire(std::unique_ptr<Instance> instance, Verdict v,
+                             psl::TimeNs time) {
+  switch (v) {
+    case Verdict::kTrue:
+      ++stats_.holds;
+      break;
+    case Verdict::kFalse:
+      ++stats_.failures;
+      if (failure_log_.size() < kMaxLoggedFailures) {
+        failure_log_.push_back({time, name_});
+      }
+      break;
+    case Verdict::kPending:
+      ++stats_.uncompleted;
+      break;
+  }
+  instance->reset();
+  free_pool_.push_back(std::move(instance));
+}
+
+void PropertyChecker::on_event(psl::TimeNs time, const ValueContext& values) {
+  ++stats_.events;
+  const Event ev{time, &values};
+
+  // Feed the event to every active instance; retire the resolved ones.
+  size_t keep = 0;
+  for (size_t i = 0; i < active_.size(); ++i) {
+    ++stats_.steps;
+    const Verdict v = active_[i]->step(ev);
+    if (v == Verdict::kPending) {
+      active_[keep++] = std::move(active_[i]);
+    } else {
+      retire(std::move(active_[i]), v, time);
+    }
+  }
+  active_.resize(keep);
+
+  // Activation: a new verification session starts at each evaluation point
+  // matching the context (for always-properties), or once (otherwise).
+  if (!repeating_ && started_) return;
+  if (guard_ && !eval_boolean(guard_, values)) return;
+  started_ = true;
+
+  std::unique_ptr<Instance> instance;
+  if (!free_pool_.empty()) {
+    instance = std::move(free_pool_.back());
+    free_pool_.pop_back();
+  } else {
+    instance = std::make_unique<Instance>(body_);
+  }
+  ++stats_.activations;
+  ++stats_.steps;
+  const Verdict v = instance->step(ev);
+  if (v == Verdict::kPending) {
+    active_.push_back(std::move(instance));
+  } else {
+    ++stats_.trivial;
+    retire(std::move(instance), v, time);
+  }
+}
+
+void PropertyChecker::finish() {
+  for (auto& instance : active_) {
+    const Verdict v = instance->finish();
+    retire(std::move(instance), v, /*time=*/0);
+  }
+  active_.clear();
+}
+
+}  // namespace repro::checker

@@ -1,0 +1,82 @@
+// PropertyChecker: the synthesized checker for one property, driven by a
+// stream of evaluation events.
+//
+// This is the generic checker used (a) at RTL, where the event stream is
+// the clock edges selected by the clock context, and (b) at TLM-CA, where
+// unabstracted RTL properties are evaluated at per-cycle transaction
+// boundaries (the paper's TLM-CA rows of Table I). The Sec. IV wrapper for
+// abstracted (next_e) properties lives in wrapper.h.
+//
+// A property with a top-level `always` starts a fresh verification session
+// (checker instance) at every evaluation event whose context guard holds,
+// mirroring the behaviour FoCs-generated checkers have at RTL.
+#ifndef REPRO_CHECKER_CHECKER_H_
+#define REPRO_CHECKER_CHECKER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checker/instance.h"
+#include "checker/trace.h"
+#include "psl/ast.h"
+
+namespace repro::checker {
+
+// One observed property violation.
+struct Failure {
+  psl::TimeNs time = 0;
+  std::string property;
+};
+
+struct CheckerStats {
+  uint64_t events = 0;        // evaluation events observed
+  uint64_t activations = 0;   // instances started
+  uint64_t failures = 0;      // instances resolved kFalse
+  uint64_t holds = 0;         // instances resolved kTrue
+  uint64_t trivial = 0;       // activations resolved at their anchor event
+                              // (vacuity indicator: typically a false
+                              // antecedent, the paper's "trivially true")
+  uint64_t uncompleted = 0;   // instances still pending at finish()
+  uint64_t steps = 0;         // instance step() calls (work measure)
+};
+
+class PropertyChecker {
+ public:
+  // `formula` is the full property; a leading `always` chain is stripped and
+  // turned into per-event instance activation. `guard` is the optional
+  // boolean context guard (clock context guard at RTL, Tb guard at TLM);
+  // nullptr means every event is an evaluation point.
+  PropertyChecker(std::string name, psl::ExprPtr formula, psl::ExprPtr guard);
+
+  // Feeds one evaluation event.
+  void on_event(psl::TimeNs time, const ValueContext& values);
+
+  // Ends the trace: resolves outstanding instances with truncated semantics.
+  void finish();
+
+  const std::string& name() const { return name_; }
+  const CheckerStats& stats() const { return stats_; }
+  const std::vector<Failure>& failures() const { return failure_log_; }
+  bool ok() const { return stats_.failures == 0; }
+
+ private:
+  void retire(std::unique_ptr<Instance> instance, Verdict v, psl::TimeNs time);
+
+  std::string name_;
+  psl::ExprPtr formula_;       // keeps the AST alive for node back-references
+  psl::ExprPtr body_;          // formula with the top-level always stripped
+  psl::ExprPtr guard_;         // may be nullptr
+  bool repeating_ = false;     // had a top-level always
+  bool started_ = false;       // non-repeating: first activation done
+  std::vector<std::unique_ptr<Instance>> active_;
+  std::vector<std::unique_ptr<Instance>> free_pool_;
+  CheckerStats stats_;
+  std::vector<Failure> failure_log_;  // capped to keep memory bounded
+
+  static constexpr size_t kMaxLoggedFailures = 64;
+};
+
+}  // namespace repro::checker
+
+#endif  // REPRO_CHECKER_CHECKER_H_

@@ -1,0 +1,441 @@
+#include "checker/codegen.h"
+
+#include <cassert>
+
+namespace repro::checker {
+namespace {
+
+using psl::Expr;
+using psl::ExprKind;
+using psl::ExprPtr;
+
+// Renders a boolean subformula as a C++ expression over `v`.
+std::string bool_expr(const ExprPtr& e) {
+  assert(psl::is_boolean(e));
+  switch (e->kind) {
+    case ExprKind::kConstTrue:
+      return "true";
+    case ExprKind::kConstFalse:
+      return "false";
+    case ExprKind::kAtom: {
+      const psl::Atom& a = e->atom;
+      const std::string lhs = "v." + a.lhs;
+      if (a.op == psl::CmpOp::kTruthy) return "(" + lhs + " != 0)";
+      const std::string rhs =
+          a.rhs_is_signal ? "v." + a.rhs_signal : std::to_string(a.rhs_value);
+      const char* op = "==";
+      switch (a.op) {
+        case psl::CmpOp::kEq: op = "=="; break;
+        case psl::CmpOp::kNe: op = "!="; break;
+        case psl::CmpOp::kLt: op = "<"; break;
+        case psl::CmpOp::kLe: op = "<="; break;
+        case psl::CmpOp::kGt: op = ">"; break;
+        case psl::CmpOp::kGe: op = ">="; break;
+        case psl::CmpOp::kTruthy: break;
+      }
+      return "(" + lhs + " " + op + " " + rhs + ")";
+    }
+    case ExprKind::kNot:
+      return "!" + bool_expr(e->lhs);
+    case ExprKind::kAnd:
+      return "(" + bool_expr(e->lhs) + " && " + bool_expr(e->rhs) + ")";
+    case ExprKind::kOr:
+      return "(" + bool_expr(e->lhs) + " || " + bool_expr(e->rhs) + ")";
+    case ExprKind::kImplies:
+      return "(!" + bool_expr(e->lhs) + " || " + bool_expr(e->rhs) + ")";
+    default:
+      assert(false);
+      return "false";
+  }
+}
+
+// One generated operand: either an inline boolean expression or a stateful
+// child struct with step/finish functions.
+struct Operand {
+  bool boolean = false;
+  std::string expr;         // boolean: C++ expression
+  int id = -1;              // stateful: struct/function suffix
+  std::string struct_name;  // stateful: "S<id>"
+
+  // Code fragments to evaluate the operand at the current event / finish,
+  // given the member access path to its state (e.g. "s.c3" or "pos.p").
+  std::string step(const std::string& path) const {
+    if (boolean) return "(" + expr + " ? V_T : V_F)";
+    return "step_" + std::to_string(id) + "(" + path + ", t, v)";
+  }
+  std::string fin(const std::string& path) const {
+    if (boolean) return "V_P";  // a boolean never anchored stays pending
+    return "finish_" + std::to_string(id) + "(" + path + ")";
+  }
+  std::string field(const std::string& name) const {
+    if (boolean) return "";
+    return "  " + struct_name + " " + name + ";\n";
+  }
+};
+
+class Generator {
+ public:
+  // Emits structs + step/finish functions for `e`; returns its operand.
+  Operand gen(const ExprPtr& e) {
+    if (psl::is_boolean(e)) {
+      Operand op;
+      op.boolean = true;
+      op.expr = bool_expr(e);
+      return op;
+    }
+    switch (e->kind) {
+      case ExprKind::kNot:
+        return gen_not(e);
+      case ExprKind::kAnd:
+      case ExprKind::kOr:
+      case ExprKind::kImplies:
+        return gen_binary(e);
+      case ExprKind::kNext:
+        return gen_next(e);
+      case ExprKind::kNextEps:
+        return gen_next_eps(e);
+      case ExprKind::kUntil:
+      case ExprKind::kRelease:
+        return gen_fixpoint(e);
+      case ExprKind::kAlways:
+      case ExprKind::kEventually:
+        return gen_spawn(e);
+      case ExprKind::kAbort:
+        return gen_abort(e);
+      default:
+        assert(false && "unexpected node kind");
+        return {};
+    }
+  }
+
+  std::string body;  // struct + function definitions, children first
+
+ private:
+  Operand fresh(const char* /*kind*/) {
+    Operand op;
+    op.id = next_id_++;
+    op.struct_name = "S" + std::to_string(op.id);
+    return op;
+  }
+
+  // Emits one stateful node: its struct (with `fields` and child members)
+  // and its step/finish functions with the given bodies.
+  void emit(const Operand& op, const std::string& fields,
+            const std::string& step_body, const std::string& finish_body) {
+    const std::string id = std::to_string(op.id);
+    body += "struct " + op.struct_name + " {\n  int8_t verdict = V_P;\n" +
+            fields + "};\n";
+    body += "static inline int8_t step_" + id + "(" + op.struct_name +
+            "& s, uint64_t t, const Values& v) {\n"
+            "  if (s.verdict != V_P) return s.verdict;\n"
+            "  (void)t; (void)v;\n" +
+            step_body + "}\n";
+    body += "static inline int8_t finish_" + id + "(" + op.struct_name +
+            "& s) {\n  if (s.verdict != V_P) return s.verdict;\n" +
+            finish_body + "}\n\n";
+  }
+
+  Operand gen_not(const ExprPtr& e) {
+    const Operand child = gen(e->lhs);
+    Operand op = fresh("not");
+    emit(op, child.field("c"),
+         "  s.verdict = not3(" + child.step("s.c") + ");\n  return s.verdict;\n",
+         "  s.verdict = not3(" + child.fin("s.c") + ");\n  return s.verdict;\n");
+    return op;
+  }
+
+  Operand gen_binary(const ExprPtr& e) {
+    const Operand lhs = gen(e->lhs);
+    const Operand rhs = gen(e->rhs);
+    Operand op = fresh("bin");
+    std::string comb, short_circuit;
+    switch (e->kind) {
+      case ExprKind::kAnd:
+        comb = "and3(a, b)";
+        short_circuit = "  if (a == V_F) { s.verdict = V_F; return V_F; }\n";
+        break;
+      case ExprKind::kOr:
+        comb = "or3(a, b)";
+        short_circuit = "  if (a == V_T) { s.verdict = V_T; return V_T; }\n";
+        break;
+      default:  // implies
+        comb = "or3(not3(a), b)";
+        short_circuit = "  if (a == V_F) { s.verdict = V_T; return V_T; }\n";
+        break;
+    }
+    // Boolean operands are sampled once, at the node's anchor event; their
+    // verdicts live in cached slots (stateful operands cache internally and
+    // must be stepped at every event while pending).
+    const std::string step_a =
+        lhs.boolean ? "  if (s.av == V_P) s.av = " + lhs.step("") + ";\n"
+                    : "  s.av = " + lhs.step("s.a") + ";\n";
+    const std::string step_b =
+        rhs.boolean ? "  if (s.bv == V_P) s.bv = " + rhs.step("") + ";\n"
+                    : "  s.bv = " + rhs.step("s.b") + ";\n";
+    const std::string fin_a =
+        lhs.boolean ? "" : "  if (s.av == V_P) s.av = " + lhs.fin("s.a") + ";\n";
+    const std::string fin_b =
+        rhs.boolean ? "" : "  if (s.bv == V_P) s.bv = " + rhs.fin("s.b") + ";\n";
+    emit(op,
+         lhs.field("a") + rhs.field("b") +
+             "  int8_t av = V_P;\n  int8_t bv = V_P;\n",
+         step_a + "  {\n    const int8_t a = s.av;\n  " + short_circuit +
+             "  }\n" + step_b +
+             "  s.verdict = [&]{ const int8_t a = s.av, b = s.bv; return " +
+             comb + "; }();\n  return s.verdict;\n",
+         fin_a + fin_b +
+             "  s.verdict = [&]{ const int8_t a = s.av, b = s.bv; return " +
+             comb + "; }();\n  return s.verdict;\n");
+    return op;
+  }
+
+  Operand gen_next(const ExprPtr& e) {
+    const Operand child = gen(e->lhs);
+    Operand op = fresh("next");
+    const std::string n = std::to_string(e->next_count);
+    emit(op,
+         "  uint32_t skipped = 0;\n  bool armed = false;\n" + child.field("c"),
+         "  if (!s.armed) {\n"
+         "    if (s.skipped < " + n + ") { ++s.skipped; return V_P; }\n"
+         "    s.armed = true;\n"
+         "  }\n"
+         "  s.verdict = " + child.step("s.c") + ";\n  return s.verdict;\n",
+         "  s.verdict = s.armed ? " + child.fin("s.c") +
+             " : V_T;\n  return s.verdict;\n");
+    return op;
+  }
+
+  Operand gen_next_eps(const ExprPtr& e) {
+    const Operand child = gen(e->lhs);
+    Operand op = fresh("next_eps");
+    const std::string eps = std::to_string(e->eps);
+    emit(op,
+         "  bool anchored = false;\n  bool armed = false;\n"
+         "  uint64_t target = 0;\n" + child.field("c"),
+         "  if (!s.anchored) { s.anchored = true; s.target = t + " + eps +
+             "; return V_P; }\n"
+             "  if (!s.armed) {\n"
+             "    if (t < s.target) return V_P;\n"
+             "    if (t > s.target) { s.verdict = V_F; return V_F; }\n"
+             "    s.armed = true;\n"
+             "  }\n"
+             "  s.verdict = " + child.step("s.c") + ";\n  return s.verdict;\n",
+         "  s.verdict = s.armed ? " + child.fin("s.c") +
+             " : V_T;\n  return s.verdict;\n");
+    return op;
+  }
+
+  Operand gen_fixpoint(const ExprPtr& e) {
+    const Operand p = gen(e->lhs);
+    const Operand q = gen(e->rhs);
+    Operand op = fresh("fix");
+    const std::string id = std::to_string(op.id);
+    const bool is_until = e->kind == ExprKind::kUntil;
+    const std::string fold = is_until ? "or3(s.pos[i].qv, and3(s.pos[i].pv, rest))"
+                                      : "and3(s.pos[i].qv, or3(s.pos[i].pv, rest))";
+    const std::string boundary =
+        (is_until && e->strong) ? "V_F" : "V_T";  // release and weak until: true
+    const std::string pos_struct =
+        "struct Pos" + id + " {\n" + p.field("p") + q.field("q") +
+        "  int8_t pv = V_P;\n  int8_t qv = V_P;\n};\n";
+    body += pos_struct;
+    emit(op, "  std::vector<Pos" + id + "> pos;\n",
+         "  for (auto& pos : s.pos) {\n"
+         "    if (pos.pv == V_P) pos.pv = " + p.step("pos.p") + ";\n"
+         "    if (pos.qv == V_P) pos.qv = " + q.step("pos.q") + ";\n"
+         "  }\n"
+         "  s.pos.emplace_back();\n"
+         "  s.pos.back().pv = " + p.step("s.pos.back().p") + ";\n"
+         "  s.pos.back().qv = " + q.step("s.pos.back().q") + ";\n"
+         "  int8_t rest = V_P;\n"
+         "  for (size_t i = s.pos.size(); i-- > 0;) rest = " + fold + ";\n"
+         "  if (rest != V_P) { s.pos.clear(); s.verdict = rest; }\n"
+         "  return rest;\n",
+         "  for (auto& pos : s.pos) {\n"
+         "    if (pos.pv == V_P) pos.pv = " + p.fin("pos.p") + ";\n"
+         "    if (pos.qv == V_P) pos.qv = " + q.fin("pos.q") + ";\n"
+         "    if (pos.pv == V_P) pos.pv = V_T;\n"   // boolean leaf never anchored
+         "    if (pos.qv == V_P) pos.qv = V_T;\n"
+         "  }\n"
+         "  int8_t rest = " + boundary + ";\n"
+         "  for (size_t i = s.pos.size(); i-- > 0;) rest = " + fold + ";\n"
+         "  s.verdict = rest;\n  return rest;\n");
+    return op;
+  }
+
+  Operand gen_spawn(const ExprPtr& e) {
+    const Operand child = gen(e->lhs);
+    Operand op = fresh("spawn");
+    const bool is_always = e->kind == ExprKind::kAlways;
+    const std::string kill = is_always ? "V_F" : "V_T";   // resolves the node
+    const std::string boundary = is_always ? "V_T" : "V_F";
+    if (child.boolean) {
+      // always/eventually! over a boolean needs no child state: the operand
+      // resolves at each event on its own.
+      emit(op, "",
+           "  const int8_t r = " + child.step("") + ";\n"
+           "  if (r == " + kill + ") { s.verdict = " + kill +
+               "; return s.verdict; }\n  return V_P;\n",
+           "  s.verdict = " + boundary + ";\n  return s.verdict;\n");
+      return op;
+    }
+    emit(op, "  std::vector<" + child.struct_name + "> kids;\n",
+         "  s.kids.emplace_back();\n"
+         "  size_t keep = 0;\n"
+         "  for (size_t i = 0; i < s.kids.size(); ++i) {\n"
+         "    const int8_t r = " + child.step("s.kids[i]") + ";\n"
+         "    if (r == " + kill + ") { s.verdict = " + kill + "; return s.verdict; }\n"
+         "    if (r == V_P) s.kids[keep++] = s.kids[i];\n"
+         "  }\n"
+         "  s.kids.resize(keep);\n"
+         "  return V_P;\n",
+         "  for (auto& kid : s.kids) {\n"
+         "    const int8_t r = " + child.fin("kid") + ";\n"
+         "    if (r == " + kill + ") { s.verdict = " + kill + "; return s.verdict; }\n"
+         "    (void)r;\n"
+         "  }\n"
+         "  s.verdict = " + boundary + ";\n  return s.verdict;\n");
+    return op;
+  }
+
+  Operand gen_abort(const ExprPtr& e) {
+    const Operand child = gen(e->lhs);
+    const std::string cond = bool_expr(e->rhs);
+    const std::string on_reset = e->strong ? "V_F" : "V_T";
+    Operand op = fresh("abort");
+    emit(op, "  bool armed = false;\n" + child.field("c"),
+         "  if (" + cond + ") { s.verdict = " + on_reset + "; return " +
+             on_reset + "; }\n"
+         "  s.armed = true;\n"
+         "  s.verdict = " + child.step("s.c") + ";\n  return s.verdict;\n",
+         "  s.verdict = s.armed ? " + child.fin("s.c") +
+             " : V_T;\n  return s.verdict;\n");
+    return op;
+  }
+
+  int next_id_ = 0;
+};
+
+}  // namespace
+
+std::string generate_checker_source(const std::string& class_name,
+                                    const psl::ExprPtr& formula,
+                                    const psl::ExprPtr& guard,
+                                    const std::string& header_comment) {
+  assert(formula);
+  // Strip the leading always chain: it maps to per-event activation.
+  ExprPtr body_formula = formula;
+  bool repeating = false;
+  while (body_formula->kind == ExprKind::kAlways) {
+    repeating = true;
+    body_formula = body_formula->lhs;
+  }
+
+  std::set<std::string> signals = psl::referenced_signals(formula);
+  if (guard) {
+    for (const std::string& s : psl::referenced_signals(guard)) signals.insert(s);
+  }
+
+  std::string out;
+  out += "// Generated checker -- do not edit.\n";
+  if (!header_comment.empty()) out += "// " + header_comment + "\n";
+  out += "// property: " + psl::to_string(formula) + "\n";
+  out += "#pragma once\n#include <cstdint>\n#include <cstddef>\n#include <utility>\n#include <vector>\n\n";
+  out += "namespace gen_" + class_name + " {\n\n";
+  out += "enum : int8_t { V_P = -1, V_F = 0, V_T = 1 };\n";
+  out += "static inline int8_t not3(int8_t a) { return a == V_P ? V_P : (a == V_T ? V_F : V_T); }\n";
+  out += "static inline int8_t and3(int8_t a, int8_t b) {\n"
+         "  if (a == V_F || b == V_F) return V_F;\n"
+         "  if (a == V_P || b == V_P) return V_P;\n  return V_T;\n}\n";
+  out += "static inline int8_t or3(int8_t a, int8_t b) {\n"
+         "  if (a == V_T || b == V_T) return V_T;\n"
+         "  if (a == V_P || b == V_P) return V_P;\n  return V_F;\n}\n\n";
+  out += "struct Values {\n";
+  for (const std::string& s : signals) out += "  uint64_t " + s + " = 0;\n";
+  out += "};\n\n";
+
+  Generator generator;
+  const bool pure_boolean = psl::is_boolean(body_formula);
+  Operand root;
+  if (!pure_boolean) {
+    root = generator.gen(body_formula);
+    out += generator.body;
+  }
+
+  const std::string guard_expr = guard ? bool_expr(guard) : "true";
+  out += "class " + class_name + " {\n public:\n";
+  out += "  void on_event(uint64_t t, const Values& v) {\n";
+  out += "    ++events_;\n";
+  if (!pure_boolean) {
+    out += "    size_t keep = 0;\n"
+           "    for (size_t i = 0; i < active_.size(); ++i) {\n"
+           "      const int8_t r = " + root.step("active_[i]") + ";\n"
+           "      if (r == V_P) { active_[keep++] = std::move(active_[i]); continue; }\n"
+           "      if (r == V_F) ++failures_; else ++holds_;\n"
+           "    }\n"
+           "    active_.resize(keep);\n";
+  }
+  out += "    if (!(" + guard_expr + ")) return;\n";
+  if (!repeating) {
+    out += "    if (started_) return;\n    started_ = true;\n";
+  }
+  out += "    ++activations_;\n";
+  if (pure_boolean) {
+    out += "    if (" + bool_expr(body_formula) +
+           ") ++holds_; else ++failures_;\n";
+  } else {
+    out += "    active_.emplace_back();\n"
+           "    const int8_t r = " + root.step("active_.back()") + ";\n"
+           "    if (r != V_P) {\n"
+           "      if (r == V_F) ++failures_; else ++holds_;\n"
+           "      active_.pop_back();\n"
+           "    }\n";
+  }
+  out += "  }\n\n";
+  out += "  void finish() {\n";
+  if (!pure_boolean) {
+    out += "    for (auto& inst : active_) {\n"
+           "      const int8_t r = " + root.fin("inst") + ";\n"
+           "      if (r == V_F) ++failures_; else if (r == V_T) ++holds_;\n"
+           "      else ++uncompleted_;\n"
+           "    }\n"
+           "    active_.clear();\n";
+  }
+  out += "  }\n\n";
+  out += "  uint64_t events() const { return events_; }\n"
+         "  uint64_t activations() const { return activations_; }\n"
+         "  uint64_t holds() const { return holds_; }\n"
+         "  uint64_t failures() const { return failures_; }\n"
+         "  uint64_t uncompleted() const { return uncompleted_; }\n"
+         "  bool ok() const { return failures_ == 0; }\n\n";
+  out += " private:\n";
+  if (!pure_boolean) {
+    out += "  std::vector<" + root.struct_name + "> active_;\n";
+  }
+  if (!repeating) out += "  bool started_ = false;\n";
+  out += "  uint64_t events_ = 0;\n  uint64_t activations_ = 0;\n"
+         "  uint64_t holds_ = 0;\n  uint64_t failures_ = 0;\n"
+         "  uint64_t uncompleted_ = 0;\n";
+  out += "};\n\n}  // namespace gen_" + class_name + "\n";
+  return out;
+}
+
+std::string generate_checker(const psl::RtlProperty& property) {
+  const std::string name =
+      (property.name.empty() ? std::string("property") : property.name) +
+      "_checker";
+  return generate_checker_source(
+      name, property.formula, property.context.guard,
+      "RTL property, clock context " + psl::to_string(property.context));
+}
+
+std::string generate_checker(const psl::TlmProperty& property) {
+  const std::string name =
+      (property.name.empty() ? std::string("property") : property.name) +
+      "_checker";
+  return generate_checker_source(
+      name, property.formula, property.context.guard,
+      "TLM property, transaction context " + psl::to_string(property.context));
+}
+
+}  // namespace repro::checker

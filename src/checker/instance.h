@@ -1,0 +1,86 @@
+// Incremental checker instance: the synthesized form of one property
+// evaluation session (Sec. IV).
+//
+// An Instance is anchored at one evaluation point (clock edge / transaction
+// end). Its first step() call receives the anchor event; subsequent calls
+// receive the following events of the stream. The instance maintains an
+// obligation tree mirroring the formula and resolves to kTrue/kFalse as soon
+// as the verdict is determined; finish() applies end-of-trace (truncated)
+// semantics. The semantics implemented here is cross-validated against
+// reference_eval in the test suite.
+//
+// Instances are reusable: reset() restores the fresh state so a wrapper can
+// recycle completed instances (step 3 of the Sec. IV wrapper behaviour).
+#ifndef REPRO_CHECKER_INSTANCE_H_
+#define REPRO_CHECKER_INSTANCE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "checker/trace.h"
+#include "psl/ast.h"
+
+namespace repro::checker {
+
+// One evaluation event handed to an instance.
+struct Event {
+  psl::TimeNs time;
+  const ValueContext* values;
+};
+
+namespace detail {
+
+// Obligation-tree node. Nodes are created just before their anchor event is
+// fed; step() is called with the anchor event first, then each later event.
+class Node {
+ public:
+  virtual ~Node() = default;
+  virtual Verdict step(const Event& ev) = 0;
+  // End of trace: resolve weak obligations to kTrue, strong ones to kFalse.
+  virtual Verdict finish() = 0;
+  // Collects the wall-clock instants at which this subtree must next be
+  // evaluated (targets of unresolved next_e nodes). Returns false if the
+  // subtree needs to observe every event (until/release/always/...).
+  virtual bool collect_deadlines(std::vector<psl::TimeNs>& out) const = 0;
+  // Restores the fresh (pre-anchor) state in place, without reallocating
+  // the obligation tree — this is what makes wrapper instance reuse
+  // (Sec. IV point 3) cheap.
+  virtual void reset() = 0;
+};
+
+std::unique_ptr<Node> make_node(const psl::ExprPtr& e);
+
+}  // namespace detail
+
+class Instance {
+ public:
+  explicit Instance(psl::ExprPtr formula);
+
+  // Feeds the next event; the first call anchors the instance. Returns the
+  // verdict after consuming the event.
+  Verdict step(const Event& ev);
+
+  // Declares the trace complete and resolves the remaining obligations.
+  Verdict finish();
+
+  Verdict verdict() const { return verdict_; }
+  bool resolved() const { return verdict_ != Verdict::kPending; }
+
+  // Earliest wall-clock instant at which this instance must be evaluated
+  // next, if the pending obligations are purely time-scheduled (next_e).
+  // nullopt when the instance must see every event or is resolved.
+  std::optional<psl::TimeNs> next_deadline() const;
+
+  // Restores the instance to its fresh (pre-anchor) state for reuse.
+  void reset();
+
+ private:
+  psl::ExprPtr formula_;
+  std::unique_ptr<detail::Node> root_;
+  Verdict verdict_ = Verdict::kPending;
+};
+
+}  // namespace repro::checker
+
+#endif  // REPRO_CHECKER_INSTANCE_H_

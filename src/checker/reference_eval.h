@@ -1,0 +1,41 @@
+// Reference (ground-truth) evaluation of a formula over a recorded trace.
+//
+// This is a direct, non-incremental implementation of the finite-trace
+// semantics the checkers must implement; it exists so that the incremental
+// checker can be cross-validated against it (including with randomized
+// property/trace sweeps). It is O(|trace|^2 * |formula|) and is not used in
+// the simulation fast path.
+//
+// Finite-trace conventions (truncated semantics):
+//   - on an INCOMPLETE trace, obligations that look past the end are
+//     kPending;
+//   - on a COMPLETE trace, weak operators (next, until, release, always)
+//     resolve kTrue at the boundary and strong ones (until!, eventually!)
+//     resolve kFalse.
+//   - next_e[tau,eps](p) at position i (Def. III.3): let T = time(i) + eps;
+//     if some later position j has time(j) == T, the verdict is p at j; if a
+//     later position has time(j) > T before any == T, the verdict is kFalse
+//     ("no event observable at eps"); otherwise pending/boundary.
+#ifndef REPRO_CHECKER_REFERENCE_EVAL_H_
+#define REPRO_CHECKER_REFERENCE_EVAL_H_
+
+#include "checker/trace.h"
+#include "psl/ast.h"
+
+namespace repro::checker {
+
+// Evaluates `e` anchored at `trace[position]`. `complete` selects boundary
+// semantics as described above. position must be < trace.size().
+Verdict reference_eval(const psl::ExprPtr& e, const Trace& trace, size_t position,
+                       bool complete);
+
+// Evaluates `always e` over the whole trace with the given anchor stream —
+// i.e. the conjunction of reference_eval(e, trace, i) for all i. Returns
+// kFalse if any anchor fails, kPending if none fails and some is pending on
+// an incomplete trace, kTrue otherwise.
+Verdict reference_eval_always(const psl::ExprPtr& e, const Trace& trace,
+                              bool complete);
+
+}  // namespace repro::checker
+
+#endif  // REPRO_CHECKER_REFERENCE_EVAL_H_

@@ -1,0 +1,161 @@
+#include "checker/wrapper.h"
+
+#include <cassert>
+
+namespace repro::checker {
+
+TlmCheckerWrapper::TlmCheckerWrapper(const psl::TlmProperty& property,
+                                     psl::TimeNs clock_period_ns)
+    : name_(property.name), formula_(property.formula), guard_(property.context.guard) {
+  assert(formula_);
+  assert(clock_period_ns >= 1);
+  body_ = formula_;
+  while (body_->kind == psl::ExprKind::kAlways) {
+    repeating_ = true;
+    body_ = body_->lhs;
+  }
+  // Sec. IV point 1: the pool is sized by the lifetime of an instance, i.e.
+  // the number of instants in (t_fire, t_end] at which a transaction can
+  // occur. With timing equivalence those instants are multiples of the RTL
+  // clock period, so lifetime = max next_e window / clock period. A property
+  // with until/release obligations has no static bound; the pool then grows
+  // on demand.
+  // A formula is time-scheduled iff it has no fixpoint operators below the
+  // stripped always chain.
+  bool bounded = true;
+  std::vector<const psl::Expr*> work{body_.get()};
+  while (!work.empty()) {
+    const psl::Expr* e = work.back();
+    work.pop_back();
+    switch (e->kind) {
+      case psl::ExprKind::kUntil:
+      case psl::ExprKind::kRelease:
+      case psl::ExprKind::kAlways:
+      case psl::ExprKind::kEventually:
+      case psl::ExprKind::kAbort:
+        bounded = false;
+        break;
+      default:
+        break;
+    }
+    if (e->lhs) work.push_back(e->lhs.get());
+    if (e->rhs) work.push_back(e->rhs.get());
+  }
+  if (bounded) {
+    lifetime_ = static_cast<size_t>(psl::max_eps(body_) / clock_period_ns);
+    free_pool_.reserve(lifetime_);
+    for (size_t i = 0; i < lifetime_; ++i) {
+      free_pool_.push_back(std::make_unique<Instance>(body_));
+    }
+    stats_.pool_capacity = lifetime_;
+  }
+}
+
+void TlmCheckerWrapper::retire(std::unique_ptr<Instance> instance, Verdict v,
+                               psl::TimeNs time) {
+  switch (v) {
+    case Verdict::kTrue:
+      ++stats_.holds;
+      break;
+    case Verdict::kFalse:
+      ++stats_.failures;
+      if (failure_log_.size() < kMaxLoggedFailures) {
+        failure_log_.push_back({time, name_});
+      }
+      break;
+    case Verdict::kPending:
+      ++stats_.uncompleted;
+      break;
+  }
+  // Sec. IV point 3: reset the instance so it can serve a later session.
+  instance->reset();
+  free_pool_.push_back(std::move(instance));
+}
+
+void TlmCheckerWrapper::place(std::unique_ptr<Instance> instance) {
+  if (auto deadline = instance->next_deadline()) {
+    table_.emplace(*deadline, std::move(instance));
+    stats_.table_peak = std::max(stats_.table_peak, table_.size());
+  } else {
+    dense_.push_back(std::move(instance));
+  }
+}
+
+std::unique_ptr<Instance> TlmCheckerWrapper::acquire() {
+  if (!free_pool_.empty()) {
+    auto instance = std::move(free_pool_.back());
+    free_pool_.pop_back();
+    ++stats_.reuses;
+    return instance;
+  }
+  ++stats_.pool_capacity;
+  return std::make_unique<Instance>(body_);
+}
+
+void TlmCheckerWrapper::on_transaction(psl::TimeNs time, const ValueContext& values) {
+  ++stats_.transactions;
+  const Event ev{time, &values};
+
+  // Sec. IV point 2: evaluate every scheduled instance whose deadline is at
+  // or before `time`. An instance due strictly earlier missed its evaluation
+  // point; feeding it this event lets the next_e nodes resolve it (to kFalse
+  // unless the formula absorbs the miss).
+  while (!table_.empty() && table_.begin()->first <= time) {
+    auto instance = std::move(table_.begin()->second);
+    table_.erase(table_.begin());
+    ++stats_.steps;
+    const Verdict v = instance->step(ev);
+    if (v == Verdict::kPending) {
+      place(std::move(instance));
+    } else {
+      retire(std::move(instance), v, time);
+    }
+  }
+
+  // Dense instances observe every transaction.
+  size_t keep = 0;
+  for (size_t i = 0; i < dense_.size(); ++i) {
+    ++stats_.steps;
+    const Verdict v = dense_[i]->step(ev);
+    if (v == Verdict::kPending) {
+      dense_[keep++] = std::move(dense_[i]);
+    } else {
+      retire(std::move(dense_[i]), v, time);
+    }
+  }
+  dense_.resize(keep);
+
+  // Sec. IV point 4: activate a new session at each transaction matching the
+  // transaction context.
+  if (!repeating_ && started_) return;
+  if (guard_ && !eval_boolean(guard_, values)) return;
+  started_ = true;
+
+  auto instance = acquire();
+  ++stats_.activations;
+  ++stats_.steps;
+  const Verdict v = instance->step(ev);
+  if (v == Verdict::kPending) {
+    // Register the instance with its required evaluation points; trivially
+    // resolved instances (e.g. antecedent false at firing) never get here.
+    place(std::move(instance));
+  } else {
+    ++stats_.trivial;
+    retire(std::move(instance), v, time);
+  }
+}
+
+void TlmCheckerWrapper::finish() {
+  for (auto& [deadline, instance] : table_) {
+    const Verdict v = instance->finish();
+    retire(std::move(instance), v, deadline);
+  }
+  table_.clear();
+  for (auto& instance : dense_) {
+    const Verdict v = instance->finish();
+    retire(std::move(instance), v, 0);
+  }
+  dense_.clear();
+}
+
+}  // namespace repro::checker

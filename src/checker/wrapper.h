@@ -1,0 +1,101 @@
+// The Sec. IV wrapper: executes checker instances of an abstracted (TLM)
+// property at the correct simulation instants.
+//
+// The wrapper implements the four behaviours of Sec. IV:
+//   1. allocation of checker instances — a pool sized by the property
+//      lifetime (the maximum number of instants where transactions can
+//      occur between firing and completion);
+//   2. evaluation of active instances — an evaluation table maps the next
+//      required evaluation time of each scheduled instance to the instance;
+//      on a transaction at time t, instances due at t are evaluated and
+//      instances whose deadline passed (t' < t) resolve per next_e
+//      semantics (a missed evaluation point is a failure unless the formula
+//      absorbs it);
+//   3. reset and reuse of instances that reached their completion time;
+//   4. activation of a new instance at each transaction matching the
+//      transaction context, skipping registration when the instance is
+//      trivially resolved at its firing point.
+//
+// Properties whose pending obligations are not purely time-scheduled
+// (until/release/eventually) are kept on a dense list and see every
+// transaction; this is the graceful degradation for until-based TLM
+// properties like q2 of Fig. 3.
+#ifndef REPRO_CHECKER_WRAPPER_H_
+#define REPRO_CHECKER_WRAPPER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checker/checker.h"
+#include "checker/instance.h"
+#include "psl/ast.h"
+
+namespace repro::checker {
+
+struct WrapperStats {
+  uint64_t transactions = 0;   // transaction-end events observed
+  uint64_t activations = 0;    // verification sessions started
+  uint64_t failures = 0;
+  uint64_t holds = 0;
+  uint64_t trivial = 0;  // sessions resolved at their firing transaction
+  uint64_t uncompleted = 0;
+  uint64_t reuses = 0;         // sessions served by a recycled instance
+  uint64_t steps = 0;          // instance step() calls
+  size_t pool_capacity = 0;    // instances allocated in total
+  size_t table_peak = 0;       // peak size of the evaluation table
+};
+
+class TlmCheckerWrapper {
+ public:
+  // `clock_period_ns` is the reference RTL clock period; together with the
+  // formula's maximum next_e window it determines the instance-pool size
+  // preallocated up front (Sec. IV point 1). A property with unbounded
+  // lifetime (until-based) starts with an empty pool that grows on demand.
+  TlmCheckerWrapper(const psl::TlmProperty& property, psl::TimeNs clock_period_ns);
+
+  // End of one transaction at time `time`, with the DUV observables.
+  void on_transaction(psl::TimeNs time, const ValueContext& values);
+
+  // End of simulation.
+  void finish();
+
+  const std::string& name() const { return name_; }
+  const WrapperStats& stats() const { return stats_; }
+  const std::vector<Failure>& failures() const { return failure_log_; }
+  bool ok() const { return stats_.failures == 0; }
+
+  // Lifetime in instants, as computed per Sec. IV (0 if unbounded).
+  size_t lifetime() const { return lifetime_; }
+
+ private:
+  void retire(std::unique_ptr<Instance> instance, Verdict v, psl::TimeNs time);
+  void place(std::unique_ptr<Instance> instance);
+  std::unique_ptr<Instance> acquire();
+
+  std::string name_;
+  psl::ExprPtr formula_;   // keeps the AST alive
+  psl::ExprPtr body_;      // formula with top-level always stripped
+  psl::ExprPtr guard_;     // transaction-context guard, may be nullptr
+  bool repeating_ = false;
+  bool started_ = false;
+  size_t lifetime_ = 0;
+
+  // Evaluation table: next required evaluation time -> scheduled instance.
+  std::multimap<psl::TimeNs, std::unique_ptr<Instance>> table_;
+  // Instances that must observe every transaction.
+  std::vector<std::unique_ptr<Instance>> dense_;
+  // Reset instances ready for reuse.
+  std::vector<std::unique_ptr<Instance>> free_pool_;
+
+  WrapperStats stats_;
+  std::vector<Failure> failure_log_;
+
+  static constexpr size_t kMaxLoggedFailures = 64;
+};
+
+}  // namespace repro::checker
+
+#endif  // REPRO_CHECKER_WRAPPER_H_

@@ -1,0 +1,89 @@
+#include "models/colorconv/colorconv_core.h"
+
+namespace repro::models {
+namespace {
+
+uint8_t clamp8(int32_t v) {
+  if (v < 0) return 0;
+  if (v > 255) return 255;
+  return static_cast<uint8_t>(v);
+}
+
+}  // namespace
+
+Ycbcr colorconv_ref(uint8_t r, uint8_t g, uint8_t b) {
+  const int32_t y = 16 + ((66 * r + 129 * g + 25 * b + 128) >> 8);
+  const int32_t cb = 128 + ((-38 * r - 74 * g + 112 * b + 128) >> 8);
+  const int32_t cr = 128 + ((112 * r - 94 * g - 18 * b + 128) >> 8);
+  return Ycbcr{clamp8(y), clamp8(cb), clamp8(cr)};
+}
+
+CcStage colorconv_stage(int i, CcStage s) {
+  switch (i) {
+    case 1:
+      s.y_acc = 66 * s.r;
+      break;
+    case 2:
+      s.y_acc += 129 * s.g;
+      s.cb_acc = -38 * s.r;
+      break;
+    case 3:
+      s.y_acc += 25 * s.b + 128;
+      s.cb_acc += -74 * s.g;
+      s.cr_acc = 112 * s.r;
+      break;
+    case 4:
+      s.cb_acc += 112 * s.b + 128;
+      s.cr_acc += -94 * s.g;
+      break;
+    case 5:
+      s.cr_acc += -18 * s.b + 128;
+      break;
+    case 6:
+      s.y = clamp8(16 + (s.y_acc >> 8));
+      s.cb = clamp8(128 + (s.cb_acc >> 8));
+      s.cr = clamp8(128 + (s.cr_acc >> 8));
+      break;
+    case 7:
+      // Plain staging register before the output flops.
+      break;
+    default:
+      break;
+  }
+  return s;
+}
+
+ColorConvOutputs ColorConvPipeline::step(const ColorConvInputs& in) {
+  // Output registers load from stage 7 (the pixel that entered 8 edges
+  // ago); the data registers are enabled by the valid flag and hold their
+  // last value through bubbles, as the TLM models do.
+  out_.rdy = stages_[7].valid;
+  if (stages_[7].valid) {
+    out_.y = stages_[7].y;
+    out_.cb = stages_[7].cb;
+    out_.cr = stages_[7].cr;
+  }
+
+  // Shift the pipeline back to front, performing each stage's share of the
+  // multiply/accumulate work on the way.
+  for (int i = 7; i >= 1; --i) {
+    stages_[i] = colorconv_stage(i, stages_[i - 1]);
+  }
+  stages_[0] = CcStage{};
+  stages_[0].valid = in.ds;
+  stages_[0].r = in.r;
+  stages_[0].g = in.g;
+  stages_[0].b = in.b;
+
+  // rdy_next_cycle mirrors the (freshly shifted) stage-7 valid flag: the
+  // output registers will load it at the next edge.
+  out_.rdy_next_cycle = stages_[7].valid;
+  return out_;
+}
+
+void ColorConvPipeline::reset() {
+  stages_ = {};
+  out_ = {};
+}
+
+}  // namespace repro::models

@@ -1,0 +1,81 @@
+// ColorConv IP: RGB -> YCbCr (ITU-R BT.601) fixed-point converter.
+//
+// The paper's ColorConv testcase is an 8-stage pipelined IP with a latency
+// of 8 clock cycles and one-pixel-per-cycle throughput. The conversion is
+// the standard 8.8 fixed-point BT.601 matrix:
+//
+//   Y  =  16 + (( 66 R + 129 G +  25 B + 128) >> 8)
+//   Cb = 128 + ((-38 R -  74 G + 112 B + 128) >> 8)
+//   Cr = 128 + ((112 R -  94 G -  18 B + 128) >> 8)
+//
+// For 8-bit inputs the outputs are provably inside the nominal ranges
+// Y in [16,235], Cb/Cr in [16,240] — the range properties of the suite.
+#ifndef REPRO_MODELS_COLORCONV_COLORCONV_CORE_H_
+#define REPRO_MODELS_COLORCONV_COLORCONV_CORE_H_
+
+#include <array>
+#include <cstdint>
+
+namespace repro::models {
+
+struct Ycbcr {
+  uint8_t y = 0;
+  uint8_t cb = 0;
+  uint8_t cr = 0;
+
+  bool operator==(const Ycbcr&) const = default;
+};
+
+// One-shot reference conversion.
+Ycbcr colorconv_ref(uint8_t r, uint8_t g, uint8_t b);
+
+struct ColorConvInputs {
+  bool ds = false;  // pixel valid
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+};
+
+struct ColorConvOutputs {
+  bool rdy = false;           // output valid
+  bool rdy_next_cycle = false;  // output valid at the next edge
+  uint8_t y = 0;
+  uint8_t cb = 0;
+  uint8_t cr = 0;
+};
+
+// One pipeline-stage register bundle.
+struct CcStage {
+  bool valid = false;
+  uint8_t r = 0, g = 0, b = 0;
+  int32_t y_acc = 0, cb_acc = 0, cr_acc = 0;
+  uint8_t y = 0, cb = 0, cr = 0;
+
+  bool operator==(const CcStage&) const = default;
+};
+
+// The combinational function between stage boundary i-1 and i (i in 1..7):
+// the multiply/accumulate work is split across the stages the way a
+// DSP-slice implementation would be:
+//   s0 input regs | s1 Y products | s2 Y sum, Cb products | s3 Cb sum,
+//   Cr products | s4 Cr sum | s5 round/shift | s6 clamp (rdy_next_cycle
+//   asserted here) | s7 staging regs (outputs load from here)
+// Shared between the behavioural pipeline (TLM-CA) and the signal-level
+// RTL model so the two are cycle-equivalent by construction.
+CcStage colorconv_stage(int i, CcStage prev);
+
+// Cycle-accurate 8-stage pipeline; step() == one rising clock edge;
+// latency 8, throughput 1 pixel/cycle.
+class ColorConvPipeline {
+ public:
+  ColorConvOutputs step(const ColorConvInputs& in);
+  void reset();
+
+ private:
+  std::array<CcStage, 8> stages_{};
+  ColorConvOutputs out_{};
+};
+
+}  // namespace repro::models
+
+#endif  // REPRO_MODELS_COLORCONV_COLORCONV_CORE_H_

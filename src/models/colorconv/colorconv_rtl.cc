@@ -1,0 +1,108 @@
+#include "models/colorconv/colorconv_rtl.h"
+
+namespace repro::models {
+namespace {
+
+uint64_t pack3(uint8_t a, uint8_t b, uint8_t c) {
+  return (static_cast<uint64_t>(a) << 16) | (static_cast<uint64_t>(b) << 8) | c;
+}
+
+}  // namespace
+
+ColorConvRtl::Boundary::Boundary(sim::Kernel& kernel, int index)
+    : valid(kernel, "colorconv.s" + std::to_string(index) + ".valid", false),
+      rgb(kernel, "colorconv.s" + std::to_string(index) + ".rgb", 0),
+      y_acc(kernel, "colorconv.s" + std::to_string(index) + ".y_acc", 0),
+      cb_acc(kernel, "colorconv.s" + std::to_string(index) + ".cb_acc", 0),
+      cr_acc(kernel, "colorconv.s" + std::to_string(index) + ".cr_acc", 0),
+      ycbcr(kernel, "colorconv.s" + std::to_string(index) + ".ycbcr", 0) {}
+
+ColorConvRtl::ColorConvRtl(sim::Kernel& kernel, sim::Clock& clock)
+    : ds(kernel, "ds", false),
+      r(kernel, "r", 0),
+      g(kernel, "g", 0),
+      b(kernel, "b", 0),
+      y(kernel, "y", 0),
+      cb(kernel, "cb", 0),
+      cr(kernel, "cr", 0),
+      rdy(kernel, "rdy", false),
+      rdy_next_cycle(kernel, "rdy_next_cycle", false) {
+  for (int i = 0; i < 8; ++i) {
+    boundaries_[i] = std::make_unique<Boundary>(kernel, i);
+  }
+  // One process per stage plus the output registers, all on the rising edge.
+  for (int i = 0; i < 8; ++i) {
+    clock.on_posedge([this, i] { stage_proc(i); });
+  }
+  clock.on_posedge([this] { output_proc(); });
+}
+
+CcStage ColorConvRtl::load(int boundary) const {
+  const Boundary& bd = *boundaries_[boundary];
+  CcStage s;
+  s.valid = bd.valid.read();
+  const uint64_t rgb = bd.rgb.read();
+  s.r = static_cast<uint8_t>(rgb >> 16);
+  s.g = static_cast<uint8_t>(rgb >> 8);
+  s.b = static_cast<uint8_t>(rgb);
+  s.y_acc = static_cast<int32_t>(bd.y_acc.read());
+  s.cb_acc = static_cast<int32_t>(bd.cb_acc.read());
+  s.cr_acc = static_cast<int32_t>(bd.cr_acc.read());
+  const uint64_t ycbcr = bd.ycbcr.read();
+  s.y = static_cast<uint8_t>(ycbcr >> 16);
+  s.cb = static_cast<uint8_t>(ycbcr >> 8);
+  s.cr = static_cast<uint8_t>(ycbcr);
+  return s;
+}
+
+void ColorConvRtl::store(int boundary, const CcStage& s) {
+  Boundary& bd = *boundaries_[boundary];
+  bd.valid.write(s.valid);
+  bd.rgb.write(pack3(s.r, s.g, s.b));
+  bd.y_acc.write(static_cast<uint64_t>(static_cast<uint32_t>(s.y_acc)));
+  bd.cb_acc.write(static_cast<uint64_t>(static_cast<uint32_t>(s.cb_acc)));
+  bd.cr_acc.write(static_cast<uint64_t>(static_cast<uint32_t>(s.cr_acc)));
+  bd.ycbcr.write(pack3(s.y, s.cb, s.cr));
+}
+
+void ColorConvRtl::stage_proc(int i) {
+  if (i == 0) {
+    CcStage s;
+    s.valid = ds.read();
+    s.r = static_cast<uint8_t>(r.read());
+    s.g = static_cast<uint8_t>(g.read());
+    s.b = static_cast<uint8_t>(b.read());
+    store(0, s);
+    return;
+  }
+  store(i, colorconv_stage(i, load(i - 1)));
+}
+
+void ColorConvRtl::output_proc() {
+  const CcStage s7 = load(7);
+  rdy.write(s7.valid);
+  // Data output registers are valid-enabled: they hold through bubbles.
+  if (s7.valid) {
+    y.write(s7.y);
+    cb.write(s7.cb);
+    cr.write(s7.cr);
+  }
+  // Stage 6's output (pre-edge view) is what stage 7 registers at this edge,
+  // i.e. what the output flops will present at the next edge.
+  const CcStage s6 = colorconv_stage(7, load(6));
+  rdy_next_cycle.write(s6.valid);
+}
+
+void ColorConvRtl::register_signals(abv::SignalBag& bag) const {
+  bag.add("ds", ds);
+  bag.add("r", r);
+  bag.add("g", g);
+  bag.add("b", b);
+  bag.add("y", y);
+  bag.add("cb", cb);
+  bag.add("cr", cr);
+  bag.add("rdy", rdy);
+  bag.add("rdy_next_cycle", rdy_next_cycle);
+}
+
+}  // namespace repro::models

@@ -1,0 +1,63 @@
+// RTL (signal-level) model of the ColorConv IP.
+//
+// Structured as translated pipelined VHDL would be: one rising-edge process
+// per pipeline stage plus the output-register process, communicating
+// through registered stage-boundary signals. Register semantics between
+// stages come from the kernel's delta-cycle signals, not from explicit
+// shifting — each stage process reads its predecessor's pre-edge values.
+#ifndef REPRO_MODELS_COLORCONV_COLORCONV_RTL_H_
+#define REPRO_MODELS_COLORCONV_COLORCONV_RTL_H_
+
+#include <array>
+#include <memory>
+
+#include "abv/rtl_env.h"
+#include "models/colorconv/colorconv_core.h"
+#include "sim/clock.h"
+#include "sim/kernel.h"
+#include "sim/signal.h"
+
+namespace repro::models {
+
+class ColorConvRtl {
+ public:
+  ColorConvRtl(sim::Kernel& kernel, sim::Clock& clock);
+
+  // Input ports.
+  sim::Signal<bool> ds;
+  sim::Signal<uint64_t> r;
+  sim::Signal<uint64_t> g;
+  sim::Signal<uint64_t> b;
+
+  // Output ports.
+  sim::Signal<uint64_t> y;
+  sim::Signal<uint64_t> cb;
+  sim::Signal<uint64_t> cr;
+  sim::Signal<bool> rdy;
+  sim::Signal<bool> rdy_next_cycle;
+
+  void register_signals(abv::SignalBag& bag) const;
+
+ private:
+  // Registered boundary between stage i-1 and i.
+  struct Boundary {
+    Boundary(sim::Kernel& kernel, int index);
+    sim::Signal<bool> valid;
+    sim::Signal<uint64_t> rgb;     // packed r|g|b
+    sim::Signal<uint64_t> y_acc;   // int32 stored as uint64
+    sim::Signal<uint64_t> cb_acc;
+    sim::Signal<uint64_t> cr_acc;
+    sim::Signal<uint64_t> ycbcr;   // packed y|cb|cr
+  };
+
+  CcStage load(int boundary) const;
+  void store(int boundary, const CcStage& s);
+  void stage_proc(int i);
+  void output_proc();
+
+  std::array<std::unique_ptr<Boundary>, 8> boundaries_;
+};
+
+}  // namespace repro::models
+
+#endif  // REPRO_MODELS_COLORCONV_COLORCONV_RTL_H_

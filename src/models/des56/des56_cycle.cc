@@ -1,0 +1,38 @@
+#include "models/des56/des56_cycle.h"
+
+namespace repro::models {
+
+Des56Outputs Des56Cycle::step(const Des56Inputs& in) {
+  Des56Outputs out;
+  out.out = out_;
+  if (busy_) {
+    ++cycle_;
+    if (cycle_ <= 16) {
+      const int index = decrypt_ ? 16 - cycle_ : cycle_ - 1;
+      state_ = des_round(state_, schedule_[index]);
+    }
+    out.rdy_next_next_cycle = cycle_ == 15;
+    out.rdy_next_cycle = cycle_ == 16;
+    if (cycle_ == 17) {
+      out_ = des_unload(state_);
+      out.out = out_;
+      out.rdy = true;
+      busy_ = false;
+    }
+  } else if (in.ds) {
+    busy_ = true;
+    cycle_ = 0;
+    decrypt_ = in.decrypt;
+    state_ = des_load(in.indata);
+    schedule_ = des_key_schedule(in.key);
+  }
+  return out;
+}
+
+void Des56Cycle::reset() {
+  busy_ = false;
+  cycle_ = 0;
+  out_ = 0;
+}
+
+}  // namespace repro::models

@@ -1,0 +1,57 @@
+// Cycle-accurate behavioural core of the DES56 IP.
+//
+// One step() call corresponds to one rising clock edge. The same core drives
+// the RTL model (wrapped in signals) and the TLM-CA model (wrapped in
+// per-cycle transactions), which makes the two timing-equivalent by
+// construction.
+//
+// Protocol (one outstanding operation, as assumed by property p2):
+//   - edge k:     ds == 1 with indata/key/decrypt valid -> operation accepted
+//   - edges k+1 .. k+16: one DES round per cycle
+//   - edge k+15:  rdy_next_next_cycle == 1
+//   - edge k+16:  rdy_next_cycle == 1
+//   - edge k+17:  rdy == 1 and out holds the result (latency 17 cycles)
+#ifndef REPRO_MODELS_DES56_DES56_CYCLE_H_
+#define REPRO_MODELS_DES56_DES56_CYCLE_H_
+
+#include <cstdint>
+
+#include "models/des56/des_core.h"
+
+namespace repro::models {
+
+struct Des56Inputs {
+  bool ds = false;
+  uint64_t indata = 0;
+  uint64_t key = 0;
+  bool decrypt = false;
+};
+
+struct Des56Outputs {
+  uint64_t out = 0;
+  bool rdy = false;
+  bool rdy_next_cycle = false;
+  bool rdy_next_next_cycle = false;
+};
+
+class Des56Cycle {
+ public:
+  // Advances one clock edge with the given input values; returns the output
+  // values as registered at this edge.
+  Des56Outputs step(const Des56Inputs& in);
+
+  bool busy() const { return busy_; }
+  void reset();
+
+ private:
+  bool busy_ = false;
+  int cycle_ = 0;  // cycles since the accepting edge
+  bool decrypt_ = false;
+  DesState state_{};
+  DesKeySchedule schedule_{};
+  uint64_t out_ = 0;
+};
+
+}  // namespace repro::models
+
+#endif  // REPRO_MODELS_DES56_DES56_CYCLE_H_

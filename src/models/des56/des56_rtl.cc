@@ -1,0 +1,119 @@
+#include "models/des56/des56_rtl.h"
+
+namespace repro::models {
+
+Des56Rtl::Des56Rtl(sim::Kernel& kernel, sim::Clock& clock)
+    : ds(kernel, "ds", false),
+      indata(kernel, "indata", 0),
+      key(kernel, "key", 0),
+      decrypt(kernel, "decrypt", false),
+      out(kernel, "out", 0),
+      rdy(kernel, "rdy", false),
+      rdy_next_cycle(kernel, "rdy_next_cycle", false),
+      rdy_next_next_cycle(kernel, "rdy_next_next_cycle", false),
+      busy_(kernel, "des56.busy", false),
+      round_(kernel, "des56.round", 0),
+      mode_dec_(kernel, "des56.mode_dec", false),
+      l_(kernel, "des56.l", 0),
+      r_(kernel, "des56.r", 0),
+      c_(kernel, "des56.c", 0),
+      d_(kernel, "des56.d", 0) {
+  clock.on_posedge([this] { control_proc(); });
+  clock.on_posedge([this] { keypath_proc(); });
+  clock.on_posedge([this] { datapath_proc(); });
+}
+
+// Acceptance, round counting and the handshake outputs. Timing (accept at
+// edge k): rounds run at k+1..k+16; rdy_next_next_cycle registers at k+15,
+// rdy_next_cycle at k+16, rdy (with out) at k+17.
+void Des56Rtl::control_proc() {
+  const bool busy = busy_.read();
+  const uint64_t round = round_.read();
+  if (busy) {
+    round_.write(round + 1);
+    rdy_next_next_cycle.write(round == 14);
+    rdy_next_cycle.write(round == 15);
+    if (round == 16) {
+      rdy.write(true);
+      busy_.write(false);
+    }
+  } else {
+    rdy.write(false);
+    rdy_next_cycle.write(false);
+    rdy_next_next_cycle.write(false);
+    if (ds.read()) {
+      busy_.write(true);
+      round_.write(0);
+      mode_dec_.write(decrypt.read());
+    }
+  }
+}
+
+// C/D key registers: loaded through PC1 on acceptance, rotated once per
+// round (left for encryption, right with the reversed schedule for
+// decryption).
+void Des56Rtl::keypath_proc() {
+  const bool busy = busy_.read();
+  if (!busy) {
+    if (ds.read()) {
+      const DesCd cd = des_key_load(key.read());
+      c_.write(cd.c);
+      d_.write(cd.d);
+    }
+    return;
+  }
+  const uint64_t round = round_.read();
+  if (round >= 16) return;
+  DesCd cd{static_cast<uint32_t>(c_.read()), static_cast<uint32_t>(d_.read())};
+  cd = mode_dec_.read()
+           ? des_cd_rotate_right(cd, kDesDecShifts[round])
+           : des_cd_rotate_left(cd, kDesEncShifts[round]);
+  c_.write(cd.c);
+  d_.write(cd.d);
+}
+
+// L/R data registers: IP on acceptance, one Feistel round per cycle, swap +
+// FP into the output register after round 16. The round key is derived
+// combinationally from the *post-rotation* C/D of this same edge, so the
+// datapath recomputes the rotation on its pre-edge view (exactly the
+// combinational cone a synthesized core would have).
+void Des56Rtl::datapath_proc() {
+  const bool busy = busy_.read();
+  if (!busy) {
+    if (ds.read()) {
+      const DesState state = des_load(indata.read());
+      l_.write(state.l);
+      r_.write(state.r);
+    }
+    return;
+  }
+  const uint64_t round = round_.read();
+  if (round < 16) {
+    DesCd cd{static_cast<uint32_t>(c_.read()), static_cast<uint32_t>(d_.read())};
+    cd = mode_dec_.read()
+             ? des_cd_rotate_right(cd, kDesDecShifts[round])
+             : des_cd_rotate_left(cd, kDesEncShifts[round]);
+    const uint64_t round_key = des_round_key(cd);
+    const uint32_t l = static_cast<uint32_t>(l_.read());
+    const uint32_t r = static_cast<uint32_t>(r_.read());
+    l_.write(r);
+    r_.write(l ^ des_feistel(r, round_key));
+  } else {
+    const DesState state{static_cast<uint32_t>(l_.read()),
+                         static_cast<uint32_t>(r_.read())};
+    out.write(des_unload(state));
+  }
+}
+
+void Des56Rtl::register_signals(abv::SignalBag& bag) const {
+  bag.add("ds", ds);
+  bag.add("indata", indata);
+  bag.add("key", key);
+  bag.add("decrypt", decrypt);
+  bag.add("out", out);
+  bag.add("rdy", rdy);
+  bag.add("rdy_next_cycle", rdy_next_cycle);
+  bag.add("rdy_next_next_cycle", rdy_next_next_cycle);
+}
+
+}  // namespace repro::models

@@ -1,0 +1,66 @@
+// RTL (signal-level, cycle-accurate) model of the DES56 IP.
+//
+// Port list mirrors the paper's Fig. 2(a): ds, indata, key, decrypt in;
+// out, rdy, rdy_next_cycle, rdy_next_next_cycle out.
+//
+// The model is structured the way HIFSuite-style VHDL-to-SystemC
+// translation structures an iterative DES core — three rising-edge
+// processes communicating through registered signals:
+//   * control  — operation acceptance, round counter, handshake outputs;
+//   * key path — C/D registers rotated once per round, PC2 combinational;
+//   * datapath — L/R registers through the Feistel round, IP/FP at the
+//     boundaries.
+// The extra signal traffic relative to the behavioural TLM-CA model is what
+// makes the RTL simulation measurably slower, as in the paper's Table I.
+//
+// Inputs are expected to be driven by a falling-edge (or earlier) process
+// so they are stable at the sampling edge, as in the bundled drivers.
+#ifndef REPRO_MODELS_DES56_DES56_RTL_H_
+#define REPRO_MODELS_DES56_DES56_RTL_H_
+
+#include "abv/rtl_env.h"
+#include "models/des56/des_core.h"
+#include "sim/clock.h"
+#include "sim/kernel.h"
+#include "sim/signal.h"
+
+namespace repro::models {
+
+class Des56Rtl {
+ public:
+  Des56Rtl(sim::Kernel& kernel, sim::Clock& clock);
+
+  // Input ports (driven by the testbench).
+  sim::Signal<bool> ds;
+  sim::Signal<uint64_t> indata;
+  sim::Signal<uint64_t> key;
+  sim::Signal<bool> decrypt;
+
+  // Output ports.
+  sim::Signal<uint64_t> out;
+  sim::Signal<bool> rdy;
+  sim::Signal<bool> rdy_next_cycle;
+  sim::Signal<bool> rdy_next_next_cycle;
+
+  // Registers all ports under their property names.
+  void register_signals(abv::SignalBag& bag) const;
+
+ private:
+  void control_proc();
+  void keypath_proc();
+  void datapath_proc();
+
+  // Internal registers (signals, so inter-process reads see pre-edge
+  // values exactly as in translated RTL).
+  sim::Signal<bool> busy_;
+  sim::Signal<uint64_t> round_;  // cycles since acceptance
+  sim::Signal<bool> mode_dec_;
+  sim::Signal<uint64_t> l_;
+  sim::Signal<uint64_t> r_;
+  sim::Signal<uint64_t> c_;
+  sim::Signal<uint64_t> d_;
+};
+
+}  // namespace repro::models
+
+#endif  // REPRO_MODELS_DES56_DES56_RTL_H_

@@ -1,0 +1,74 @@
+// DES-56 block cipher core (FIPS 46-3), exposed both as one-shot
+// encrypt/decrypt functions and as a per-round staged API so the RTL model
+// can execute exactly one round per clock cycle (the paper's DES56 IP has a
+// latency of 17 cycles: 1 load + 16 rounds).
+#ifndef REPRO_MODELS_DES56_DES_CORE_H_
+#define REPRO_MODELS_DES56_DES_CORE_H_
+
+#include <array>
+#include <cstdint>
+
+namespace repro::models {
+
+// The 16 48-bit round keys. For decryption the schedule is applied in
+// reverse order.
+using DesKeySchedule = std::array<uint64_t, 16>;
+
+// Derives the key schedule from a 64-bit key (parity bits ignored).
+DesKeySchedule des_key_schedule(uint64_t key);
+
+// Internal state after the initial permutation: (L, R) halves.
+struct DesState {
+  uint32_t l = 0;
+  uint32_t r = 0;
+
+  bool operator==(const DesState&) const = default;
+};
+
+// Initial permutation + split. The first pipeline stage of the RTL model.
+DesState des_load(uint64_t block);
+
+// One Feistel round with the given 48-bit round key.
+DesState des_round(DesState state, uint64_t round_key);
+
+// Half swap + final permutation. Applied after the 16th round.
+uint64_t des_unload(DesState state);
+
+// One-shot reference implementations, used by testbenches to check model
+// outputs and by tests against the FIPS 46 test vectors.
+uint64_t des_encrypt(uint64_t block, uint64_t key);
+uint64_t des_decrypt(uint64_t block, uint64_t key);
+
+// ---- Key-path staged API ----------------------------------------------------
+//
+// The signal-level RTL model registers the C/D key halves and rotates them
+// once per round, applying PC2 combinationally — the way iterative DES
+// hardware implements the key schedule. Decryption rotates right with the
+// reversed shift schedule (first decrypt round uses C16/D16 == C0/D0, hence
+// the leading 0).
+
+struct DesCd {
+  uint32_t c = 0;  // 28-bit halves
+  uint32_t d = 0;
+
+  bool operator==(const DesCd&) const = default;
+};
+
+// PC1: loads the key registers.
+DesCd des_key_load(uint64_t key);
+// One round of the key path: rotates per the round's schedule entry.
+DesCd des_cd_rotate_left(DesCd cd, int amount);
+DesCd des_cd_rotate_right(DesCd cd, int amount);
+// PC2: extracts the 48-bit round key from the C/D registers.
+uint64_t des_round_key(DesCd cd);
+// The Feistel function (expansion, key mix, S-boxes, permutation).
+uint32_t des_feistel(uint32_t r, uint64_t round_key);
+
+// Left-rotation amounts per encryption round; right-rotation amounts per
+// decryption round.
+extern const int kDesEncShifts[16];
+extern const int kDesDecShifts[16];
+
+}  // namespace repro::models
+
+#endif  // REPRO_MODELS_DES56_DES_CORE_H_

@@ -1,0 +1,83 @@
+#include "models/properties.h"
+
+#include <cassert>
+
+#include "psl/parser.h"
+
+namespace repro::models {
+
+const char kDes56PropertyText[] = R"(
+# DES56 RTL property suite (9 properties, clock period 10 ns).
+# p1..p3 follow Fig. 3 of the paper; p2 uses the boolean-operand-until form
+# (see des56_p2_paper() for the verbatim version).
+p1: always (!(ds && indata == 0) || next[17](out != 0)) @clk_pos;
+p2: always (!ds || next(!ds until rdy)) @clk_pos;
+p3: always (!ds || (next[15](rdy_next_next_cycle) && next[16](rdy_next_cycle)
+     && next[17](rdy))) @clk_pos;
+# Latency and handshake behaviour.
+p4: always (!ds || next(!rdy until rdy)) @clk_pos;
+p5: always (!ds || (!rdy until rdy)) @clk_pos;
+p6: always (!ds || next(rdy release !ds)) @clk_pos;
+# Guarded clock context (Def. III.2, clock_expr && var_expr form).
+p7: always (!ds || next[17](rdy)) @clk_pos && monitor_en;
+# rdy is a single-cycle pulse.
+p8: always (!rdy || next(!rdy)) @clk_pos;
+# Every accepted operation completes.
+p9: always (!ds || eventually! rdy) @clk_pos;
+)";
+
+const char kColorConvPropertyText[] = R"(
+# ColorConv RTL property suite (12 properties, clock period 10 ns).
+c1: always (!ds || next[8](rdy)) @clk_pos;
+c2: always (!ds || next[8](y <= 235)) @clk_pos;
+c3: always (!ds || next[8](y >= 16)) @clk_pos;
+c4: always (!(ds && r == 0 && g == 0 && b == 0)
+     || next[8](y == 16 && cb == 128 && cr == 128)) @clk_pos;
+c5: always (!(ds && r == 255 && g == 255 && b == 255) || next[8](y == 235)) @clk_pos;
+c6: always (!ds || (next[7](rdy_next_cycle) && next[8](rdy))) @clk_pos;
+c7: always (!(ds && sof) || (!rdy until rdy)) @clk_pos;
+c8: always (!rdy || (cb >= 16 && cb <= 240)) @clk_pos;
+c9: always (!rdy || (cr >= 16 && cr <= 240)) @clk_pos;
+c10: always (!rdy || (y >= 16 && y <= 235)) @clk_pos;
+c11: always (!(ds && sof) || eventually! rdy) @clk_pos;
+c12: always (!(ds && r == g && g == b) || next[8](cb == 128 && cr == 128)) @clk_pos;
+)";
+
+namespace {
+
+std::vector<psl::RtlProperty> parse_or_die(const char* text) {
+  auto parsed = psl::parse_rtl_property_file(text);
+  assert(parsed.ok() && "bundled property suite failed to parse");
+  return std::move(parsed).take();
+}
+
+}  // namespace
+
+PropertySuite des56_suite() {
+  PropertySuite suite;
+  suite.design = "DES56";
+  suite.properties = parse_or_die(kDes56PropertyText);
+  assert(suite.properties.size() == 9);
+  suite.abstracted_signals = {"rdy_next_cycle", "rdy_next_next_cycle"};
+  suite.clock_period_ns = 10;
+  return suite;
+}
+
+PropertySuite colorconv_suite() {
+  PropertySuite suite;
+  suite.design = "ColorConv";
+  suite.properties = parse_or_die(kColorConvPropertyText);
+  assert(suite.properties.size() == 12);
+  suite.abstracted_signals = {"rdy_next_cycle"};
+  suite.clock_period_ns = 10;
+  return suite;
+}
+
+psl::RtlProperty des56_p2_paper() {
+  auto parsed = psl::parse_rtl_property(
+      "p2_paper: always (!ds || next(!ds until next(rdy))) @clk_pos");
+  assert(parsed.ok());
+  return std::move(parsed).take();
+}
+
+}  // namespace repro::models

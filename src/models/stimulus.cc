@@ -1,0 +1,207 @@
+#include "models/stimulus.h"
+
+#include <algorithm>
+
+#include "support/rng.h"
+
+namespace repro::models {
+
+std::vector<DesOp> make_des_ops(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DesOp> ops;
+  ops.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    DesOp op;
+    op.indata = rng.chance(1, 8) ? 0 : rng.next();
+    op.key = rng.next();
+    op.decrypt = rng.chance(1, 2);
+    op.gap = static_cast<uint32_t>(rng.below(4));
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+Des56DriverModel::Des56DriverModel(const std::vector<DesOp>& ops) : ops_(ops) {
+  expected_.reserve(ops.size());
+  for (const DesOp& op : ops) {
+    expected_.push_back(op.decrypt ? des_decrypt(op.indata, op.key)
+                                   : des_encrypt(op.indata, op.key));
+  }
+  if (ops_.empty()) {
+    phase_ = Phase::kDone;
+  } else {
+    countdown_ = ops_.front().gap;
+  }
+}
+
+Des56Inputs Des56DriverModel::tick(bool rdy, uint64_t out) {
+  // Data inputs hold their last driven value while ds is low, exactly as
+  // the RTL signals would; this keeps the TLM observables timing-equivalent.
+  Des56Inputs in = held_;
+  in.ds = false;
+  if (phase_ == Phase::kWait && rdy) {
+    if (out != expected_[completed_]) ++mismatches_;
+    ++completed_;
+    if (index_ < ops_.size()) {
+      phase_ = Phase::kGap;
+      countdown_ = ops_[index_].gap;
+    } else {
+      phase_ = Phase::kDrain;
+      countdown_ = kDrainCycles;
+    }
+  }
+  switch (phase_) {
+    case Phase::kGap:
+      if (countdown_ == 0) {
+        const DesOp& op = ops_[index_++];
+        in.ds = true;
+        in.indata = op.indata;
+        in.key = op.key;
+        in.decrypt = op.decrypt;
+        held_ = in;
+        phase_ = Phase::kAssert;
+      } else {
+        --countdown_;
+      }
+      break;
+    case Phase::kAssert:
+      // ds was high for exactly one cycle; now wait for the result.
+      phase_ = Phase::kWait;
+      break;
+    case Phase::kWait:
+      break;
+    case Phase::kDrain:
+      if (countdown_ == 0) {
+        phase_ = Phase::kDone;
+      } else {
+        --countdown_;
+      }
+      break;
+    case Phase::kDone:
+      break;
+  }
+  return in;
+}
+
+std::vector<CcBurst> make_cc_bursts(size_t total_pixels, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CcBurst> bursts;
+  size_t produced = 0;
+  while (produced < total_pixels) {
+    CcBurst burst;
+    burst.gap = static_cast<uint32_t>(rng.range(9, 16));
+    const size_t len =
+        std::min<size_t>(rng.range(8, 48), total_pixels - produced);
+    burst.pixels.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      Pixel p;
+      switch (rng.below(8)) {
+        case 0:  // black: fires c4
+          break;
+        case 1:  // white: fires c5
+          p = {255, 255, 255};
+          break;
+        case 2: {  // grayscale: fires c12
+          const uint8_t v = static_cast<uint8_t>(rng.below(256));
+          p = {v, v, v};
+          break;
+        }
+        default:
+          p = {static_cast<uint8_t>(rng.below(256)),
+               static_cast<uint8_t>(rng.below(256)),
+               static_cast<uint8_t>(rng.below(256))};
+          break;
+      }
+      burst.pixels.push_back(p);
+    }
+    produced += len;
+    bursts.push_back(std::move(burst));
+  }
+  return bursts;
+}
+
+ColorConvDriverModel::ColorConvDriverModel(const std::vector<CcBurst>& bursts)
+    : bursts_(bursts) {
+  for (const CcBurst& burst : bursts_) {
+    for (const Pixel& p : burst.pixels) {
+      expected_.push_back(colorconv_ref(p.r, p.g, p.b));
+    }
+  }
+  if (bursts_.empty()) {
+    phase_ = Phase::kDone;
+  } else {
+    countdown_ = bursts_.front().gap;
+  }
+}
+
+ColorConvDrive ColorConvDriverModel::tick(bool rdy, uint8_t y, uint8_t cb,
+                                          uint8_t cr) {
+  if (rdy) {
+    const Ycbcr& expect = expected_[check_index_];
+    if (y != expect.y || cb != expect.cb || cr != expect.cr) ++mismatches_;
+    ++check_index_;
+    ++completed_;
+  }
+  ColorConvDrive drive;
+  drive.inputs = held_;
+  drive.inputs.ds = false;
+  switch (phase_) {
+    case Phase::kGap:
+      if (countdown_ == 0) {
+        const CcBurst& burst = bursts_[burst_];
+        const Pixel& p = burst.pixels[pixel_];
+        drive.inputs = {true, p.r, p.g, p.b};
+        held_ = drive.inputs;
+        drive.sof = pixel_ == 0;  // gap >= 9 guarantees an empty pipeline
+        ++issued_;
+        if (++pixel_ >= burst.pixels.size()) {
+          pixel_ = 0;
+          ++burst_;
+          if (burst_ >= bursts_.size()) {
+            phase_ = Phase::kDrain;
+            countdown_ = kDrainCycles;
+          } else {
+            phase_ = Phase::kGap;
+            countdown_ = bursts_[burst_].gap;
+          }
+        } else {
+          phase_ = Phase::kBurst;
+        }
+      } else {
+        --countdown_;
+      }
+      break;
+    case Phase::kBurst: {
+      const CcBurst& burst = bursts_[burst_];
+      const Pixel& p = burst.pixels[pixel_];
+      drive.inputs = {true, p.r, p.g, p.b};
+      held_ = drive.inputs;
+      drive.sof = false;
+      ++issued_;
+      if (++pixel_ >= burst.pixels.size()) {
+        pixel_ = 0;
+        ++burst_;
+        if (burst_ >= bursts_.size()) {
+          phase_ = Phase::kDrain;
+          countdown_ = kDrainCycles;
+        } else {
+          phase_ = Phase::kGap;
+          countdown_ = bursts_[burst_].gap;
+        }
+      }
+      break;
+    }
+    case Phase::kDrain:
+      if (countdown_ == 0) {
+        phase_ = Phase::kDone;
+      } else {
+        --countdown_;
+      }
+      break;
+    case Phase::kDone:
+      break;
+  }
+  return drive;
+}
+
+}  // namespace repro::models

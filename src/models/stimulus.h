@@ -1,0 +1,118 @@
+// Workload generation and drivers for the three abstraction levels.
+//
+// The same generated operation schedule drives the RTL, TLM-CA and TLM-AT
+// models; the per-cycle driver logic is factored into pure "driver model"
+// state machines so that the RTL testbench (signals, falling-edge process)
+// and the TLM-CA testbench (per-cycle transactions) produce bit- and
+// cycle-identical input streams — the precondition for timing equivalence
+// (Def. III.1). The TLM-AT drivers replay the same schedule on the
+// transaction timeline.
+#ifndef REPRO_MODELS_STIMULUS_H_
+#define REPRO_MODELS_STIMULUS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "models/colorconv/colorconv_core.h"
+#include "models/des56/des56_cycle.h"
+#include "models/des56/des_core.h"
+
+namespace repro::models {
+
+// ---- DES56 workload --------------------------------------------------------
+
+struct DesOp {
+  uint64_t indata = 0;
+  uint64_t key = 0;
+  bool decrypt = false;
+  uint32_t gap = 0;  // idle cycles before ds is asserted
+};
+
+// Deterministic schedule; roughly one op in eight encrypts the all-zero
+// block so that property p1 fires non-vacuously.
+std::vector<DesOp> make_des_ops(size_t count, uint64_t seed);
+
+// One-outstanding protocol state machine, advanced once per clock edge.
+// tick() receives the outputs observed at edge k and returns the inputs to
+// apply at edge k+1.
+class Des56DriverModel {
+ public:
+  explicit Des56DriverModel(const std::vector<DesOp>& ops);
+
+  Des56Inputs tick(bool rdy, uint64_t out);
+
+  // All operations issued, checked, and the drain window has elapsed.
+  bool done() const { return phase_ == Phase::kDone; }
+  size_t ops_completed() const { return completed_; }
+  size_t mismatches() const { return mismatches_; }
+  uint64_t expected_result(size_t op_index) const { return expected_[op_index]; }
+
+ private:
+  enum class Phase { kGap, kAssert, kWait, kDrain, kDone };
+
+  const std::vector<DesOp>& ops_;
+  std::vector<uint64_t> expected_;
+  Des56Inputs held_;  // last driven data values (ds excluded)
+  Phase phase_ = Phase::kGap;
+  size_t index_ = 0;      // next op to issue
+  size_t completed_ = 0;  // ops whose result has been checked
+  uint32_t countdown_ = 0;
+  size_t mismatches_ = 0;
+
+  static constexpr uint32_t kDrainCycles = 4;
+};
+
+// ---- ColorConv workload ----------------------------------------------------
+
+struct Pixel {
+  uint8_t r = 0, g = 0, b = 0;
+};
+
+struct CcBurst {
+  uint32_t gap = 9;  // idle cycles before the burst; >= 9 keeps sof exact
+  std::vector<Pixel> pixels;
+};
+
+// Deterministic bursts (lengths 4..24) seeded with the corner-case pixels
+// the properties fire on: black, white and grayscale.
+std::vector<CcBurst> make_cc_bursts(size_t total_pixels, uint64_t seed);
+
+struct ColorConvDrive {
+  ColorConvInputs inputs;
+  bool sof = false;  // first pixel of a burst entering an empty pipeline
+};
+
+// Streaming driver state machine; tick() semantics as for DES56.
+class ColorConvDriverModel {
+ public:
+  explicit ColorConvDriverModel(const std::vector<CcBurst>& bursts);
+
+  ColorConvDrive tick(bool rdy, uint8_t y, uint8_t cb, uint8_t cr);
+
+  bool done() const { return phase_ == Phase::kDone; }
+  size_t pixels_completed() const { return completed_; }
+  size_t mismatches() const { return mismatches_; }
+
+ private:
+  enum class Phase { kGap, kBurst, kDrain, kDone };
+
+  const std::vector<CcBurst>& bursts_;
+  std::vector<Ycbcr> expected_;  // FIFO of results awaited, by global index
+  ColorConvInputs held_;         // last driven pixel values (ds excluded)
+  size_t check_index_ = 0;
+  size_t issued_ = 0;
+  Phase phase_ = Phase::kGap;
+  size_t burst_ = 0;
+  size_t pixel_ = 0;
+  uint32_t countdown_ = 0;
+  size_t completed_ = 0;
+  size_t mismatches_ = 0;
+
+  static constexpr uint32_t kDrainCycles = 12;
+};
+
+}  // namespace repro::models
+
+#endif  // REPRO_MODELS_STIMULUS_H_

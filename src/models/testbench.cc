@@ -1,0 +1,522 @@
+#include "models/testbench.h"
+
+#include <cassert>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "abv/rtl_env.h"
+#include "abv/tlm_env.h"
+#include "models/colorconv/colorconv_rtl.h"
+#include "models/colorconv/colorconv_tlm_at.h"
+#include "models/colorconv/colorconv_tlm_ca.h"
+#include "models/des56/des56_rtl.h"
+#include "models/des56/des56_tlm_at.h"
+#include "models/des56/des56_tlm_ca.h"
+#include "models/properties.h"
+#include "models/stimulus.h"
+#include "sim/clock.h"
+#include "tlm/recorder.h"
+#include "tlm/socket.h"
+
+namespace repro::models {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr sim::Time kForever = ~sim::Time{0} / 2;
+
+// Selects the configured properties: explicit indices when given, otherwise
+// the first `checkers` entries of the suite.
+std::vector<psl::RtlProperty> pick(const PropertySuite& suite,
+                                   const RunConfig& config) {
+  std::vector<psl::RtlProperty> out;
+  if (!config.property_indices.empty()) {
+    for (size_t i : config.property_indices) {
+      if (i < suite.properties.size()) out.push_back(suite.properties[i]);
+    }
+    return out;
+  }
+  const size_t n = std::min(config.checkers, suite.properties.size());
+  return {suite.properties.begin(), suite.properties.begin() + n};
+}
+
+bool abv_enabled(const RunConfig& config) {
+  return config.checkers > 0 || !config.property_indices.empty();
+}
+
+// Abstracts the selected properties for TLM-AT; returns the non-deleted ones
+// and counts deletions.
+std::vector<psl::TlmProperty> abstract_for_at(const RunConfig& config,
+                                              const PropertySuite& suite,
+                                              size_t& deleted) {
+  rewrite::AbstractionOptions options;
+  options.clock_period_ns = suite.clock_period_ns;
+  options.abstracted_signals = suite.abstracted_signals;
+  options.push_mode = config.push_mode;
+  std::vector<psl::TlmProperty> out;
+  deleted = 0;
+  for (const psl::RtlProperty& p : pick(suite, config)) {
+    rewrite::AbstractionOutcome outcome = rewrite::abstract_property(p, options);
+    if (outcome.deleted()) {
+      ++deleted;
+    } else {
+      out.push_back(*outcome.property);
+    }
+  }
+  return out;
+}
+
+// ---- DES56 -----------------------------------------------------------------
+
+RunResult run_des56_rtl(const RunConfig& config, const PropertySuite& suite) {
+  sim::Kernel kernel;
+  sim::Clock clock(kernel, "clk", config.clock_period_ns, 0);
+  Des56Rtl duv(kernel, clock);
+  sim::Signal<bool> monitor_en(kernel, "monitor_en", true);
+
+  const std::vector<DesOp> ops = make_des_ops(config.workload, config.seed);
+  Des56DriverModel driver(ops);
+  clock.on_negedge([&] {
+    if (driver.done()) {
+      kernel.stop();
+      return;
+    }
+    const Des56Inputs in = driver.tick(duv.rdy.read(), duv.out.read());
+    duv.ds.write(in.ds);
+    if (in.ds) {
+      duv.indata.write(in.indata);
+      duv.key.write(in.key);
+      duv.decrypt.write(in.decrypt);
+    }
+  });
+
+  abv::SignalBag bag;
+  duv.register_signals(bag);
+  bag.add("monitor_en", monitor_en);
+  abv::RtlAbvEnv env(kernel, bag);
+  if (abv_enabled(config)) {
+    for (const psl::RtlProperty& p : pick(suite, config)) {
+      env.add_property(p);
+    }
+    env.attach(clock);
+  }
+
+  RunResult result;
+  const auto t0 = Clock::now();
+  kernel.run(kForever);
+  env.finish();
+  result.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  result.sim_end_ns = kernel.now();
+  result.kernel_events = kernel.events_executed();
+  result.delta_cycles = kernel.delta_cycles();
+  result.ops_completed = driver.ops_completed();
+  result.mismatches = driver.mismatches();
+  result.functional_ok =
+      driver.mismatches() == 0 && driver.ops_completed() == ops.size();
+  result.report = env.report();
+  result.properties_ok = env.all_ok();
+  return result;
+}
+
+RunResult run_des56_tlm_ca(const RunConfig& config, const PropertySuite& suite) {
+  sim::Kernel kernel;
+  tlm::TransactionRecorder recorder(kernel);
+  Des56TlmCa target;
+  target.set_static_observable("monitor_en", 1);
+  tlm::InitiatorSocket socket(kernel, &recorder, "des56_ca");
+  socket.bind(target);
+
+  const std::vector<DesOp> ops = make_des_ops(config.workload, config.seed);
+  Des56DriverModel driver(ops);
+
+  abv::TlmAbvEnv env(suite.clock_period_ns);
+  if (abv_enabled(config)) {
+    // TLM-CA rows of Table I: the original RTL properties, unabstracted,
+    // replayed on the per-cycle transaction stream.
+    for (const psl::RtlProperty& p : pick(suite, config)) {
+      env.add_rtl_property(p);
+    }
+    env.attach(recorder);
+  }
+
+  // Per-cycle transaction loop. Inputs at edge k+1 derive from the outputs
+  // returned by the edge-k transaction, exactly like the RTL driver.
+  auto next_inputs = std::make_shared<Des56Inputs>();
+  auto payload = std::make_shared<tlm::Payload>();
+  std::function<void()> cycle = [&kernel, &socket, &driver, next_inputs, payload,
+                                 &config, &cycle] {
+    if (driver.done()) {
+      kernel.stop();
+      return;
+    }
+    payload->command = tlm::Command::kWrite;
+    payload->data.assign({next_inputs->ds ? uint64_t{1} : 0, next_inputs->indata,
+                          next_inputs->key,
+                          next_inputs->decrypt ? uint64_t{1} : 0});
+    socket.transport(*payload);
+    const bool rdy = payload->data[1] != 0;
+    const uint64_t out = payload->data[0];
+    *next_inputs = driver.tick(rdy, out);
+    kernel.schedule_at(kernel.now() + config.clock_period_ns, cycle);
+  };
+  kernel.schedule_at(0, cycle);
+
+  RunResult result;
+  const auto t0 = Clock::now();
+  kernel.run(kForever);
+  env.finish();
+  result.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  result.sim_end_ns = kernel.now();
+  result.kernel_events = kernel.events_executed();
+  result.delta_cycles = kernel.delta_cycles();
+  result.transactions = recorder.transactions();
+  result.ops_completed = driver.ops_completed();
+  result.mismatches = driver.mismatches();
+  result.functional_ok =
+      driver.mismatches() == 0 && driver.ops_completed() == ops.size();
+  result.report = env.report();
+  result.properties_ok = env.all_ok();
+  return result;
+}
+
+RunResult run_des56_tlm_at(const RunConfig& config, const PropertySuite& suite) {
+  sim::Kernel kernel;
+  tlm::TransactionRecorder recorder(kernel);
+  Des56TlmAt target(kernel, &recorder, config.clock_period_ns);
+  target.set_static_observable("monitor_en", 1);
+  tlm::InitiatorSocket socket(kernel, &recorder, "des56_at");
+  socket.bind(target);
+
+  const std::vector<DesOp> ops = make_des_ops(config.workload, config.seed);
+  std::vector<uint64_t> expected;
+  expected.reserve(ops.size());
+  for (const DesOp& op : ops) {
+    expected.push_back(op.decrypt ? des_decrypt(op.indata, op.key)
+                                  : des_encrypt(op.indata, op.key));
+  }
+
+  RunResult result;
+  size_t deleted = 0;
+  abv::TlmAbvEnv env(suite.clock_period_ns);
+  if (abv_enabled(config)) {
+    if (config.at_replay_unabstracted) {
+      for (const psl::RtlProperty& p : pick(suite, config)) {
+        env.add_rtl_property(p);
+      }
+    } else {
+      for (const psl::TlmProperty& q : abstract_for_at(config, suite, deleted)) {
+        env.add_property(q);
+      }
+    }
+    env.attach(recorder);
+  }
+  result.properties_deleted = deleted;
+
+  const sim::Time c = config.clock_period_ns;
+  auto op_index = std::make_shared<size_t>(0);
+  auto completed = std::make_shared<size_t>(0);
+  auto mismatches = std::make_shared<size_t>(0);
+  std::function<void()> submit = [&, op_index, completed, mismatches] {
+    const size_t i = (*op_index)++;
+    tlm::Payload write;
+    write.command = tlm::Command::kWrite;
+    write.data = {ops[i].indata, ops[i].key, ops[i].decrypt ? uint64_t{1} : 0};
+    socket.transport(write);
+    tlm::Payload read;
+    read.command = tlm::Command::kRead;
+    const sim::Time done = socket.transport(read);
+    if (read.data.empty() || read.data[0] != expected[i]) ++(*mismatches);
+    ++(*completed);
+    if (i + 1 < ops.size()) {
+      // Same schedule as the RTL driver: ds_{i+1} rises 18 + gap cycles
+      // after ds_i.
+      kernel.schedule_at(kernel.now() + (18 + ops[i + 1].gap) * c, submit);
+    } else {
+      kernel.schedule_at(done + 4 * c, [&kernel] { kernel.stop(); });
+    }
+  };
+  if (!ops.empty()) {
+    kernel.schedule_at((ops[0].gap + 1) * c, submit);
+  }
+
+  const auto t0 = Clock::now();
+  kernel.run(kForever);
+  env.finish();
+  result.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  result.sim_end_ns = kernel.now();
+  result.kernel_events = kernel.events_executed();
+  result.delta_cycles = kernel.delta_cycles();
+  result.transactions = recorder.transactions();
+  result.ops_completed = *completed;
+  result.mismatches = *mismatches;
+  result.functional_ok = *mismatches == 0 && *completed == ops.size();
+  result.report = env.report();
+  result.properties_ok = env.all_ok();
+  return result;
+}
+
+// ---- ColorConv --------------------------------------------------------------
+
+RunResult run_colorconv_rtl(const RunConfig& config, const PropertySuite& suite) {
+  sim::Kernel kernel;
+  sim::Clock clock(kernel, "clk", config.clock_period_ns, 0);
+  ColorConvRtl duv(kernel, clock);
+  sim::Signal<bool> sof(kernel, "sof", false);
+  sim::Signal<bool> monitor_en(kernel, "monitor_en", true);
+
+  const std::vector<CcBurst> bursts = make_cc_bursts(config.workload, config.seed);
+  size_t total_pixels = 0;
+  for (const CcBurst& b : bursts) total_pixels += b.pixels.size();
+  ColorConvDriverModel driver(bursts);
+  clock.on_negedge([&] {
+    if (driver.done()) {
+      kernel.stop();
+      return;
+    }
+    const ColorConvDrive drive =
+        driver.tick(duv.rdy.read(), static_cast<uint8_t>(duv.y.read()),
+                    static_cast<uint8_t>(duv.cb.read()),
+                    static_cast<uint8_t>(duv.cr.read()));
+    duv.ds.write(drive.inputs.ds);
+    duv.r.write(drive.inputs.r);
+    duv.g.write(drive.inputs.g);
+    duv.b.write(drive.inputs.b);
+    sof.write(drive.sof);
+  });
+
+  abv::SignalBag bag;
+  duv.register_signals(bag);
+  bag.add("sof", sof);
+  bag.add("monitor_en", monitor_en);
+  abv::RtlAbvEnv env(kernel, bag);
+  if (abv_enabled(config)) {
+    for (const psl::RtlProperty& p : pick(suite, config)) {
+      env.add_property(p);
+    }
+    env.attach(clock);
+  }
+
+  RunResult result;
+  const auto t0 = Clock::now();
+  kernel.run(kForever);
+  env.finish();
+  result.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  result.sim_end_ns = kernel.now();
+  result.kernel_events = kernel.events_executed();
+  result.delta_cycles = kernel.delta_cycles();
+  result.ops_completed = driver.pixels_completed();
+  result.mismatches = driver.mismatches();
+  result.functional_ok =
+      driver.mismatches() == 0 && driver.pixels_completed() == total_pixels;
+  result.report = env.report();
+  result.properties_ok = env.all_ok();
+  return result;
+}
+
+RunResult run_colorconv_tlm_ca(const RunConfig& config,
+                               const PropertySuite& suite) {
+  sim::Kernel kernel;
+  tlm::TransactionRecorder recorder(kernel);
+  ColorConvTlmCa target;
+  target.set_static_observable("monitor_en", 1);
+  tlm::InitiatorSocket socket(kernel, &recorder, "colorconv_ca");
+  socket.bind(target);
+
+  const std::vector<CcBurst> bursts = make_cc_bursts(config.workload, config.seed);
+  size_t total_pixels = 0;
+  for (const CcBurst& b : bursts) total_pixels += b.pixels.size();
+  ColorConvDriverModel driver(bursts);
+
+  abv::TlmAbvEnv env(suite.clock_period_ns);
+  if (abv_enabled(config)) {
+    for (const psl::RtlProperty& p : pick(suite, config)) {
+      env.add_rtl_property(p);
+    }
+    env.attach(recorder);
+  }
+
+  auto next_drive = std::make_shared<ColorConvDrive>();
+  auto payload = std::make_shared<tlm::Payload>();
+  std::function<void()> cycle = [&kernel, &socket, &driver, next_drive, payload,
+                                 &config, &cycle] {
+    if (driver.done()) {
+      kernel.stop();
+      return;
+    }
+    payload->command = tlm::Command::kWrite;
+    payload->data.assign({next_drive->inputs.ds ? uint64_t{1} : 0,
+                          uint64_t{next_drive->inputs.r},
+                          uint64_t{next_drive->inputs.g},
+                          uint64_t{next_drive->inputs.b},
+                          next_drive->sof ? uint64_t{1} : 0});
+    socket.transport(*payload);
+    const bool rdy = payload->data[0] != 0;
+    *next_drive = driver.tick(rdy, static_cast<uint8_t>(payload->data[1]),
+                              static_cast<uint8_t>(payload->data[2]),
+                              static_cast<uint8_t>(payload->data[3]));
+    kernel.schedule_at(kernel.now() + config.clock_period_ns, cycle);
+  };
+  kernel.schedule_at(0, cycle);
+
+  RunResult result;
+  const auto t0 = Clock::now();
+  kernel.run(kForever);
+  env.finish();
+  result.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  result.sim_end_ns = kernel.now();
+  result.kernel_events = kernel.events_executed();
+  result.delta_cycles = kernel.delta_cycles();
+  result.transactions = recorder.transactions();
+  result.ops_completed = driver.pixels_completed();
+  result.mismatches = driver.mismatches();
+  result.functional_ok =
+      driver.mismatches() == 0 && driver.pixels_completed() == total_pixels;
+  result.report = env.report();
+  result.properties_ok = env.all_ok();
+  return result;
+}
+
+RunResult run_colorconv_tlm_at(const RunConfig& config,
+                               const PropertySuite& suite) {
+  sim::Kernel kernel;
+  tlm::TransactionRecorder recorder(kernel);
+  ColorConvTlmAt target(kernel, &recorder, config.clock_period_ns);
+  target.set_static_observable("monitor_en", 1);
+  tlm::InitiatorSocket socket(kernel, &recorder, "colorconv_at");
+  socket.bind(target);
+
+  const std::vector<CcBurst> bursts = make_cc_bursts(config.workload, config.seed);
+  size_t total_pixels = 0;
+  for (const CcBurst& b : bursts) total_pixels += b.pixels.size();
+
+  RunResult result;
+  size_t deleted = 0;
+  abv::TlmAbvEnv env(suite.clock_period_ns);
+  if (abv_enabled(config)) {
+    if (config.at_replay_unabstracted) {
+      for (const psl::RtlProperty& p : pick(suite, config)) {
+        env.add_rtl_property(p);
+      }
+    } else {
+      for (const psl::TlmProperty& q : abstract_for_at(config, suite, deleted)) {
+        env.add_property(q);
+      }
+    }
+    env.attach(recorder);
+  }
+  result.properties_deleted = deleted;
+
+  // Temporally-decoupled initiator (TLM-2.0 LT style): a whole burst is
+  // issued from a single kernel event, with local time offsets carried in
+  // the transport delay. Record delivery times are unchanged, so the
+  // verification environment sees the exact same event stream as before.
+  const sim::Time c = config.clock_period_ns;
+  auto burst_index = std::make_shared<size_t>(0);
+  auto completed = std::make_shared<size_t>(0);
+  auto mismatches = std::make_shared<size_t>(0);
+  auto write = std::make_shared<tlm::Payload>();
+  auto read = std::make_shared<tlm::Payload>();
+  std::function<void()> burst_fn = [&, burst_index, completed, mismatches, write,
+                                    read] {
+    const CcBurst& burst = bursts[*burst_index];
+    const sim::Time t0 = kernel.now();
+    const size_t n = burst.pixels.size();
+    for (size_t i = 0; i < n; ++i) {
+      const Pixel& p = burst.pixels[i];
+      write->command = tlm::Command::kWrite;
+      write->data.assign({uint64_t{p.r}, uint64_t{p.g}, uint64_t{p.b},
+                          i == 0 ? uint64_t{1} : uint64_t{0}});
+      sim::Time write_delay = i * c;
+      socket.transport(*write, write_delay);
+      read->command = tlm::Command::kRead;
+      read->data.clear();
+      // Mid-burst, pixel i's result instant (i*c + 8c) coincides with the
+      // write of pixel i+8, whose record carries the identical full
+      // snapshot; the read phase is then silent to avoid a duplicated
+      // evaluation point.
+      read->record = i + ColorConvTlmAt::kLatencyCycles >= n;
+      sim::Time read_delay = i * c;
+      socket.transport(*read, read_delay);
+      const Ycbcr expect = colorconv_ref(p.r, p.g, p.b);
+      if (read->data.size() != 3 || read->data[0] != expect.y ||
+          read->data[1] != expect.cb || read->data[2] != expect.cr) {
+        ++(*mismatches);
+      }
+      ++(*completed);
+    }
+    // Mark the ds and rdy falling instants (Def. III.1).
+    target.emit_idle(t0 + n * c);
+    target.emit_idle(t0 + (n + ColorConvTlmAt::kLatencyCycles) * c);
+    ++(*burst_index);
+    if (*burst_index < bursts.size()) {
+      kernel.schedule_at(t0 + (n + bursts[*burst_index].gap) * c, burst_fn);
+    } else {
+      kernel.schedule_at(t0 + (n + 4 + ColorConvTlmAt::kLatencyCycles) * c,
+                         [&kernel] { kernel.stop(); });
+    }
+  };
+  if (!bursts.empty()) {
+    kernel.schedule_at((bursts[0].gap + 1) * c, burst_fn);
+  }
+
+  const auto t0 = Clock::now();
+  kernel.run(kForever);
+  env.finish();
+  result.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  result.sim_end_ns = kernel.now();
+  result.kernel_events = kernel.events_executed();
+  result.delta_cycles = kernel.delta_cycles();
+  result.transactions = recorder.transactions();
+  result.ops_completed = *completed;
+  result.mismatches = *mismatches;
+  result.functional_ok = *mismatches == 0 && *completed == total_pixels;
+  result.report = env.report();
+  result.properties_ok = env.all_ok();
+  return result;
+}
+
+}  // namespace
+
+const char* to_string(Design d) {
+  switch (d) {
+    case Design::kDes56: return "DES56";
+    case Design::kColorConv: return "ColorConv";
+  }
+  return "?";
+}
+
+const char* to_string(Level l) {
+  switch (l) {
+    case Level::kRtl: return "RTL";
+    case Level::kTlmCa: return "TLM-CA";
+    case Level::kTlmAt: return "TLM-AT";
+  }
+  return "?";
+}
+
+RunResult run_simulation(const RunConfig& config) {
+  const PropertySuite suite =
+      config.design == Design::kDes56 ? des56_suite() : colorconv_suite();
+  switch (config.design) {
+    case Design::kDes56:
+      switch (config.level) {
+        case Level::kRtl: return run_des56_rtl(config, suite);
+        case Level::kTlmCa: return run_des56_tlm_ca(config, suite);
+        case Level::kTlmAt: return run_des56_tlm_at(config, suite);
+      }
+      break;
+    case Design::kColorConv:
+      switch (config.level) {
+        case Level::kRtl: return run_colorconv_rtl(config, suite);
+        case Level::kTlmCa: return run_colorconv_tlm_ca(config, suite);
+        case Level::kTlmAt: return run_colorconv_tlm_at(config, suite);
+      }
+      break;
+  }
+  assert(false && "unreachable");
+  return {};
+}
+
+}  // namespace repro::models

@@ -1,0 +1,150 @@
+#include "psl/lexer.h"
+
+#include <cctype>
+
+namespace repro::psl {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto push = [&](TokenKind kind, size_t at, std::string text = "") {
+    tokens.push_back({kind, std::move(text), 0, static_cast<int>(at)});
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: '#' or '--' to end of line.
+    if (c == '#' || (c == '-' && i + 1 < n && input[i + 1] == '-')) {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (ident_start(c)) {
+      size_t j = i + 1;
+      while (j < n && ident_char(input[j])) ++j;
+      std::string text(input.substr(i, j - i));
+      // Strong-operator suffix: eventually! / until! are single tokens.
+      if (j < n && input[j] == '!' &&
+          (text == "eventually" || text == "until" || text == "abort")) {
+        text += '!';
+        ++j;
+      }
+      push(TokenKind::kIdent, start, std::move(text));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      uint64_t value = 0;
+      if (c == '0' && i + 1 < n && (input[i + 1] == 'x' || input[i + 1] == 'X')) {
+        j = i + 2;
+        if (j >= n || !std::isxdigit(static_cast<unsigned char>(input[j]))) {
+          return Error{"malformed hex literal", static_cast<int>(i)};
+        }
+        while (j < n && std::isxdigit(static_cast<unsigned char>(input[j]))) {
+          value = value * 16 + (std::isdigit(static_cast<unsigned char>(input[j]))
+                                    ? input[j] - '0'
+                                    : (std::tolower(input[j]) - 'a' + 10));
+          ++j;
+        }
+      } else {
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+          value = value * 10 + (input[j] - '0');
+          ++j;
+        }
+      }
+      Token t{TokenKind::kNumber, std::string(input.substr(i, j - i)), value,
+              static_cast<int>(start)};
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenKind::kLParen, start); ++i; break;
+      case ')': push(TokenKind::kRParen, start); ++i; break;
+      case '[': push(TokenKind::kLBracket, start); ++i; break;
+      case ']': push(TokenKind::kRBracket, start); ++i; break;
+      case ',': push(TokenKind::kComma, start); ++i; break;
+      case ':': push(TokenKind::kColon, start); ++i; break;
+      case ';': push(TokenKind::kSemicolon, start); ++i; break;
+      case '@': push(TokenKind::kAt, start); ++i; break;
+      case '&':
+        i += (i + 1 < n && input[i + 1] == '&') ? 2 : 1;
+        push(TokenKind::kAnd, start);
+        break;
+      case '|':
+        i += (i + 1 < n && input[i + 1] == '|') ? 2 : 1;
+        push(TokenKind::kOr, start);
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kNot, start);
+          ++i;
+        }
+        break;
+      case '=':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kEq, start);
+          i += 2;
+        } else {
+          // Accept single '=' as equality: the paper writes `indata = 0`.
+          push(TokenKind::kEq, start);
+          ++i;
+        }
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kLe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++i;
+        }
+        break;
+      case '-':
+        if (i + 1 < n && input[i + 1] == '>') {
+          push(TokenKind::kImplies, start);
+          i += 2;
+        } else {
+          return Error{"unexpected '-'", static_cast<int>(i)};
+        }
+        break;
+      default:
+        return Error{std::string("unexpected character '") + c + "'",
+                     static_cast<int>(i)};
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return tokens;
+}
+
+}  // namespace repro::psl

@@ -1,0 +1,46 @@
+// Tokenizer for the PSL-like concrete syntax:
+//
+//   p3: always (!ds || (next[15](rdy_nnc) && next[16](rdy_nc))) @clk_pos
+//
+// Keywords: always, eventually!, next, next_e, until, until!, release,
+// true, false. Comments start with '#' or '--' and run to end of line.
+#ifndef REPRO_PSL_LEXER_H_
+#define REPRO_PSL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace repro::psl {
+
+enum class TokenKind {
+  kIdent,     // signal names and keywords (keyword detection is contextual)
+  kNumber,
+  kLParen, kRParen, kLBracket, kRBracket,
+  kComma, kColon, kSemicolon,
+  kNot,        // !
+  kAnd,        // && or &
+  kOr,         // || or |
+  kImplies,    // ->
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAt,         // @
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier text or number literal
+  uint64_t value = 0; // for kNumber
+  int position = 0;   // byte offset in input
+};
+
+// Tokenizes `input`; returns an Error on any malformed character or number.
+// The result always ends with a kEnd token.
+Result<std::vector<Token>> tokenize(std::string_view input);
+
+}  // namespace repro::psl
+
+#endif  // REPRO_PSL_LEXER_H_

@@ -1,0 +1,373 @@
+#include "psl/parser.h"
+
+#include <cassert>
+
+#include "psl/lexer.h"
+#include "support/strutil.h"
+
+namespace repro::psl {
+namespace {
+
+bool is_keyword(const std::string& text) {
+  return text == "always" || text == "eventually!" || text == "never" ||
+         text == "next" || text == "next_e" || text == "until" ||
+         text == "until!" || text == "release" || text == "abort" ||
+         text == "abort!" || text == "true" || text == "false";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> expr() { return always_expr(); }
+
+  const Token& peek() const { return tokens_[pos_]; }
+  bool at_end() const { return peek().kind == TokenKind::kEnd; }
+
+  bool accept(TokenKind kind) {
+    if (peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool accept_ident(std::string_view text) {
+    if (peek().kind != TokenKind::kIdent || peek().text != text) return false;
+    ++pos_;
+    return true;
+  }
+
+  Error err(std::string message) const {
+    return Error{std::move(message), peek().position};
+  }
+
+  // context := ('true'|'clk'|'clk_pos'|'clk_neg'|'Tb') ['&&' expr]
+  // Returns a ClockContext; `is_tlm` is set when the base was Tb.
+  Result<ClockContext> context(bool& is_tlm) {
+    is_tlm = false;
+    ClockContext ctx;
+    if (peek().kind != TokenKind::kIdent) {
+      return err("expected clock or transaction context after '@'");
+    }
+    const std::string base = peek().text;
+    if (base == "true") {
+      ctx.kind = ClockContext::Kind::kTrue;
+    } else if (base == "clk") {
+      ctx.kind = ClockContext::Kind::kClk;
+    } else if (base == "clk_pos") {
+      ctx.kind = ClockContext::Kind::kClkPos;
+    } else if (base == "clk_neg") {
+      ctx.kind = ClockContext::Kind::kClkNeg;
+    } else if (base == "Tb") {
+      is_tlm = true;
+    } else {
+      return err("unknown context base '" + base + "'");
+    }
+    ++pos_;
+    if (accept(TokenKind::kAnd)) {
+      auto guard = always_expr();
+      if (!guard.ok()) return guard.error();
+      if (!is_boolean(guard.value())) {
+        return err("context guard must be a boolean expression");
+      }
+      ctx.guard = std::move(guard).take();
+    }
+    return ctx;
+  }
+
+ private:
+  Result<ExprPtr> always_expr() {
+    if (accept_ident("always")) {
+      auto body = always_expr();
+      if (!body.ok()) return body;
+      return always(std::move(body).take());
+    }
+    if (accept_ident("eventually!")) {
+      auto body = always_expr();
+      if (!body.ok()) return body;
+      return eventually(std::move(body).take());
+    }
+    if (accept_ident("never")) {
+      // Sugar: never p == always !p.
+      auto body = always_expr();
+      if (!body.ok()) return body;
+      return always(not_(std::move(body).take()));
+    }
+    return impl_expr();
+  }
+
+  Result<ExprPtr> impl_expr() {
+    auto lhs = until_expr();
+    if (!lhs.ok()) return lhs;
+    if (accept(TokenKind::kImplies)) {
+      auto rhs = impl_expr();
+      if (!rhs.ok()) return rhs;
+      return implies(std::move(lhs).take(), std::move(rhs).take());
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> until_expr() {
+    auto lhs = or_expr();
+    if (!lhs.ok()) return lhs;
+    if (peek().kind == TokenKind::kIdent) {
+      const std::string& text = peek().text;
+      if (text == "until" || text == "until!") {
+        const bool strong = text == "until!";
+        ++pos_;
+        auto rhs = until_expr();
+        if (!rhs.ok()) return rhs;
+        return until(std::move(lhs).take(), std::move(rhs).take(), strong);
+      }
+      if (text == "release") {
+        ++pos_;
+        auto rhs = until_expr();
+        if (!rhs.ok()) return rhs;
+        return release(std::move(lhs).take(), std::move(rhs).take());
+      }
+      if (text == "abort" || text == "abort!") {
+        const bool strong = text == "abort!";
+        ++pos_;
+        auto rhs = until_expr();
+        if (!rhs.ok()) return rhs;
+        if (!is_boolean(rhs.value())) {
+          return err("abort condition must be a boolean expression");
+        }
+        return abort_(std::move(lhs).take(), std::move(rhs).take(), strong);
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> or_expr() {
+    auto lhs = and_expr();
+    if (!lhs.ok()) return lhs;
+    while (accept(TokenKind::kOr)) {
+      auto rhs = and_expr();
+      if (!rhs.ok()) return rhs;
+      lhs = or_(std::move(lhs).take(), std::move(rhs).take());
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> and_expr() {
+    auto lhs = not_expr();
+    if (!lhs.ok()) return lhs;
+    while (accept(TokenKind::kAnd)) {
+      auto rhs = not_expr();
+      if (!rhs.ok()) return rhs;
+      lhs = and_(std::move(lhs).take(), std::move(rhs).take());
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> not_expr() {
+    if (accept(TokenKind::kNot)) {
+      auto body = not_expr();
+      if (!body.ok()) return body;
+      return not_(std::move(body).take());
+    }
+    return primary();
+  }
+
+  Result<ExprPtr> primary() {
+    const Token& t = peek();
+    if (t.kind == TokenKind::kLParen) {
+      ++pos_;
+      auto body = always_expr();
+      if (!body.ok()) return body;
+      if (!accept(TokenKind::kRParen)) return err("expected ')'");
+      return body;
+    }
+    if (t.kind != TokenKind::kIdent) {
+      return err("expected expression");
+    }
+    // always / eventually! are accepted as (greedy) prefixes in any
+    // subexpression position, e.g. `!ds || eventually! rdy`.
+    if (t.text == "always" || t.text == "eventually!" || t.text == "never") {
+      return always_expr();
+    }
+    if (t.text == "true") {
+      ++pos_;
+      return const_true();
+    }
+    if (t.text == "false") {
+      ++pos_;
+      return const_false();
+    }
+    if (t.text == "next") {
+      ++pos_;
+      uint32_t n = 1;
+      if (accept(TokenKind::kLBracket)) {
+        if (peek().kind != TokenKind::kNumber) return err("expected repetition count");
+        if (peek().value == 0) return err("next[0] is not allowed");
+        n = static_cast<uint32_t>(peek().value);
+        ++pos_;
+        if (!accept(TokenKind::kRBracket)) return err("expected ']'");
+      }
+      if (!accept(TokenKind::kLParen)) return err("expected '(' after next");
+      auto body = always_expr();
+      if (!body.ok()) return body;
+      if (!accept(TokenKind::kRParen)) return err("expected ')'");
+      return next(n, std::move(body).take());
+    }
+    if (t.text == "next_e") {
+      ++pos_;
+      if (!accept(TokenKind::kLBracket)) return err("expected '[' after next_e");
+      if (peek().kind != TokenKind::kNumber) return err("expected tau");
+      const uint32_t tau = static_cast<uint32_t>(peek().value);
+      ++pos_;
+      if (!accept(TokenKind::kComma)) return err("expected ','");
+      if (peek().kind != TokenKind::kNumber) return err("expected eps");
+      const TimeNs eps = peek().value;
+      ++pos_;
+      if (eps == 0) return err("next_e requires eps >= 1 ns");
+      if (!accept(TokenKind::kRBracket)) return err("expected ']'");
+      if (!accept(TokenKind::kLParen)) return err("expected '(' after next_e[...]");
+      auto body = always_expr();
+      if (!body.ok()) return body;
+      if (!accept(TokenKind::kRParen)) return err("expected ')'");
+      return next_eps(tau, eps, std::move(body).take());
+    }
+    if (is_keyword(t.text)) {
+      return err("unexpected keyword '" + t.text + "'");
+    }
+    // Atom: ident [cmpop (num | ident)]
+    Atom a;
+    a.lhs = t.text;
+    ++pos_;
+    CmpOp op = CmpOp::kTruthy;
+    switch (peek().kind) {
+      case TokenKind::kEq: op = CmpOp::kEq; break;
+      case TokenKind::kNe: op = CmpOp::kNe; break;
+      case TokenKind::kLt: op = CmpOp::kLt; break;
+      case TokenKind::kLe: op = CmpOp::kLe; break;
+      case TokenKind::kGt: op = CmpOp::kGt; break;
+      case TokenKind::kGe: op = CmpOp::kGe; break;
+      default:
+        return atom(std::move(a));
+    }
+    ++pos_;
+    a.op = op;
+    if (peek().kind == TokenKind::kNumber) {
+      a.rhs_value = peek().value;
+      ++pos_;
+    } else if (peek().kind == TokenKind::kIdent && !is_keyword(peek().text)) {
+      a.rhs_is_signal = true;
+      a.rhs_signal = peek().text;
+      ++pos_;
+    } else {
+      return err("expected number or signal after comparison operator");
+    }
+    return atom(std::move(a));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+struct ParsedProperty {
+  std::string name;
+  ExprPtr formula;
+  ClockContext context;
+  bool is_tlm = false;
+};
+
+Result<ParsedProperty> parse_one(Parser& parser) {
+  ParsedProperty out;
+  // Optional `name:` prefix.
+  if (parser.peek().kind == TokenKind::kIdent && !is_keyword(parser.peek().text)) {
+    const Token name_tok = parser.peek();
+    // Lookahead: ident ':' means a property name.
+    Parser probe = parser;  // cheap copy: token vector shared by value
+    probe.accept(TokenKind::kIdent);
+    if (probe.accept(TokenKind::kColon)) {
+      parser.accept(TokenKind::kIdent);
+      parser.accept(TokenKind::kColon);
+      out.name = name_tok.text;
+    }
+  }
+  auto formula = parser.expr();
+  if (!formula.ok()) return formula.error();
+  out.formula = std::move(formula).take();
+  if (parser.accept(TokenKind::kAt)) {
+    auto ctx = parser.context(out.is_tlm);
+    if (!ctx.ok()) return ctx.error();
+    out.context = std::move(ctx).take();
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ExprPtr> parse_expr(std::string_view input) {
+  auto tokens = tokenize(input);
+  if (!tokens.ok()) return tokens.error();
+  Parser parser(std::move(tokens).take());
+  auto result = parser.expr();
+  if (!result.ok()) return result;
+  if (!parser.at_end()) {
+    return Error{"trailing input after expression", parser.peek().position};
+  }
+  return result;
+}
+
+Result<RtlProperty> parse_rtl_property(std::string_view input) {
+  auto tokens = tokenize(input);
+  if (!tokens.ok()) return tokens.error();
+  Parser parser(std::move(tokens).take());
+  auto parsed = parse_one(parser);
+  if (!parsed.ok()) return parsed.error();
+  parser.accept(TokenKind::kSemicolon);
+  if (!parser.at_end()) {
+    return Error{"trailing input after property", parser.peek().position};
+  }
+  if (parsed.value().is_tlm) {
+    return Error{"expected an RTL clock context, found transaction context Tb", 0};
+  }
+  return RtlProperty{parsed.value().name, parsed.value().formula,
+                     parsed.value().context};
+}
+
+Result<TlmProperty> parse_tlm_property(std::string_view input) {
+  auto tokens = tokenize(input);
+  if (!tokens.ok()) return tokens.error();
+  Parser parser(std::move(tokens).take());
+  auto parsed = parse_one(parser);
+  if (!parsed.ok()) return parsed.error();
+  parser.accept(TokenKind::kSemicolon);
+  if (!parser.at_end()) {
+    return Error{"trailing input after property", parser.peek().position};
+  }
+  const ParsedProperty& p = parsed.value();
+  // Absent context defaults to the basic transaction context Tb.
+  const bool context_absent =
+      !p.is_tlm && p.context.kind == ClockContext::Kind::kTrue && !p.context.guard;
+  if (!p.is_tlm && !context_absent) {
+    return Error{"expected transaction context Tb on a TLM property", 0};
+  }
+  return TlmProperty{p.name, p.formula, TransactionContext{p.context.guard}};
+}
+
+Result<std::vector<RtlProperty>> parse_rtl_property_file(std::string_view input) {
+  std::vector<RtlProperty> out;
+  auto tokens = tokenize(input);
+  if (!tokens.ok()) return tokens.error();
+  Parser parser(std::move(tokens).take());
+  while (!parser.at_end()) {
+    // Skip stray separators.
+    if (parser.accept(TokenKind::kSemicolon)) continue;
+    auto parsed = parse_one(parser);
+    if (!parsed.ok()) return parsed.error();
+    if (parsed.value().is_tlm) {
+      return Error{"RTL property file contains a TLM (Tb) context", 0};
+    }
+    out.push_back(RtlProperty{parsed.value().name, parsed.value().formula,
+                              parsed.value().context});
+    if (!parser.accept(TokenKind::kSemicolon) && !parser.at_end()) {
+      return Error{"expected ';' between properties", parser.peek().position};
+    }
+  }
+  return out;
+}
+
+}  // namespace repro::psl

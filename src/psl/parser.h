@@ -1,0 +1,52 @@
+// Recursive-descent parser for the PSL-like property syntax.
+//
+// Grammar (precedence low -> high):
+//   property   := [ident ':'] expr ['@' context]
+//   expr       := always_expr
+//   always_expr:= ('always' | 'eventually!') always_expr | impl_expr
+//   impl_expr  := until_expr ['->' impl_expr]                (right assoc)
+//   until_expr := or_expr [('until'|'until!'|'release') until_expr]
+//   or_expr    := and_expr ('||' and_expr)*
+//   and_expr   := not_expr ('&&' not_expr)*
+//   not_expr   := '!' not_expr | primary
+//   primary    := 'true' | 'false'
+//              | 'next' ['[' num ']'] '(' expr ')'
+//              | 'next_e' '[' num ',' num ']' '(' expr ')'
+//              | '(' expr ')'
+//              | atom
+//   atom       := ident [cmpop (num | ident)]
+//   context    := ('true'|'clk'|'clk_pos'|'clk_neg'|'Tb') ['&&' expr]
+//
+// A context beginning with `Tb` yields a TLM property; anything else an RTL
+// property. `parse_property_file` parses `name: expr @ctx;`-separated lists.
+#ifndef REPRO_PSL_PARSER_H_
+#define REPRO_PSL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "psl/ast.h"
+#include "support/status.h"
+
+namespace repro::psl {
+
+// Parses a bare formula (no name, no clock context).
+Result<ExprPtr> parse_expr(std::string_view input);
+
+// Parses one RTL property: optional `name:` prefix, formula, optional
+// `@context`. A missing context is the basic clock context (true).
+Result<RtlProperty> parse_rtl_property(std::string_view input);
+
+// Parses one TLM property: the context must be `Tb` (optionally guarded)
+// or absent (defaulting to Tb).
+Result<TlmProperty> parse_tlm_property(std::string_view input);
+
+// Parses a whole property file: properties separated by ';' or newlines,
+// each `name: formula @context`. Blank lines and comments are skipped.
+Result<std::vector<RtlProperty>> parse_rtl_property_file(std::string_view input);
+
+}  // namespace repro::psl
+
+#endif  // REPRO_PSL_PARSER_H_

@@ -1,0 +1,78 @@
+#include "psl/simple_subset.h"
+
+namespace repro::psl {
+namespace {
+
+// True for boolean expressions and for next/next_e chains whose innermost
+// operand is boolean — the shapes push_ahead_next produces for until and
+// release operands.
+bool is_boolean_or_next_chain(const ExprPtr& e) {
+  if (is_boolean(e)) return true;
+  if (e->kind == ExprKind::kNext || e->kind == ExprKind::kNextEps) {
+    return is_boolean_or_next_chain(e->lhs);
+  }
+  return false;
+}
+
+void check(const ExprPtr& e, std::vector<std::string>& out) {
+  if (!e) return;
+  switch (e->kind) {
+    case ExprKind::kNot:
+      if (!is_boolean(e->lhs)) {
+        out.push_back("negation applied to non-boolean operand: " + to_string(e));
+      }
+      check(e->lhs, out);
+      break;
+    case ExprKind::kImplies:
+      if (!is_boolean(e->lhs)) {
+        out.push_back("left operand of '->' is not boolean: " + to_string(e));
+      }
+      check(e->lhs, out);
+      check(e->rhs, out);
+      break;
+    case ExprKind::kOr:
+      if (!is_boolean(e->lhs) && !is_boolean(e->rhs)) {
+        out.push_back("both operands of '||' are non-boolean: " + to_string(e));
+      }
+      check(e->lhs, out);
+      check(e->rhs, out);
+      break;
+    case ExprKind::kUntil:
+    case ExprKind::kRelease:
+      if (!is_boolean_or_next_chain(e->lhs)) {
+        out.push_back("left operand of until/release is not boolean: " +
+                      to_string(e));
+      }
+      if (!is_boolean_or_next_chain(e->rhs)) {
+        out.push_back("right operand of until/release is not boolean: " +
+                      to_string(e));
+      }
+      check(e->lhs, out);
+      check(e->rhs, out);
+      break;
+    case ExprKind::kAbort:
+      if (!is_boolean(e->rhs)) {
+        out.push_back("abort condition is not boolean: " + to_string(e));
+      }
+      check(e->lhs, out);
+      break;
+    default:
+      check(e->lhs, out);
+      check(e->rhs, out);
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> simple_subset_violations(const ExprPtr& e) {
+  std::vector<std::string> out;
+  check(e, out);
+  return out;
+}
+
+bool in_simple_subset(const ExprPtr& e) {
+  return simple_subset_violations(e).empty();
+}
+
+}  // namespace repro::psl

@@ -1,0 +1,32 @@
+// Validation of the PSL simple-subset restrictions (IEEE 1850 sec. 4.4.4),
+// adapted to the LTL core of Def. II.1.
+//
+// The simple subset guarantees that time moves forward from left to right
+// through a property, which is what makes single-pass dynamic checker
+// synthesis possible (Sec. II of the paper). We enforce:
+//   1. negation is applied only to boolean expressions;
+//   2. the left operand of `->` is boolean;
+//   3. at most one operand of `||` is non-boolean;
+//   4. the operands of `until`/`release` are boolean or a next/next_e chain
+//      ending in a boolean (the forms produced by push_ahead_next);
+//   5. `always`/`eventually!` bodies are themselves simple-subset.
+#ifndef REPRO_PSL_SIMPLE_SUBSET_H_
+#define REPRO_PSL_SIMPLE_SUBSET_H_
+
+#include <string>
+#include <vector>
+
+#include "psl/ast.h"
+
+namespace repro::psl {
+
+// Returns the list of violations (empty means the property is in the
+// simple subset). Each entry pinpoints the offending subformula.
+std::vector<std::string> simple_subset_violations(const ExprPtr& e);
+
+// Convenience wrapper.
+bool in_simple_subset(const ExprPtr& e);
+
+}  // namespace repro::psl
+
+#endif  // REPRO_PSL_SIMPLE_SUBSET_H_

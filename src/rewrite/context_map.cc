@@ -1,0 +1,11 @@
+#include "rewrite/context_map.h"
+
+namespace repro::rewrite {
+
+psl::TransactionContext map_context(const psl::ClockContext& c) {
+  // Every base clock context collapses to Tb; the variable guard, if any,
+  // carries over verbatim (Def. III.2).
+  return psl::TransactionContext{c.guard};
+}
+
+}  // namespace repro::rewrite

@@ -1,0 +1,17 @@
+// Def. III.2: mapping of an RTL clock context to a TLM transaction context.
+//
+//   - the basic context (true) and {clk, clk_pos, clk_neg} map to the basic
+//     transaction context Tb (evaluate at the end of every transaction);
+//   - `clock_expr && var_expr` maps to `Tb && var_expr`.
+#ifndef REPRO_REWRITE_CONTEXT_MAP_H_
+#define REPRO_REWRITE_CONTEXT_MAP_H_
+
+#include "psl/ast.h"
+
+namespace repro::rewrite {
+
+psl::TransactionContext map_context(const psl::ClockContext& c);
+
+}  // namespace repro::rewrite
+
+#endif  // REPRO_REWRITE_CONTEXT_MAP_H_

@@ -1,0 +1,69 @@
+#include "rewrite/methodology.h"
+
+#include "psl/simple_subset.h"
+#include "rewrite/context_map.h"
+#include "rewrite/next_substitution.h"
+#include "rewrite/nnf.h"
+#include "rewrite/push_ahead.h"
+
+namespace repro::rewrite {
+
+AbstractionOutcome abstract_property(const psl::RtlProperty& p,
+                                     const AbstractionOptions& options) {
+  AbstractionOutcome out;
+
+  for (const std::string& v : psl::simple_subset_violations(p.formula)) {
+    out.notes.push_back("simple-subset: " + v);
+  }
+
+  // Step 1: negation normal form.
+  psl::ExprPtr formula = to_nnf(p.formula);
+
+  // Sec. III-B: delete subformulas over abstracted signals.
+  SignalAbstractionResult sig = abstract_signals(formula, options.abstracted_signals);
+  out.classification = sig.classification;
+  for (auto& rule : sig.applied_rules) {
+    out.notes.push_back("signal-abstraction: " + rule);
+  }
+  if (!sig.formula) {
+    out.notes.push_back("property deleted: it only constrained abstracted signals");
+    return out;
+  }
+  formula = sig.formula;
+
+  // The clock-context guard is a boolean over DUV variables (Def. III.2);
+  // abstract it the same way. A fully-deleted guard degrades to plain Tb.
+  psl::ClockContext context = p.context;
+  if (context.guard) {
+    SignalAbstractionResult guard =
+        abstract_signals(to_nnf(context.guard), options.abstracted_signals);
+    if (!guard.formula) {
+      out.notes.push_back("context guard deleted; falling back to basic context");
+      context.guard = nullptr;
+    } else {
+      context.guard = guard.formula;
+    }
+  }
+
+  // Step 2: push next operators onto literals, then Algorithm III.1.
+  formula = push_ahead_next(formula, options.push_mode);
+  formula = substitute_next(formula, options.clock_period_ns);
+
+  // Step 3: clock context -> transaction context (Def. III.2).
+  psl::TlmProperty tlm;
+  tlm.name = p.name;
+  tlm.formula = formula;
+  tlm.context = map_context(context);
+  out.property = std::move(tlm);
+  return out;
+}
+
+std::vector<AbstractionOutcome> abstract_suite(
+    const std::vector<psl::RtlProperty>& suite, const AbstractionOptions& options) {
+  std::vector<AbstractionOutcome> out;
+  out.reserve(suite.size());
+  for (const auto& p : suite) out.push_back(abstract_property(p, options));
+  return out;
+}
+
+}  // namespace repro::rewrite

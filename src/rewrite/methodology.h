@@ -1,0 +1,55 @@
+// Methodology III.1: the full RTL-to-TLM property abstraction pipeline.
+//
+//   parse -> NNF -> signal abstraction (Fig. 4) -> push_ahead_next ->
+//   Algorithm III.1 (next -> next_eps) -> context mapping (Def. III.2)
+//
+// Signal abstraction runs before the time abstraction so that next chains
+// over removed signals disappear before tau positions are assigned; this is
+// what produces q3 = always(!ds || next_e[1,170](rdy)) from p3 in Fig. 3.
+#ifndef REPRO_REWRITE_METHODOLOGY_H_
+#define REPRO_REWRITE_METHODOLOGY_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "psl/ast.h"
+#include "rewrite/push_ahead.h"
+#include "rewrite/signal_abstraction.h"
+
+namespace repro::rewrite {
+
+struct AbstractionOptions {
+  // Clock period c of the RTL DUV, in nanoseconds (Algorithm III.1).
+  psl::TimeNs clock_period_ns = 10;
+  // I/O signals removed by the RTL-to-TLM abstraction (Sec. III-B).
+  std::set<std::string> abstracted_signals;
+  // How next distributes over until/release (see push_ahead.h). The paper
+  // mode reproduces Fig. 3 verbatim; the opaque mode is sound on sparse
+  // TLM-AT transaction streams and is the default.
+  PushMode push_mode = PushMode::kOpaqueFixpoints;
+};
+
+struct AbstractionOutcome {
+  // Empty when the property was deleted by signal abstraction.
+  std::optional<psl::TlmProperty> property;
+  AbstractionClass classification = AbstractionClass::kUnchanged;
+  // Rule applications and simple-subset diagnostics, for reporting.
+  std::vector<std::string> notes;
+
+  bool deleted() const { return !property.has_value(); }
+};
+
+// Abstracts a single RTL property into a TLM property.
+AbstractionOutcome abstract_property(const psl::RtlProperty& p,
+                                     const AbstractionOptions& options);
+
+// Abstracts a whole suite, preserving order; deleted properties produce
+// outcomes with deleted() == true so callers can report them.
+std::vector<AbstractionOutcome> abstract_suite(
+    const std::vector<psl::RtlProperty>& suite, const AbstractionOptions& options);
+
+}  // namespace repro::rewrite
+
+#endif  // REPRO_REWRITE_METHODOLOGY_H_

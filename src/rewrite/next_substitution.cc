@@ -1,0 +1,41 @@
+#include "rewrite/next_substitution.h"
+
+#include <cassert>
+
+namespace repro::rewrite {
+
+using psl::ExprKind;
+using psl::ExprPtr;
+using psl::TimeNs;
+
+namespace {
+
+ExprPtr walk(const ExprPtr& e, TimeNs c, uint32_t& counter) {
+  if (!e) return e;
+  if (e->kind == ExprKind::kNext) {
+    // The operand is a literal (paper mode) or an opaque boolean-operand
+    // fixpoint (see PushMode::kOpaqueFixpoints); either way it contains no
+    // further kNext nodes.
+    const uint32_t tau = ++counter;
+    return psl::next_eps(tau, static_cast<TimeNs>(e->next_count) * c, e->lhs);
+  }
+  // Rebuild only when a child changed, preserving sharing elsewhere.
+  ExprPtr lhs = e->lhs ? walk(e->lhs, c, counter) : nullptr;
+  ExprPtr rhs = e->rhs ? walk(e->rhs, c, counter) : nullptr;
+  if (lhs == e->lhs && rhs == e->rhs) return e;
+  auto out = std::make_shared<psl::Expr>(*e);
+  out->lhs = std::move(lhs);
+  out->rhs = std::move(rhs);
+  return out;
+}
+
+}  // namespace
+
+ExprPtr substitute_next(const ExprPtr& e, TimeNs clock_period_ns) {
+  assert(e);
+  assert(clock_period_ns >= 1);
+  uint32_t counter = 0;
+  return walk(e, clock_period_ns, counter);
+}
+
+}  // namespace repro::rewrite

@@ -1,0 +1,21 @@
+// Algorithm III.1: substitution of next[n] chains with next_eps^tau.
+//
+// Input: a formula in NNF after push_ahead_next, so that every kNext node
+// wraps a literal. Each subformula next[n](a) — the s_i(a_i) of the paper —
+// is replaced by next_e[tau=i, eps=n*c](a), where c is the RTL clock period
+// in nanoseconds and i is the 1-based position of the subformula in a
+// left-to-right scan of the property.
+#ifndef REPRO_REWRITE_NEXT_SUBSTITUTION_H_
+#define REPRO_REWRITE_NEXT_SUBSTITUTION_H_
+
+#include "psl/ast.h"
+
+namespace repro::rewrite {
+
+// Replaces every next[n](literal) with next_e[i, n*c](literal).
+// `clock_period_ns` must be >= 1.
+psl::ExprPtr substitute_next(const psl::ExprPtr& e, psl::TimeNs clock_period_ns);
+
+}  // namespace repro::rewrite
+
+#endif  // REPRO_REWRITE_NEXT_SUBSTITUTION_H_

@@ -1,0 +1,138 @@
+#include "rewrite/nnf.h"
+
+#include <cassert>
+
+namespace repro::rewrite {
+
+using psl::Expr;
+using psl::ExprKind;
+using psl::ExprPtr;
+using psl::and_;
+using psl::or_;
+using psl::not_;
+using psl::next;
+using psl::next_eps;
+using psl::until;
+using psl::release;
+using psl::always;
+using psl::eventually;
+
+namespace {
+
+ExprPtr nnf_pos(const ExprPtr& e);
+ExprPtr nnf_neg(const ExprPtr& e);
+
+// NNF of `e` itself.
+ExprPtr nnf_pos(const ExprPtr& e) {
+  switch (e->kind) {
+    case ExprKind::kConstTrue:
+    case ExprKind::kConstFalse:
+    case ExprKind::kAtom:
+      return e;
+    case ExprKind::kNot:
+      return nnf_neg(e->lhs);
+    case ExprKind::kAnd:
+      return and_(nnf_pos(e->lhs), nnf_pos(e->rhs));
+    case ExprKind::kOr:
+      return or_(nnf_pos(e->lhs), nnf_pos(e->rhs));
+    case ExprKind::kImplies:
+      return or_(nnf_neg(e->lhs), nnf_pos(e->rhs));
+    case ExprKind::kNext:
+      return next(e->next_count, nnf_pos(e->lhs));
+    case ExprKind::kNextEps:
+      return next_eps(e->tau, e->eps, nnf_pos(e->lhs));
+    case ExprKind::kUntil:
+      return until(nnf_pos(e->lhs), nnf_pos(e->rhs), e->strong);
+    case ExprKind::kRelease:
+      return release(nnf_pos(e->lhs), nnf_pos(e->rhs));
+    case ExprKind::kAlways:
+      return always(nnf_pos(e->lhs));
+    case ExprKind::kEventually:
+      return eventually(nnf_pos(e->lhs));
+    case ExprKind::kAbort:
+      return psl::abort_(nnf_pos(e->lhs), e->rhs, e->strong);
+  }
+  assert(false && "unreachable");
+  return e;
+}
+
+// Negating a comparison atom flips its operator: !(a == b) is a != b, and
+// so on. Truthiness atoms keep an explicit negation.
+ExprPtr negate_atom(const ExprPtr& e) {
+  using psl::CmpOp;
+  psl::Atom a = e->atom;
+  switch (a.op) {
+    case CmpOp::kTruthy:
+      return not_(e);
+    case CmpOp::kEq: a.op = CmpOp::kNe; break;
+    case CmpOp::kNe: a.op = CmpOp::kEq; break;
+    case CmpOp::kLt: a.op = CmpOp::kGe; break;
+    case CmpOp::kLe: a.op = CmpOp::kGt; break;
+    case CmpOp::kGt: a.op = CmpOp::kLe; break;
+    case CmpOp::kGe: a.op = CmpOp::kLt; break;
+  }
+  return psl::atom(std::move(a));
+}
+
+// NNF of `!e`.
+ExprPtr nnf_neg(const ExprPtr& e) {
+  switch (e->kind) {
+    case ExprKind::kConstTrue:
+      return psl::const_false();
+    case ExprKind::kConstFalse:
+      return psl::const_true();
+    case ExprKind::kAtom:
+      return negate_atom(e);
+    case ExprKind::kNot:
+      return nnf_pos(e->lhs);
+    case ExprKind::kAnd:
+      return or_(nnf_neg(e->lhs), nnf_neg(e->rhs));
+    case ExprKind::kOr:
+      return and_(nnf_neg(e->lhs), nnf_neg(e->rhs));
+    case ExprKind::kImplies:
+      return and_(nnf_pos(e->lhs), nnf_neg(e->rhs));
+    case ExprKind::kNext:
+      return next(e->next_count, nnf_neg(e->lhs));
+    case ExprKind::kNextEps:
+      return next_eps(e->tau, e->eps, nnf_neg(e->lhs));
+    case ExprKind::kUntil:
+      if (e->strong) {
+        // !(p until! q) == !p release !q
+        return release(nnf_neg(e->lhs), nnf_neg(e->rhs));
+      }
+      // !(p until q) == !q until! (!p && !q)
+      return until(nnf_neg(e->rhs), and_(nnf_neg(e->lhs), nnf_neg(e->rhs)),
+                   /*strong=*/true);
+    case ExprKind::kRelease:
+      // !(p release q) == !p until! !q
+      return until(nnf_neg(e->lhs), nnf_neg(e->rhs), /*strong=*/true);
+    case ExprKind::kAlways:
+      return eventually(nnf_neg(e->lhs));
+    case ExprKind::kEventually:
+      return always(nnf_neg(e->lhs));
+    case ExprKind::kAbort:
+      // Reset semantics: negation flips the reset resolution:
+      // !(p abort b) == (!p) abort! b and !(p abort! b) == (!p) abort b.
+      return psl::abort_(nnf_neg(e->lhs), e->rhs, !e->strong);
+  }
+  assert(false && "unreachable");
+  return e;
+}
+
+}  // namespace
+
+ExprPtr to_nnf(const ExprPtr& e) {
+  assert(e);
+  return nnf_pos(e);
+}
+
+bool is_nnf(const ExprPtr& e) {
+  if (!e) return true;
+  if (e->kind == ExprKind::kImplies) return false;
+  if (e->kind == ExprKind::kNot) {
+    return e->lhs && e->lhs->kind == ExprKind::kAtom;
+  }
+  return is_nnf(e->lhs) && is_nnf(e->rhs);
+}
+
+}  // namespace repro::rewrite

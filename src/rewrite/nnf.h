@@ -1,0 +1,32 @@
+// Negation normal form (step 1 of Methodology III.1).
+//
+// Rewrites a formula so that negation is applied only to atomic
+// propositions, eliminating `->` on the way (Def. II.1 admits only literals,
+// and/or, next, until, release — always/eventually are kept as first-class
+// nodes since they are the derived fixpoints `false release p` and
+// `true until! p`).
+#ifndef REPRO_REWRITE_NNF_H_
+#define REPRO_REWRITE_NNF_H_
+
+#include "psl/ast.h"
+
+namespace repro::rewrite {
+
+// Returns the negation-normal-form of `e`. Duality used for the temporal
+// operators (finite-trace weak/strong pairing):
+//   !(p until! q) == !p release !q
+//   !(p until  q) == !q until! (!p && !q)
+//   !(p release q) == !p until! !q
+//   !always p      == eventually! !p
+//   !eventually! p == always !p
+//   !next[n] p     == next[n] !p        (RTL clock contexts: the trace is
+//                                        as long as the simulation, so next
+//                                        is self-dual here)
+psl::ExprPtr to_nnf(const psl::ExprPtr& e);
+
+// True if `e` is already in NNF (negations only on atoms, no implications).
+bool is_nnf(const psl::ExprPtr& e);
+
+}  // namespace repro::rewrite
+
+#endif  // REPRO_REWRITE_NNF_H_

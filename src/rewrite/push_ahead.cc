@@ -1,0 +1,123 @@
+#include "rewrite/push_ahead.h"
+
+#include <cassert>
+
+namespace repro::rewrite {
+
+using psl::ExprKind;
+using psl::ExprPtr;
+
+namespace {
+
+bool is_fixpoint(ExprKind kind) {
+  return kind == ExprKind::kUntil || kind == ExprKind::kRelease ||
+         kind == ExprKind::kAlways || kind == ExprKind::kEventually ||
+         kind == ExprKind::kAbort;
+}
+
+// True when a fixpoint node should stay opaque under an outer next: its
+// operands are purely boolean, so anchoring the whole fixpoint at the
+// shifted instant is equivalent to shifting each operand.
+bool opaque_candidate(const ExprPtr& e) {
+  if (!is_fixpoint(e->kind)) return false;
+  if (!psl::is_boolean(e->lhs)) return false;
+  return !e->rhs || psl::is_boolean(e->rhs);
+}
+
+ExprPtr push(const ExprPtr& e, PushMode mode);
+
+// Applies next[n] to an already-pushed expression, distributing it inward.
+ExprPtr apply_next(uint32_t n, const ExprPtr& e, PushMode mode) {
+  assert(n >= 1);
+  if (mode == PushMode::kOpaqueFixpoints && opaque_candidate(e)) {
+    return psl::next(n, e);
+  }
+  switch (e->kind) {
+    case ExprKind::kConstTrue:
+    case ExprKind::kConstFalse:
+      // Constants are time-invariant: shifting the evaluation point does not
+      // change their value.
+      return e;
+    case ExprKind::kAtom:
+    case ExprKind::kNot:
+      return psl::next(n, e);
+    case ExprKind::kNext:
+      // Collapse chains: next[n](next[m](p)) == next[n+m](p).
+      return apply_next(n + e->next_count, e->lhs, mode);
+    case ExprKind::kAnd:
+      return psl::and_(apply_next(n, e->lhs, mode), apply_next(n, e->rhs, mode));
+    case ExprKind::kOr:
+      return psl::or_(apply_next(n, e->lhs, mode), apply_next(n, e->rhs, mode));
+    case ExprKind::kUntil:
+      return psl::until(apply_next(n, e->lhs, mode), apply_next(n, e->rhs, mode),
+                        e->strong);
+    case ExprKind::kRelease:
+      return psl::release(apply_next(n, e->lhs, mode),
+                          apply_next(n, e->rhs, mode));
+    case ExprKind::kAlways:
+      return psl::always(apply_next(n, e->lhs, mode));
+    case ExprKind::kEventually:
+      return psl::eventually(apply_next(n, e->lhs, mode));
+    case ExprKind::kAbort:
+      // The abort condition is boolean and shifts with the operand.
+      return psl::abort_(apply_next(n, e->lhs, mode), e->rhs, e->strong);
+    case ExprKind::kNextEps:
+    case ExprKind::kImplies:
+      break;
+  }
+  assert(false && "push_ahead_next requires NNF input without next_e");
+  return e;
+}
+
+ExprPtr push(const ExprPtr& e, PushMode mode) {
+  switch (e->kind) {
+    case ExprKind::kConstTrue:
+    case ExprKind::kConstFalse:
+    case ExprKind::kAtom:
+    case ExprKind::kNot:
+      return e;
+    case ExprKind::kNext:
+      return apply_next(e->next_count, push(e->lhs, mode), mode);
+    case ExprKind::kAnd:
+      return psl::and_(push(e->lhs, mode), push(e->rhs, mode));
+    case ExprKind::kOr:
+      return psl::or_(push(e->lhs, mode), push(e->rhs, mode));
+    case ExprKind::kUntil:
+      return psl::until(push(e->lhs, mode), push(e->rhs, mode), e->strong);
+    case ExprKind::kRelease:
+      return psl::release(push(e->lhs, mode), push(e->rhs, mode));
+    case ExprKind::kAlways:
+      return psl::always(push(e->lhs, mode));
+    case ExprKind::kEventually:
+      return psl::eventually(push(e->lhs, mode));
+    case ExprKind::kAbort:
+      return psl::abort_(push(e->lhs, mode), e->rhs, e->strong);
+    case ExprKind::kNextEps:
+    case ExprKind::kImplies:
+      break;
+  }
+  assert(false && "push_ahead_next requires NNF input without next_e");
+  return e;
+}
+
+}  // namespace
+
+ExprPtr push_ahead_next(const ExprPtr& e, PushMode mode) {
+  assert(e);
+  return push(e, mode);
+}
+
+bool is_pushed(const ExprPtr& e) {
+  if (!e) return true;
+  if (e->kind == ExprKind::kNext) {
+    const ExprPtr& operand = e->lhs;
+    if (psl::is_literal(operand) || operand->kind == ExprKind::kConstTrue ||
+        operand->kind == ExprKind::kConstFalse) {
+      return true;
+    }
+    return opaque_candidate(operand);
+  }
+  return is_pushed(e->lhs) && is_pushed(e->rhs);
+}
+
+}  // namespace repro::rewrite

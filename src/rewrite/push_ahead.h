@@ -1,0 +1,49 @@
+// push_ahead_next procedure (first phase of step 2 of Methodology III.1).
+//
+// Pushes `next` operators towards the leaves so that every remaining `next`
+// operand is a literal (atom or negated atom). Rules from Sec. III-A:
+//   next(a || b)        == next(a) || next(b)
+//   next(a && b)        == next(a) && next(b)
+//   next(a until b)     == next(a) until next(b)
+//   next(a release b)   == next(a) release next(b)
+// plus the derived identities needed for a complete normal form:
+//   next[n](next[m](p)) == next[n+m](p)
+//   next(always p)      == always(next p)         (X G p == G X p)
+//   next(eventually! p) == eventually!(next p)    (X F p == F X p)
+//   next(true) == true, next(false) == false      (constants are
+//                                                  time-invariant)
+// The input must be in NNF.
+#ifndef REPRO_REWRITE_PUSH_AHEAD_H_
+#define REPRO_REWRITE_PUSH_AHEAD_H_
+
+#include "psl/ast.h"
+
+namespace repro::rewrite {
+
+// How next distributes over until/release.
+enum class PushMode {
+  // Distribute through every operator, as published (Sec. III-A). This
+  // reproduces Fig. 3's q2 verbatim, but the resulting per-position next_e
+  // deadlines are unsatisfiable on transaction streams sparser than the RTL
+  // clock grid (see DESIGN.md): a sound TLM-AT check of such properties
+  // needs a transaction at every grid instant of the until window.
+  kDistributeThroughFixpoints,
+  // Stop at until/release (and always/eventually!) nodes whose operands are
+  // boolean: next[k](p until q) stays a single next[k](...) and Algorithm
+  // III.1 turns it into next_e[tau, k*c](p until q) — the until then anchors
+  // at the (unique, timing-equivalence-guaranteed) event k cycles after
+  // firing and iterates densely over the following transactions. This is
+  // our soundness refinement and the default for the experiments.
+  kOpaqueFixpoints,
+};
+
+psl::ExprPtr push_ahead_next(const psl::ExprPtr& e,
+                             PushMode mode = PushMode::kOpaqueFixpoints);
+
+// True if every kNext node in `e` has a literal operand or (in opaque mode)
+// a boolean-operand fixpoint operand.
+bool is_pushed(const psl::ExprPtr& e);
+
+}  // namespace repro::rewrite
+
+#endif  // REPRO_REWRITE_PUSH_AHEAD_H_

@@ -1,0 +1,196 @@
+#include "rewrite/signal_abstraction.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace repro::rewrite {
+
+using psl::ExprKind;
+using psl::ExprPtr;
+
+namespace {
+
+struct Walker {
+  const std::set<std::string>& abstracted;
+  std::vector<std::string>* log;
+  // Worst classification produced by an absorption rule so far.
+  AbstractionClass worst = AbstractionClass::kUnchanged;
+
+  void raise(AbstractionClass c) { worst = std::max(worst, c); }
+
+  void note(const std::string& rule) { log->push_back(rule); }
+
+  bool atom_is_abstracted(const psl::Atom& a) const {
+    if (abstracted.count(a.lhs)) return true;
+    return a.rhs_is_signal && abstracted.count(a.rhs_signal);
+  }
+
+  // Returns nullptr to represent the deleted subformula (Fig. 4's ∅).
+  ExprPtr walk(const ExprPtr& e) {
+    switch (e->kind) {
+      case ExprKind::kConstTrue:
+      case ExprKind::kConstFalse:
+        return e;
+      case ExprKind::kAtom:
+        if (atom_is_abstracted(e->atom)) {
+          note("a_s -> deleted: " + psl::to_string(e));
+          return nullptr;
+        }
+        return e;
+      case ExprKind::kNot: {
+        // NNF input: operand is an atom.
+        ExprPtr inner = walk(e->lhs);
+        if (!inner) return nullptr;  // !a_s -> deleted
+        return inner == e->lhs ? e : psl::not_(inner);
+      }
+      case ExprKind::kNext: {
+        ExprPtr inner = walk(e->lhs);
+        if (!inner) {
+          note("next(a_s) -> deleted");
+          return nullptr;
+        }
+        return inner == e->lhs ? e : psl::next(e->next_count, inner);
+      }
+      case ExprKind::kNextEps: {
+        ExprPtr inner = walk(e->lhs);
+        if (!inner) {
+          note("next_e(a_s) -> deleted");
+          return nullptr;
+        }
+        return inner == e->lhs ? e : psl::next_eps(e->tau, e->eps, inner);
+      }
+      case ExprKind::kAnd: {
+        ExprPtr lhs = walk(e->lhs);
+        ExprPtr rhs = walk(e->rhs);
+        if (lhs && rhs) {
+          return (lhs == e->lhs && rhs == e->rhs) ? e : psl::and_(lhs, rhs);
+        }
+        if (!lhs && !rhs) return nullptr;
+        // p && deleted -> p: dropping a conjunct weakens the property, so the
+        // result is a logical consequence of the original.
+        note("p && deleted -> p");
+        raise(AbstractionClass::kConsequence);
+        return lhs ? lhs : rhs;
+      }
+      case ExprKind::kOr: {
+        ExprPtr lhs = walk(e->lhs);
+        ExprPtr rhs = walk(e->rhs);
+        if (lhs && rhs) {
+          return (lhs == e->lhs && rhs == e->rhs) ? e : psl::or_(lhs, rhs);
+        }
+        if (!lhs && !rhs) return nullptr;
+        // p || deleted -> p: dropping a disjunct strengthens the property;
+        // a TLM failure of the result needs human review (Sec. III-B).
+        note("p || deleted -> p");
+        raise(AbstractionClass::kNeedsReview);
+        return lhs ? lhs : rhs;
+      }
+      case ExprKind::kUntil: {
+        ExprPtr lhs = walk(e->lhs);
+        ExprPtr rhs = walk(e->rhs);
+        if (lhs && rhs) {
+          return (lhs == e->lhs && rhs == e->rhs)
+                     ? e
+                     : psl::until(lhs, rhs, e->strong);
+        }
+        if (lhs && !rhs) {
+          // p until deleted -> p: the terminating event is no longer
+          // observable; checking p at the current instant only is neither
+          // stronger nor weaker in general.
+          note("p until deleted -> p");
+          raise(AbstractionClass::kNeedsReview);
+          return lhs;
+        }
+        // deleted until p -> deleted (both-deleted collapses the same way).
+        note("deleted until p -> deleted");
+        return nullptr;
+      }
+      case ExprKind::kRelease: {
+        ExprPtr lhs = walk(e->lhs);
+        ExprPtr rhs = walk(e->rhs);
+        if (lhs && rhs) {
+          return (lhs == e->lhs && rhs == e->rhs) ? e : psl::release(lhs, rhs);
+        }
+        if (!rhs) {
+          // p release deleted -> deleted: the maintained condition is gone,
+          // nothing is left to check.
+          note("p release deleted -> deleted");
+          return nullptr;
+        }
+        // deleted release p -> p: p release q entails q at the current
+        // instant, so the result is a logical consequence.
+        note("deleted release p -> p");
+        raise(AbstractionClass::kConsequence);
+        return rhs;
+      }
+      case ExprKind::kAlways: {
+        ExprPtr inner = walk(e->lhs);
+        if (!inner) {
+          note("always(deleted) -> deleted");
+          return nullptr;
+        }
+        return inner == e->lhs ? e : psl::always(inner);
+      }
+      case ExprKind::kEventually: {
+        ExprPtr inner = walk(e->lhs);
+        if (!inner) {
+          note("eventually!(deleted) -> deleted");
+          return nullptr;
+        }
+        return inner == e->lhs ? e : psl::eventually(inner);
+      }
+      case ExprKind::kAbort: {
+        ExprPtr lhs = walk(e->lhs);
+        ExprPtr rhs = walk(e->rhs);
+        if (!lhs) {
+          // deleted abort b -> deleted: nothing left to protect.
+          note("deleted abort b -> deleted");
+          return nullptr;
+        }
+        if (!rhs) {
+          // p abort deleted -> p: losing the reset condition strengthens the
+          // property; a TLM failure needs review.
+          note("p abort deleted -> p");
+          raise(AbstractionClass::kNeedsReview);
+          return lhs;
+        }
+        return (lhs == e->lhs && rhs == e->rhs) ? e
+                                                : psl::abort_(lhs, rhs, e->strong);
+      }
+      case ExprKind::kImplies:
+        break;  // NNF input has no implications
+    }
+    assert(false && "abstract_signals requires NNF input");
+    return e;
+  }
+};
+
+}  // namespace
+
+SignalAbstractionResult abstract_signals(const ExprPtr& e,
+                                         const std::set<std::string>& abstracted) {
+  assert(e);
+  SignalAbstractionResult result;
+  Walker walker{abstracted, &result.applied_rules};
+  result.formula = walker.walk(e);
+  if (!result.formula) {
+    result.classification = AbstractionClass::kDeleted;
+  } else if (result.formula == e) {
+    result.classification = AbstractionClass::kUnchanged;
+  } else {
+    result.classification = std::max(walker.worst, AbstractionClass::kConsequence);
+  }
+  return result;
+}
+
+const char* to_string(AbstractionClass c) {
+  switch (c) {
+    case AbstractionClass::kUnchanged: return "unchanged";
+    case AbstractionClass::kConsequence: return "consequence";
+    case AbstractionClass::kNeedsReview: return "needs-review";
+    case AbstractionClass::kDeleted: return "deleted";
+  }
+  return "?";
+}
+
+}  // namespace repro::rewrite

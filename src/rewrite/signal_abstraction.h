@@ -1,0 +1,57 @@
+// Abstraction of signals (Sec. III-B, Fig. 4).
+//
+// When the RTL-to-TLM abstraction removes I/O protocol signals, every
+// subformula referring to a removed signal becomes unevaluable and is
+// deleted; the rules of Fig. 4 define how the deletion (the paper's
+// `∅` marker) propagates upward:
+//
+//   a_s            ->  ∅          next(a_s)      ->  ∅
+//   p || ∅         ->  p          ∅ || p         ->  p
+//   p && ∅         ->  p          ∅ && p         ->  p
+//   p until ∅      ->  p          ∅ until p      ->  ∅
+//   p release ∅    ->  ∅          ∅ release p    ->  p
+//
+// (The published table prints `∅ until p` twice; the second occurrence is
+// read as `∅ release p -> p`, the only reading that keeps the table total
+// over until/release.)
+//
+// The result is classified for the human-investigation triage the paper
+// describes: deleting an `&&` branch yields a logical consequence of the
+// original (safe to check at TLM); deleting an `||` branch or rewriting an
+// until/release does not, so a TLM failure needs manual review.
+#ifndef REPRO_REWRITE_SIGNAL_ABSTRACTION_H_
+#define REPRO_REWRITE_SIGNAL_ABSTRACTION_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "psl/ast.h"
+
+namespace repro::rewrite {
+
+enum class AbstractionClass {
+  kUnchanged,      // no rule fired: p' == p
+  kConsequence,    // p' is a logical consequence of p
+  kNeedsReview,    // p' may not follow from p: review TLM failures manually
+  kDeleted,        // the whole property depended on abstracted signals
+};
+
+struct SignalAbstractionResult {
+  // nullptr when the whole formula was deleted.
+  psl::ExprPtr formula;
+  AbstractionClass classification = AbstractionClass::kUnchanged;
+  // One entry per rule application, for diagnostics.
+  std::vector<std::string> applied_rules;
+};
+
+// Removes from `e` (NNF) every subformula mentioning a signal in
+// `abstracted`, per the Fig. 4 rules.
+SignalAbstractionResult abstract_signals(
+    const psl::ExprPtr& e, const std::set<std::string>& abstracted);
+
+const char* to_string(AbstractionClass c);
+
+}  // namespace repro::rewrite
+
+#endif  // REPRO_REWRITE_SIGNAL_ABSTRACTION_H_

@@ -1,0 +1,34 @@
+#include "sim/clock.h"
+
+#include <utility>
+
+namespace repro::sim {
+
+Clock::Clock(Kernel& kernel, std::string name, Time period, Time start)
+    : kernel_(kernel), name_(std::move(name)), period_(period), next_edge_(start) {
+  kernel_.schedule_at(next_edge_, [this] { rising(); });
+}
+
+void Clock::on_posedge(std::function<void()> fn) {
+  posedge_.push_back(std::move(fn));
+}
+
+void Clock::on_negedge(std::function<void()> fn) {
+  negedge_.push_back(std::move(fn));
+}
+
+void Clock::rising() {
+  ++cycles_;
+  for (const auto& fn : posedge_) fn();
+  if (!negedge_.empty()) {
+    kernel_.schedule_at(kernel_.now() + period_ / 2, [this] { falling(); });
+  }
+  next_edge_ += period_;
+  kernel_.schedule_at(next_edge_, [this] { rising(); });
+}
+
+void Clock::falling() {
+  for (const auto& fn : negedge_) fn();
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,48 @@
+// Clock generator for RTL-style cycle-accurate models.
+#ifndef REPRO_SIM_CLOCK_H_
+#define REPRO_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.h"
+
+namespace repro::sim {
+
+// Generates rising/falling edge callbacks with a fixed period. The first
+// rising edge occurs at `start`; the falling edge at start + period/2.
+// Posedge callbacks are invoked in registration order within the evaluate
+// phase of the edge timestamp, so signal writes made by one callback are not
+// visible to the others until the following delta — matching RTL registers.
+class Clock {
+ public:
+  Clock(Kernel& kernel, std::string name, Time period, Time start = 0);
+
+  // Registers a callback for every rising edge.
+  void on_posedge(std::function<void()> fn);
+  // Registers a callback for every falling edge.
+  void on_negedge(std::function<void()> fn);
+
+  Time period() const { return period_; }
+  const std::string& name() const { return name_; }
+  // Number of rising edges generated so far.
+  uint64_t cycles() const { return cycles_; }
+
+ private:
+  void rising();
+  void falling();
+
+  Kernel& kernel_;
+  std::string name_;
+  Time period_;
+  Time next_edge_;
+  uint64_t cycles_ = 0;
+  std::vector<std::function<void()>> posedge_;
+  std::vector<std::function<void()>> negedge_;
+};
+
+}  // namespace repro::sim
+
+#endif  // REPRO_SIM_CLOCK_H_

@@ -1,0 +1,69 @@
+#include "sim/kernel.h"
+
+#include <cassert>
+#include <utility>
+
+namespace repro::sim {
+
+void Kernel::schedule_at(Time t, std::function<void()> fn) {
+  assert(t >= now_ || timed_.empty());  // allow pre-run setup at t < first run
+  timed_.emplace(t, std::move(fn));
+}
+
+void Kernel::schedule_delta(std::function<void()> fn) {
+  next_delta_.push_back(std::move(fn));
+}
+
+void Kernel::request_update(SignalBase* signal) {
+  pending_updates_.push_back(signal);
+}
+
+void Kernel::execute_timestamp() {
+  // Move all events at now_ into the runnable set.
+  auto range = timed_.equal_range(now_);
+  for (auto it = range.first; it != range.second; ++it) {
+    runnable_.push_back(std::move(it->second));
+  }
+  timed_.erase(range.first, range.second);
+
+  while (!runnable_.empty()) {
+    ++delta_cycles_;
+    // Evaluate phase. Callbacks may write signals (queued for the update
+    // phase) and schedule further deltas.
+    std::vector<std::function<void()>> batch;
+    batch.swap(runnable_);
+    for (auto& fn : batch) {
+      ++events_executed_;
+      fn();
+      if (stop_requested_) return;
+    }
+    // Update phase: commit signal writes; changed signals wake their
+    // sensitive callbacks in the next delta.
+    std::vector<SignalBase*> updates;
+    updates.swap(pending_updates_);
+    for (SignalBase* signal : updates) {
+      if (signal->apply_update()) signal->notify_changed();
+    }
+    runnable_.swap(next_delta_);
+  }
+}
+
+void Kernel::run(Time until) {
+  stop_requested_ = false;
+  while (!stop_requested_ && !timed_.empty()) {
+    const Time next = timed_.begin()->first;
+    if (next > until) break;
+    now_ = next;
+    execute_timestamp();
+  }
+}
+
+void Kernel::run_all() {
+  stop_requested_ = false;
+  while (!stop_requested_ && !timed_.empty()) {
+    now_ = timed_.begin()->first;
+    execute_timestamp();
+  }
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,100 @@
+// Event-driven simulation kernel.
+//
+// A deliberately small SystemC-like kernel: time is an integer number of
+// nanoseconds, a timestamp is processed as a sequence of delta cycles, and
+// each delta cycle has an evaluate phase (callbacks run, possibly writing
+// signals) followed by an update phase (signal values commit, waking
+// sensitive callbacks in the next delta). This gives exactly the two
+// observables the paper's methodology needs: cycle-accurate signal events at
+// RTL and wall-clock transaction instants at TLM.
+#ifndef REPRO_SIM_KERNEL_H_
+#define REPRO_SIM_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace repro::sim {
+
+// Simulation time in nanoseconds. The paper expresses next_eps evaluation
+// times in nanoseconds (Def. III.3), so we use the same unit throughout.
+using Time = uint64_t;
+
+class SignalBase;
+
+class Kernel {
+ public:
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // Current simulation time. Valid during and after run().
+  Time now() const { return now_; }
+
+  // Schedules `fn` to run in the evaluate phase at absolute time `t`.
+  // t must be >= now().
+  void schedule_at(Time t, std::function<void()> fn);
+
+  // Schedules `fn` to run in the next delta cycle of the current timestamp.
+  void schedule_delta(std::function<void()> fn);
+
+  // Registers a signal whose pending write should commit in the next update
+  // phase. Called by Signal<T>::write().
+  void request_update(SignalBase* signal);
+
+  // Runs until the event queue is exhausted or simulation time would exceed
+  // `until` (events at exactly `until` are processed).
+  void run(Time until);
+
+  // Runs until the event queue is empty.
+  void run_all();
+
+  // Stops the simulation at the end of the current delta cycle.
+  void stop() { stop_requested_ = true; }
+
+  // Statistics, used by benchmarks to report simulated activity.
+  uint64_t events_executed() const { return events_executed_; }
+  uint64_t delta_cycles() const { return delta_cycles_; }
+
+ private:
+  void execute_timestamp();
+
+  Time now_ = 0;
+  bool stop_requested_ = false;
+  uint64_t events_executed_ = 0;
+  uint64_t delta_cycles_ = 0;
+
+  // Timed events keyed by time; FIFO within a timestamp.
+  std::multimap<Time, std::function<void()>> timed_;
+  // Callbacks runnable in the current delta cycle.
+  std::vector<std::function<void()>> runnable_;
+  // Callbacks scheduled for the next delta cycle of this timestamp.
+  std::vector<std::function<void()>> next_delta_;
+  // Signals with pending writes awaiting the update phase.
+  std::vector<SignalBase*> pending_updates_;
+};
+
+// Base class for signals: the kernel drives the update phase through it.
+class SignalBase {
+ public:
+  explicit SignalBase(std::string name) : name_(std::move(name)) {}
+  virtual ~SignalBase() = default;
+
+  const std::string& name() const { return name_; }
+
+ protected:
+  friend class Kernel;
+  // Commits the pending write, if any; returns true if the value changed.
+  virtual bool apply_update() = 0;
+  // Invoked by the kernel when apply_update() returned true.
+  virtual void notify_changed() = 0;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace repro::sim
+
+#endif  // REPRO_SIM_KERNEL_H_

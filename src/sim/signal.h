@@ -1,0 +1,68 @@
+// Typed simulation signal with deferred (delta-cycle) update semantics.
+#ifndef REPRO_SIM_SIGNAL_H_
+#define REPRO_SIM_SIGNAL_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/kernel.h"
+
+namespace repro::sim {
+
+// A signal holds a current value readable by any process; writes are
+// deferred to the update phase of the current delta cycle, exactly like
+// sc_signal. Sensitive callbacks run in the delta cycle after a committed
+// change.
+template <typename T>
+class Signal : public SignalBase {
+ public:
+  Signal(Kernel& kernel, std::string name, T initial)
+      : SignalBase(std::move(name)),
+        kernel_(kernel),
+        current_(initial),
+        next_(initial) {}
+
+  const T& read() const { return current_; }
+
+  // Schedules `value` to become visible in the next update phase.
+  void write(const T& value) {
+    next_ = value;
+    if (!update_requested_) {
+      update_requested_ = true;
+      kernel_.request_update(this);
+    }
+  }
+
+  // Registers a callback invoked (in a fresh delta cycle) whenever the
+  // committed value changes.
+  void on_change(std::function<void()> fn) {
+    watchers_.push_back(std::move(fn));
+  }
+
+  Kernel& kernel() { return kernel_; }
+
+ protected:
+  bool apply_update() override {
+    update_requested_ = false;
+    if (next_ == current_) return false;
+    current_ = next_;
+    return true;
+  }
+
+  void notify_changed() override {
+    for (const auto& fn : watchers_) kernel_.schedule_delta(fn);
+  }
+
+ private:
+  Kernel& kernel_;
+  T current_;
+  T next_;
+  bool update_requested_ = false;
+  std::vector<std::function<void()>> watchers_;
+};
+
+}  // namespace repro::sim
+
+#endif  // REPRO_SIM_SIGNAL_H_

@@ -1,0 +1,90 @@
+#include "sim/vcd.h"
+
+#include <cassert>
+
+namespace repro::sim {
+
+std::string VcdWriter::next_id() {
+  // Printable-ASCII identifiers: !, ", #, ... with multi-character overflow.
+  std::string id;
+  size_t n = entries_.size();
+  do {
+    id += static_cast<char>('!' + n % 94);
+    n /= 94;
+  } while (n > 0);
+  return id;
+}
+
+void VcdWriter::add(Signal<uint64_t>& signal, int width) {
+  assert(!started_ && "add() must precede start_dump()");
+  Entry entry{signal.name(), next_id(), width,
+              [&signal] { return signal.read(); }};
+  const size_t index = entries_.size();
+  entries_.push_back(std::move(entry));
+  signal.on_change([this, index] {
+    if (!started_) return;
+    advance_time();
+    emit(entries_[index], entries_[index].read());
+  });
+}
+
+void VcdWriter::add(Signal<bool>& signal) {
+  assert(!started_ && "add() must precede start_dump()");
+  Entry entry{signal.name(), next_id(), 1,
+              [&signal] { return signal.read() ? 1u : 0u; }};
+  const size_t index = entries_.size();
+  entries_.push_back(std::move(entry));
+  signal.on_change([this, index] {
+    if (!started_) return;
+    advance_time();
+    emit(entries_[index], entries_[index].read());
+  });
+}
+
+void VcdWriter::start_dump() {
+  os_ << "$timescale 1ns $end\n";
+  os_ << "$scope module " << top_ << " $end\n";
+  for (const Entry& entry : entries_) {
+    os_ << "$var wire " << entry.width << " " << entry.id << " " << entry.name
+        << " $end\n";
+  }
+  os_ << "$upscope $end\n$enddefinitions $end\n";
+  os_ << "$dumpvars\n";
+  started_ = true;  // set before emitting so counters behave consistently
+  for (const Entry& entry : entries_) emit(entry, entry.read());
+  os_ << "$end\n";
+  last_time_ = kernel_.now();
+  time_written_ = true;
+}
+
+void VcdWriter::advance_time() {
+  const Time now = kernel_.now();
+  if (!time_written_ || now != last_time_) {
+    os_ << "#" << now << "\n";
+    last_time_ = now;
+    time_written_ = true;
+  }
+}
+
+void VcdWriter::emit(const Entry& entry, uint64_t value) {
+  ++changes_;
+  if (entry.width == 1) {
+    os_ << (value & 1) << entry.id << "\n";
+    return;
+  }
+  // Binary vector value: b<bits> <id>.
+  std::string bits;
+  for (int bit = entry.width - 1; bit >= 0; --bit) {
+    bits += ((value >> bit) & 1) ? '1' : '0';
+  }
+  // Trim leading zeros (VCD allows it), keep at least one digit.
+  const size_t first_one = bits.find('1');
+  if (first_one != std::string::npos) {
+    bits = bits.substr(first_one);
+  } else {
+    bits = "0";
+  }
+  os_ << "b" << bits << " " << entry.id << "\n";
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,59 @@
+// Value Change Dump (IEEE 1364) writer for the simulation kernel, so RTL
+// runs can be inspected in any waveform viewer.
+#ifndef REPRO_SIM_VCD_H_
+#define REPRO_SIM_VCD_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.h"
+#include "sim/signal.h"
+
+namespace repro::sim {
+
+// Streams a VCD file. Register all signals with add(), then call
+// start_dump() once (writes the header and initial values); subsequent
+// committed changes are emitted as they happen. The writer assumes a 1 ns
+// timescale, matching the kernel's time unit.
+class VcdWriter {
+ public:
+  VcdWriter(Kernel& kernel, std::ostream& os, std::string top = "top")
+      : kernel_(kernel), os_(os), top_(std::move(top)) {}
+
+  // Registers a signal under its own name with the given bit width.
+  void add(Signal<uint64_t>& signal, int width = 64);
+  void add(Signal<bool>& signal);
+
+  // Writes the header and the time-zero values; must be called after all
+  // add() calls and before the simulation runs.
+  void start_dump();
+
+  uint64_t changes_written() const { return changes_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string id;  // VCD short identifier
+    int width;
+    std::function<uint64_t()> read;
+  };
+
+  std::string next_id();
+  void emit(const Entry& entry, uint64_t value);
+  void advance_time();
+
+  Kernel& kernel_;
+  std::ostream& os_;
+  std::string top_;
+  std::vector<Entry> entries_;
+  bool started_ = false;
+  uint64_t changes_ = 0;
+  Time last_time_ = 0;
+  bool time_written_ = false;
+};
+
+}  // namespace repro::sim
+
+#endif  // REPRO_SIM_VCD_H_

@@ -1,0 +1,35 @@
+// Deterministic pseudo-random number generator for stimulus and tests.
+//
+// We use our own xoshiro256** rather than std::mt19937 so that stimulus
+// streams are bit-identical across standard library implementations; the
+// benchmark tables depend on identical workloads at every abstraction level.
+#ifndef REPRO_SUPPORT_RNG_H_
+#define REPRO_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace repro {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t next();
+
+  // Uniform value in [0, bound). bound must be > 0.
+  uint64_t below(uint64_t bound);
+
+  // Uniform value in [lo, hi] inclusive.
+  uint64_t range(uint64_t lo, uint64_t hi);
+
+  // Bernoulli draw: true with probability num/den.
+  bool chance(uint32_t num, uint32_t den);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace repro
+
+#endif  // REPRO_SUPPORT_RNG_H_

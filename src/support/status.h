@@ -1,0 +1,63 @@
+// Lightweight error-reporting primitives shared across the library.
+//
+// The library avoids exceptions on expected failure paths (parse errors,
+// malformed properties) and returns Result<T> instead; programming errors
+// use assertions.
+#ifndef REPRO_SUPPORT_STATUS_H_
+#define REPRO_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace repro {
+
+// An error with a human-readable message and an optional source location
+// (byte offset) into the text that produced it.
+struct Error {
+  std::string message;
+  int position = -1;  // byte offset into the source text, -1 if unknown
+
+  std::string to_string() const {
+    if (position < 0) return message;
+    return message + " (at offset " + std::to_string(position) + ")";
+  }
+};
+
+// Minimal expected-like type: either a value or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace repro
+
+#endif  // REPRO_SUPPORT_STATUS_H_

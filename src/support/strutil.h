@@ -1,0 +1,26 @@
+// Small string helpers used by the PSL front end and the CLI tools.
+#ifndef REPRO_SUPPORT_STRUTIL_H_
+#define REPRO_SUPPORT_STRUTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro {
+
+// Splits `text` on `sep`, trimming ASCII whitespace from each piece and
+// dropping empty pieces.
+std::vector<std::string> split_and_trim(std::string_view text, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace repro
+
+#endif  // REPRO_SUPPORT_STRUTIL_H_

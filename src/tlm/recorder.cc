@@ -1,0 +1,17 @@
+#include "tlm/recorder.h"
+
+#include <memory>
+#include <utility>
+
+namespace repro::tlm {
+
+void TransactionRecorder::emit(TransactionRecord record) {
+  ++transactions_;
+  if (listeners_.empty()) return;
+  auto shared = std::make_shared<TransactionRecord>(std::move(record));
+  kernel_.schedule_at(shared->end, [this, shared] {
+    for (const auto& listener : listeners_) listener(*shared);
+  });
+}
+
+}  // namespace repro::tlm

@@ -1,0 +1,34 @@
+#include "tlm/socket.h"
+
+namespace repro::tlm {
+
+sim::Time InitiatorSocket::transport(Payload& payload) {
+  sim::Time delay = 0;
+  return transport(payload, delay);
+}
+
+sim::Time InitiatorSocket::transport(Payload& payload, sim::Time& delay) {
+  assert(target_ != nullptr && "initiator socket not bound");
+  const sim::Time start = kernel_.now() + delay;
+  const bool monitored = recorder_ != nullptr && recorder_->active();
+  payload.monitored = monitored;
+  target_->b_transport(payload, delay);
+  const sim::Time end = kernel_.now() + delay;
+  if (recorder_ == nullptr) return end;
+  if (!monitored || !payload.record) {
+    recorder_->count();
+    return end;
+  }
+  TransactionRecord record;
+  record.start = start;
+  record.end = end;
+  record.command = payload.command;
+  record.address = payload.address;
+  record.data = payload.data;
+  record.response = payload.response;
+  record.observables = std::move(payload.observables);
+  recorder_->emit(std::move(record));
+  return end;
+}
+
+}  // namespace repro::tlm

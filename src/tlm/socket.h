@@ -1,0 +1,59 @@
+// Initiator/target sockets with blocking transport and timing annotation,
+// modeled after the TLM-2.0 loosely-/approximately-timed interfaces.
+#ifndef REPRO_TLM_SOCKET_H_
+#define REPRO_TLM_SOCKET_H_
+
+#include <cassert>
+#include <string>
+
+#include "sim/kernel.h"
+#include "tlm/recorder.h"
+#include "tlm/transaction.h"
+
+namespace repro::tlm {
+
+// Target side: the model implements b_transport. The callee may add to
+// `delay` the time the transaction takes; it must fill payload.data on
+// reads and payload.observables with the preserved interface values as of
+// completion.
+class TargetIf {
+ public:
+  virtual ~TargetIf() = default;
+  virtual void b_transport(Payload& payload, sim::Time& delay) = 0;
+};
+
+// Initiator side. transport() forwards to the bound target, emits the
+// completed transaction to the recorder (delivered at the completion
+// instant) and returns the completion time so state-machine drivers can
+// schedule their continuation after it.
+class InitiatorSocket {
+ public:
+  InitiatorSocket(sim::Kernel& kernel, TransactionRecorder* recorder,
+                  std::string name)
+      : kernel_(kernel), recorder_(recorder), name_(std::move(name)) {}
+
+  void bind(TargetIf& target) { target_ = &target; }
+  bool bound() const { return target_ != nullptr; }
+  const std::string& name() const { return name_; }
+
+  // Issues `payload` now; returns the completion time (now + annotated
+  // delay). The payload is updated in place (read data, response,
+  // observables).
+  sim::Time transport(Payload& payload);
+
+  // Temporally-decoupled variant (TLM-2.0 LT style): the transaction starts
+  // `delay` after the current kernel time; the target adds its latency to
+  // `delay`. Returns the completion time (now + delay-out). This lets a
+  // driver issue a whole burst from a single kernel event.
+  sim::Time transport(Payload& payload, sim::Time& delay);
+
+ private:
+  sim::Kernel& kernel_;
+  TransactionRecorder* recorder_;  // may be null (unmonitored traffic)
+  std::string name_;
+  TargetIf* target_ = nullptr;
+};
+
+}  // namespace repro::tlm
+
+#endif  // REPRO_TLM_SOCKET_H_

@@ -1,0 +1,22 @@
+#include "tlm/transaction.h"
+
+namespace repro::tlm {
+
+const char* to_string(Command c) {
+  switch (c) {
+    case Command::kRead: return "read";
+    case Command::kWrite: return "write";
+  }
+  return "?";
+}
+
+const char* to_string(Response r) {
+  switch (r) {
+    case Response::kOk: return "ok";
+    case Response::kAddressError: return "address-error";
+    case Response::kGenericError: return "generic-error";
+  }
+  return "?";
+}
+
+}  // namespace repro::tlm

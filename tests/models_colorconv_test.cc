@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "models/colorconv/colorconv_core.h"
+#include "models/colorconv/colorconv_rtl.h"
+#include "models/stimulus.h"
+#include "sim/clock.h"
+#include "sim/kernel.h"
+#include "support/rng.h"
+
+namespace repro::models {
+namespace {
+
+// ---- Reference conversion -----------------------------------------------------
+
+TEST(ColorConvRef, BlackWhiteGray) {
+  EXPECT_EQ(colorconv_ref(0, 0, 0), (Ycbcr{16, 128, 128}));
+  EXPECT_EQ(colorconv_ref(255, 255, 255), (Ycbcr{235, 128, 128}));
+  EXPECT_EQ(colorconv_ref(100, 100, 100), (Ycbcr{102, 128, 128}));
+}
+
+TEST(ColorConvRef, PrimaryColors) {
+  // Saturated primaries hit the nominal Cb/Cr extremes.
+  EXPECT_EQ(colorconv_ref(0, 0, 255).cb, 240);  // blue
+  EXPECT_EQ(colorconv_ref(255, 0, 0).cr, 240);  // red
+  EXPECT_EQ(colorconv_ref(255, 255, 0).cb, 16); // yellow
+  EXPECT_EQ(colorconv_ref(0, 255, 255).cr, 16); // cyan
+}
+
+class ColorConvRange : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColorConvRange, OutputsStayInNominalRanges) {
+  // The range properties of the suite (c8-c10), exhaustively over a seeded
+  // sample of the input cube.
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 200; ++i) {
+    const uint8_t r = static_cast<uint8_t>(rng.below(256));
+    const uint8_t g = static_cast<uint8_t>(rng.below(256));
+    const uint8_t b = static_cast<uint8_t>(rng.below(256));
+    const Ycbcr out = colorconv_ref(r, g, b);
+    ASSERT_GE(out.y, 16) << int(r) << "," << int(g) << "," << int(b);
+    ASSERT_LE(out.y, 235);
+    ASSERT_GE(out.cb, 16);
+    ASSERT_LE(out.cb, 240);
+    ASSERT_GE(out.cr, 16);
+    ASSERT_LE(out.cr, 240);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ColorConvRange, ::testing::Range(0, 20));
+
+TEST(ColorConvRef, GrayscaleHasNeutralChroma) {
+  for (int v = 0; v < 256; ++v) {
+    const Ycbcr out = colorconv_ref(v, v, v);
+    ASSERT_EQ(out.cb, 128) << v;
+    ASSERT_EQ(out.cr, 128) << v;
+  }
+}
+
+// ---- Pipeline ---------------------------------------------------------------
+
+TEST(ColorConvPipeline, EightCycleLatency) {
+  ColorConvPipeline pipe;
+  ColorConvInputs in;
+  in.ds = true;
+  in.r = 10;
+  in.g = 20;
+  in.b = 30;
+  ColorConvOutputs out = pipe.step(in);
+  EXPECT_FALSE(out.rdy);
+  in = ColorConvInputs{};
+  for (int edge = 1; edge <= 7; ++edge) {
+    out = pipe.step(in);
+    EXPECT_FALSE(out.rdy) << "edge " << edge;
+    EXPECT_EQ(out.rdy_next_cycle, edge == 7);
+  }
+  out = pipe.step(in);  // edge 8
+  EXPECT_TRUE(out.rdy);
+  const Ycbcr expect = colorconv_ref(10, 20, 30);
+  EXPECT_EQ(out.y, expect.y);
+  EXPECT_EQ(out.cb, expect.cb);
+  EXPECT_EQ(out.cr, expect.cr);
+}
+
+TEST(ColorConvPipeline, OnePixelPerCycleThroughput) {
+  ColorConvPipeline pipe;
+  Rng rng(11);
+  std::vector<Pixel> pixels;
+  for (int i = 0; i < 32; ++i) {
+    pixels.push_back({static_cast<uint8_t>(rng.below(256)),
+                      static_cast<uint8_t>(rng.below(256)),
+                      static_cast<uint8_t>(rng.below(256))});
+  }
+  size_t results = 0;
+  for (size_t edge = 0; edge < pixels.size() + 8; ++edge) {
+    ColorConvInputs in;
+    if (edge < pixels.size()) {
+      in.ds = true;
+      in.r = pixels[edge].r;
+      in.g = pixels[edge].g;
+      in.b = pixels[edge].b;
+    }
+    const ColorConvOutputs out = pipe.step(in);
+    if (out.rdy) {
+      const Pixel& p = pixels[results];
+      const Ycbcr expect = colorconv_ref(p.r, p.g, p.b);
+      ASSERT_EQ(out.y, expect.y) << "pixel " << results;
+      ASSERT_EQ(out.cb, expect.cb);
+      ASSERT_EQ(out.cr, expect.cr);
+      ++results;
+    }
+  }
+  EXPECT_EQ(results, pixels.size());
+}
+
+TEST(ColorConvPipeline, BubblesPropagate) {
+  ColorConvPipeline pipe;
+  ColorConvInputs pixel;
+  pixel.ds = true;
+  pixel.r = 50;
+  // pixel, bubble, pixel: rdy pattern must be 1,0,1 starting at edge 8.
+  pipe.step(pixel);
+  pipe.step(ColorConvInputs{});
+  pipe.step(pixel);
+  std::vector<bool> rdy;
+  for (int edge = 3; edge <= 10; ++edge) {
+    rdy.push_back(pipe.step(ColorConvInputs{}).rdy);
+  }
+  // Edges 8, 9, 10 -> indices 5, 6, 7.
+  EXPECT_FALSE(rdy[4]);
+  EXPECT_TRUE(rdy[5]);
+  EXPECT_FALSE(rdy[6]);
+  EXPECT_TRUE(rdy[7]);
+}
+
+TEST(ColorConvPipeline, ResetClearsState) {
+  ColorConvPipeline pipe;
+  ColorConvInputs in;
+  in.ds = true;
+  pipe.step(in);
+  pipe.reset();
+  for (int edge = 0; edge < 12; ++edge) {
+    EXPECT_FALSE(pipe.step(ColorConvInputs{}).rdy);
+  }
+}
+
+// ---- RTL model vs. pipeline ---------------------------------------------------
+
+TEST(ColorConvRtl, MatchesPipelineOverRandomStream) {
+  sim::Kernel kernel;
+  sim::Clock clock(kernel, "clk", 10, 0);
+  ColorConvRtl rtl(kernel, clock);
+  ColorConvPipeline reference;
+
+  const std::vector<CcBurst> bursts = make_cc_bursts(120, 5);
+  ColorConvDriverModel driver(bursts);
+  auto last_inputs = std::make_shared<ColorConvInputs>();
+  size_t divergences = 0;
+
+  clock.on_negedge([&] {
+    if (driver.done()) {
+      kernel.stop();
+      return;
+    }
+    const ColorConvDrive drive =
+        driver.tick(rtl.rdy.read(), static_cast<uint8_t>(rtl.y.read()),
+                    static_cast<uint8_t>(rtl.cb.read()),
+                    static_cast<uint8_t>(rtl.cr.read()));
+    rtl.ds.write(drive.inputs.ds);
+    rtl.r.write(drive.inputs.r);
+    rtl.g.write(drive.inputs.g);
+    rtl.b.write(drive.inputs.b);
+    *last_inputs = drive.inputs;
+  });
+  clock.on_posedge([&] {
+    const ColorConvOutputs expect = reference.step(*last_inputs);
+    kernel.schedule_delta([&, expect] {
+      kernel.schedule_delta([&rtl, expect, &divergences] {
+        if (rtl.rdy.read() != expect.rdy || rtl.y.read() != expect.y ||
+            rtl.cb.read() != expect.cb || rtl.cr.read() != expect.cr ||
+            rtl.rdy_next_cycle.read() != expect.rdy_next_cycle) {
+          ++divergences;
+        }
+      });
+    });
+  });
+
+  kernel.run(10'000'000);
+  EXPECT_EQ(divergences, 0u);
+  EXPECT_EQ(driver.mismatches(), 0u);
+}
+
+// ---- Burst stimulus -----------------------------------------------------------
+
+TEST(Stimulus, BurstsRespectSofPrecondition) {
+  const auto bursts = make_cc_bursts(500, 9);
+  size_t total = 0;
+  for (const auto& burst : bursts) {
+    EXPECT_GE(burst.gap, 9u);  // sof fires only into an empty pipeline
+    EXPECT_GE(burst.pixels.size(), 1u);
+    total += burst.pixels.size();
+  }
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(Stimulus, BurstsContainCornerCasePixels) {
+  const auto bursts = make_cc_bursts(2000, 42);
+  size_t black = 0, white = 0, gray = 0;
+  for (const auto& burst : bursts) {
+    for (const auto& p : burst.pixels) {
+      if (p.r == 0 && p.g == 0 && p.b == 0) ++black;
+      if (p.r == 255 && p.g == 255 && p.b == 255) ++white;
+      if (p.r == p.g && p.g == p.b) ++gray;
+    }
+  }
+  EXPECT_GT(black, 20u);  // c4 fires
+  EXPECT_GT(white, 20u);  // c5 fires
+  EXPECT_GT(gray, 100u);  // c12 fires
+}
+
+}  // namespace
+}  // namespace repro::models

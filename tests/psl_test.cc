@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include "psl/ast.h"
+#include "psl/lexer.h"
+#include "psl/parser.h"
+#include "psl/simple_subset.h"
+
+namespace repro::psl {
+namespace {
+
+// ---- Lexer ------------------------------------------------------------------
+
+TEST(Lexer, TokenizesOperatorsAndIdents) {
+  auto tokens = tokenize("always (!ds || next[17](out != 0)) @clk_pos");
+  ASSERT_TRUE(tokens.ok());
+  const auto& v = tokens.value();
+  EXPECT_EQ(v.front().text, "always");
+  EXPECT_EQ(v.back().kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, StrongOperatorSuffix) {
+  auto tokens = tokenize("a until! b eventually! c");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[1].text, "until!");
+  EXPECT_EQ(tokens.value()[3].text, "eventually!");
+}
+
+TEST(Lexer, HexAndDecimalNumbers) {
+  auto tokens = tokenize("x == 0x1F y == 42");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[2].value, 0x1Fu);
+  EXPECT_EQ(tokens.value()[5].value, 42u);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto tokens = tokenize("a # comment\n-- another\nb");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens.value().size(), 3u);  // a, b, end
+}
+
+TEST(Lexer, SingleEqualsAcceptedAsEquality) {
+  auto tokens = tokenize("indata = 0");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[1].kind, TokenKind::kEq);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_FALSE(tokenize("a $ b").ok());
+  EXPECT_FALSE(tokenize("a - b").ok());
+  EXPECT_FALSE(tokenize("0x").ok());
+}
+
+// ---- Parser round trips -----------------------------------------------------
+
+// Parsing the printed form must reproduce the same tree.
+void expect_roundtrip(const std::string& text) {
+  auto first = parse_expr(text);
+  ASSERT_TRUE(first.ok()) << text << ": " << first.error().to_string();
+  const std::string printed = to_string(first.value());
+  auto second = parse_expr(printed);
+  ASSERT_TRUE(second.ok()) << printed << ": " << second.error().to_string();
+  EXPECT_TRUE(equal(first.value(), second.value()))
+      << text << " -> " << printed << " -> " << to_string(second.value());
+}
+
+TEST(Parser, RoundTrips) {
+  expect_roundtrip("ds");
+  expect_roundtrip("!ds");
+  expect_roundtrip("ds && rdy || out != 0");
+  expect_roundtrip("always (!(ds && indata == 0) || next[17](out != 0))");
+  expect_roundtrip("always (!ds || (next(!ds) until next[2](rdy)))");
+  expect_roundtrip("a until! b");
+  expect_roundtrip("a release b");
+  expect_roundtrip("eventually! rdy");
+  expect_roundtrip("next_e[1,170](out != 0)");
+  expect_roundtrip("always (!ds || (next_e[1,10](!ds) until next_e[2,20](rdy)))");
+  expect_roundtrip("a -> b -> c");
+  expect_roundtrip("x >= 16 && x <= 235");
+  expect_roundtrip("r == g && g == b");
+  expect_roundtrip("true until! false");
+  expect_roundtrip("(a until b) abort rst");
+  expect_roundtrip("always (!a || b) abort rst");
+}
+
+TEST(Parser, NeverIsSugarForAlwaysNot) {
+  auto never = parse_expr("never (a && b)");
+  auto always_not = parse_expr("always !(a && b)");
+  ASSERT_TRUE(never.ok());
+  ASSERT_TRUE(always_not.ok());
+  EXPECT_TRUE(equal(never.value(), always_not.value()));
+}
+
+TEST(Parser, AbortConditionMustBeBoolean) {
+  EXPECT_TRUE(parse_expr("a abort rst").ok());
+  EXPECT_TRUE(parse_expr("next[3](a) abort (rst || err == 2)").ok());
+  EXPECT_FALSE(parse_expr("a abort next(rst)").ok());
+}
+
+TEST(Parser, PrecedenceAndBindsTighterThanOr) {
+  auto e = parse_expr("a || b && c");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value()->kind, ExprKind::kOr);
+  EXPECT_EQ(e.value()->rhs->kind, ExprKind::kAnd);
+}
+
+TEST(Parser, ImpliesIsRightAssociative) {
+  auto e = parse_expr("a -> b -> c");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value()->kind, ExprKind::kImplies);
+  EXPECT_EQ(e.value()->rhs->kind, ExprKind::kImplies);
+}
+
+TEST(Parser, UntilBindsLooserThanOr) {
+  auto e = parse_expr("a || b until c");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value()->kind, ExprKind::kUntil);
+  EXPECT_EQ(e.value()->lhs->kind, ExprKind::kOr);
+}
+
+TEST(Parser, NextDefaultsToOne) {
+  auto e = parse_expr("next(a)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value()->kind, ExprKind::kNext);
+  EXPECT_EQ(e.value()->next_count, 1u);
+}
+
+TEST(Parser, ErrorsArePositioned) {
+  auto e = parse_expr("always (ds ||");
+  ASSERT_FALSE(e.ok());
+  EXPECT_GE(e.error().position, 0);
+}
+
+TEST(Parser, RejectsNextZero) {
+  EXPECT_FALSE(parse_expr("next[0](a)").ok());
+}
+
+TEST(Parser, RejectsTrailingInput) {
+  EXPECT_FALSE(parse_expr("a b").ok());
+}
+
+TEST(Parser, RejectsKeywordAsAtom) {
+  EXPECT_FALSE(parse_expr("until").ok());
+}
+
+TEST(Parser, ComparisonNeedsOperand) {
+  EXPECT_FALSE(parse_expr("a ==").ok());
+  EXPECT_FALSE(parse_expr("a == until").ok());
+}
+
+// ---- Properties and contexts -------------------------------------------------
+
+TEST(Parser, RtlPropertyWithNameAndContext) {
+  auto p = parse_rtl_property("p1: always (!ds || rdy) @clk_pos");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().name, "p1");
+  EXPECT_EQ(p.value().context.kind, ClockContext::Kind::kClkPos);
+  EXPECT_EQ(p.value().context.guard, nullptr);
+}
+
+TEST(Parser, RtlPropertyGuardedContext) {
+  auto p = parse_rtl_property("always (!ds || rdy) @clk_pos && monitor_en");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().context.kind, ClockContext::Kind::kClkPos);
+  ASSERT_NE(p.value().context.guard, nullptr);
+  EXPECT_EQ(to_string(p.value().context.guard), "monitor_en");
+}
+
+TEST(Parser, RtlPropertyDefaultContextIsTrue) {
+  auto p = parse_rtl_property("always rdy");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().context.kind, ClockContext::Kind::kTrue);
+}
+
+TEST(Parser, RtlPropertyRejectsTbContext) {
+  EXPECT_FALSE(parse_rtl_property("always rdy @Tb").ok());
+}
+
+TEST(Parser, TlmPropertyParsesTb) {
+  auto q = parse_tlm_property("q3: always (!ds || next_e[1,170](rdy)) @Tb");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().name, "q3");
+  EXPECT_EQ(q.value().context.guard, nullptr);
+}
+
+TEST(Parser, TlmPropertyGuardedTb) {
+  auto q = parse_tlm_property("always rdy @Tb && monitor_en");
+  ASSERT_TRUE(q.ok());
+  ASSERT_NE(q.value().context.guard, nullptr);
+}
+
+TEST(Parser, TlmPropertyRejectsClockContext) {
+  EXPECT_FALSE(parse_tlm_property("always rdy @clk_pos").ok());
+}
+
+TEST(Parser, PropertyFileParsesMultiple) {
+  auto file = parse_rtl_property_file(R"(
+    # suite
+    p1: always (!ds || rdy) @clk_pos;
+    p2: always (!ds || next(!ds until rdy)) @clk_pos;
+  )");
+  ASSERT_TRUE(file.ok());
+  ASSERT_EQ(file.value().size(), 2u);
+  EXPECT_EQ(file.value()[0].name, "p1");
+  EXPECT_EQ(file.value()[1].name, "p2");
+}
+
+TEST(Parser, PropertyFileRejectsMissingSeparator) {
+  EXPECT_FALSE(parse_rtl_property_file("p1: a @clk_pos p2: b @clk_pos").ok());
+}
+
+// ---- AST queries --------------------------------------------------------------
+
+TEST(Ast, ReferencedSignals) {
+  auto e = parse_expr("always (!(ds && indata == 0) || next[17](out != k2))");
+  ASSERT_TRUE(e.ok());
+  const auto signals = referenced_signals(e.value());
+  EXPECT_EQ(signals, (std::set<std::string>{"ds", "indata", "out", "k2"}));
+}
+
+TEST(Ast, IsBooleanAndLiteral) {
+  EXPECT_TRUE(is_boolean(parse_expr("a && !b || c != 3").value()));
+  EXPECT_FALSE(is_boolean(parse_expr("next(a)").value()));
+  EXPECT_TRUE(is_literal(parse_expr("!a").value()));
+  EXPECT_FALSE(is_literal(parse_expr("!(a && b)").value()));
+}
+
+TEST(Ast, MaxEpsAccumulatesAlongPaths) {
+  auto e = parse_expr("next_e[1,30](a) && next_e[2,50](b)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(max_eps(e.value()), 50u);
+}
+
+TEST(Ast, HasTemporal) {
+  EXPECT_FALSE(has_temporal(parse_expr("a && b").value()));
+  EXPECT_TRUE(has_temporal(parse_expr("a until b").value()));
+  EXPECT_TRUE(has_temporal(parse_expr("always a").value()));
+}
+
+TEST(Ast, EqualityDistinguishesStrength) {
+  EXPECT_FALSE(equal(parse_expr("a until b").value(),
+                     parse_expr("a until! b").value()));
+  EXPECT_TRUE(equal(parse_expr("a until b").value(),
+                    parse_expr("a until b").value()));
+}
+
+TEST(Ast, NodeCount) {
+  EXPECT_EQ(node_count(parse_expr("a && b").value()), 3u);
+}
+
+// ---- Simple subset -------------------------------------------------------------
+
+TEST(SimpleSubset, AcceptsPaperProperties) {
+  EXPECT_TRUE(in_simple_subset(
+      parse_expr("always (!(ds && indata == 0) || next[17](out != 0))").value()));
+  EXPECT_TRUE(in_simple_subset(
+      parse_expr("always (!ds || (next(!ds) until next[2](rdy)))").value()));
+}
+
+TEST(SimpleSubset, RejectsNegatedTemporal) {
+  const auto violations =
+      simple_subset_violations(parse_expr("!(next(a))").value());
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(SimpleSubset, RejectsTemporalOrTemporal) {
+  EXPECT_FALSE(in_simple_subset(parse_expr("next(a) || next(b)").value()));
+}
+
+TEST(SimpleSubset, RejectsTemporalImplicationAntecedent) {
+  EXPECT_FALSE(in_simple_subset(parse_expr("next(a) -> b").value()));
+}
+
+TEST(SimpleSubset, AcceptsBooleanOperandFixpoints) {
+  EXPECT_TRUE(in_simple_subset(parse_expr("a until b").value()));
+  EXPECT_TRUE(in_simple_subset(parse_expr("a release b").value()));
+  EXPECT_TRUE(in_simple_subset(parse_expr("(a until b) abort rst").value()));
+}
+
+}  // namespace
+}  // namespace repro::psl

@@ -1,0 +1,410 @@
+#include <gtest/gtest.h>
+
+#include "psl/parser.h"
+#include "rewrite/context_map.h"
+#include "rewrite/methodology.h"
+#include "rewrite/next_substitution.h"
+#include "rewrite/nnf.h"
+#include "rewrite/push_ahead.h"
+#include "rewrite/signal_abstraction.h"
+
+namespace repro::rewrite {
+namespace {
+
+using psl::ExprPtr;
+
+ExprPtr parse(const std::string& text) {
+  auto result = psl::parse_expr(text);
+  EXPECT_TRUE(result.ok()) << text << ": "
+                           << (result.ok() ? "" : result.error().to_string());
+  return result.value();
+}
+
+void expect_rewrites(const ExprPtr& input, const std::string& expected,
+                     ExprPtr (*pass)(const ExprPtr&)) {
+  const ExprPtr got = pass(input);
+  EXPECT_EQ(psl::to_string(got), expected) << "input: " << psl::to_string(input);
+}
+
+// ---- NNF --------------------------------------------------------------------
+
+TEST(Nnf, EliminatesImplication) {
+  expect_rewrites(parse("a -> b"), "!a || b", to_nnf);
+}
+
+TEST(Nnf, DeMorgan) {
+  expect_rewrites(parse("!(a && b)"), "!a || !b", to_nnf);
+  expect_rewrites(parse("!(a || b)"), "!a && !b", to_nnf);
+}
+
+TEST(Nnf, DoubleNegation) {
+  expect_rewrites(parse("!!a"), "a", to_nnf);
+}
+
+TEST(Nnf, FlipsComparisonAtoms) {
+  expect_rewrites(parse("!(x == 3)"), "x != 3", to_nnf);
+  expect_rewrites(parse("!(x < 3)"), "x >= 3", to_nnf);
+  expect_rewrites(parse("!(x >= 3)"), "x < 3", to_nnf);
+  expect_rewrites(parse("!(x != 3)"), "x == 3", to_nnf);
+}
+
+TEST(Nnf, NegationThroughNext) {
+  expect_rewrites(parse("!(next[3](a))"), "next[3](!a)", to_nnf);
+}
+
+TEST(Nnf, UntilReleaseDuality) {
+  expect_rewrites(parse("!(a until! b)"), "!a release !b", to_nnf);
+  expect_rewrites(parse("!(a release b)"), "!a until! !b", to_nnf);
+  // Weak until negation: !(p W q) == !q until! (!p && !q); the conjunction
+  // needs no parentheses since && binds tighter than until!.
+  expect_rewrites(parse("!(a until b)"), "!b until! !a && !b", to_nnf);
+}
+
+TEST(Nnf, AlwaysEventuallyDuality) {
+  expect_rewrites(parse("!(always a)"), "eventually! !a", to_nnf);
+  expect_rewrites(parse("!(eventually! a)"), "always !a", to_nnf);
+}
+
+TEST(Nnf, NegationThroughAbort) {
+  // Reset semantics: negation flips the reset resolution value.
+  expect_rewrites(parse("!((a until b) abort rst)"),
+                  "(!b until! !a && !b) abort! rst", to_nnf);
+  expect_rewrites(parse("!(a abort! rst)"), "!a abort rst", to_nnf);
+}
+
+TEST(Nnf, Constants) {
+  expect_rewrites(parse("!true"), "false", to_nnf);
+  expect_rewrites(parse("!false"), "true", to_nnf);
+}
+
+TEST(Nnf, IsIdempotent) {
+  const ExprPtr once = to_nnf(parse("!(a -> next(b until! c))"));
+  const ExprPtr twice = to_nnf(once);
+  EXPECT_TRUE(psl::equal(once, twice));
+  EXPECT_TRUE(is_nnf(once));
+}
+
+TEST(Nnf, RecognizerRejectsNonNnf) {
+  EXPECT_FALSE(is_nnf(parse("a -> b")));
+  EXPECT_FALSE(is_nnf(parse("!(a && b)")));
+  EXPECT_TRUE(is_nnf(parse("!a || b")));
+}
+
+// ---- push_ahead_next ----------------------------------------------------------
+
+ExprPtr push_paper(const ExprPtr& e) {
+  return push_ahead_next(e, PushMode::kDistributeThroughFixpoints);
+}
+
+TEST(PushAhead, DistributesOverOr) {
+  expect_rewrites(parse("next(a || b)"), "next(a) || next(b)", push_paper);
+}
+
+TEST(PushAhead, DistributesOverAnd) {
+  expect_rewrites(parse("next(a && b)"), "next(a) && next(b)", push_paper);
+}
+
+TEST(PushAhead, DistributesOverUntil) {
+  // The paper's p2 example (Sec. III-A).
+  expect_rewrites(parse("next(!ds until next(rdy))"),
+                  "next(!ds) until next[2](rdy)", push_paper);
+}
+
+TEST(PushAhead, DistributesOverRelease) {
+  expect_rewrites(parse("next(a release b)"), "next(a) release next(b)",
+                  push_paper);
+}
+
+TEST(PushAhead, CollapsesChains) {
+  expect_rewrites(parse("next[2](next[3](a))"), "next[5](a)", push_paper);
+}
+
+TEST(PushAhead, CommutesWithAlwaysAndEventually) {
+  expect_rewrites(parse("next(always a)"), "always next(a)", push_paper);
+  expect_rewrites(parse("next(eventually! a)"), "eventually! next(a)",
+                  push_paper);
+}
+
+TEST(PushAhead, ConstantsAreTimeInvariant) {
+  expect_rewrites(parse("next[4](true)"), "true", push_paper);
+  expect_rewrites(parse("next[4](false)"), "false", push_paper);
+}
+
+TEST(PushAhead, OpaqueModeKeepsBooleanOperandFixpoints) {
+  const ExprPtr got =
+      push_ahead_next(parse("next(!ds until rdy)"), PushMode::kOpaqueFixpoints);
+  EXPECT_EQ(psl::to_string(got), "next(!ds until rdy)");
+  EXPECT_TRUE(is_pushed(got));
+}
+
+TEST(PushAhead, OpaqueModeStillDistributesNonBooleanFixpoints) {
+  const ExprPtr got = push_ahead_next(parse("next(!ds until next(rdy))"),
+                                      PushMode::kOpaqueFixpoints);
+  EXPECT_EQ(psl::to_string(got), "next(!ds) until next[2](rdy)");
+}
+
+TEST(PushAhead, AbortConditionShiftsWithOperand) {
+  expect_rewrites(parse("next[2](a abort rst)"), "next[2](a) abort rst",
+                  push_paper);
+}
+
+TEST(PushAhead, OpaqueModeKeepsBooleanAbort) {
+  const auto got =
+      push_ahead_next(parse("next(a abort rst)"), PushMode::kOpaqueFixpoints);
+  EXPECT_EQ(psl::to_string(got), "next(a abort rst)");
+}
+
+TEST(PushAhead, ResultIsPushed) {
+  const ExprPtr got = push_paper(parse("next[2]((a || next(b)) until c)"));
+  EXPECT_TRUE(is_pushed(got));
+}
+
+// ---- Algorithm III.1 ------------------------------------------------------------
+
+TEST(NextSubstitution, AssignsTauInTextualOrderAndEpsFromClock) {
+  const ExprPtr input = parse("next[3](a) && next[5](b)");
+  const ExprPtr got = substitute_next(input, 10);
+  EXPECT_EQ(psl::to_string(got), "next_e[1,30](a) && next_e[2,50](b)");
+}
+
+TEST(NextSubstitution, UsesClockPeriod) {
+  const ExprPtr got = substitute_next(parse("next[4](a)"), 7);
+  EXPECT_EQ(psl::to_string(got), "next_e[1,28](a)");
+}
+
+TEST(NextSubstitution, LeavesUntilReleaseUnchanged) {
+  const ExprPtr input = parse("a until b");
+  const ExprPtr got = substitute_next(input, 10);
+  EXPECT_TRUE(psl::equal(input, got));
+}
+
+TEST(NextSubstitution, TauOrderInsideUntilOperands) {
+  const ExprPtr input = parse("next(a) until next[2](b)");
+  const ExprPtr got = substitute_next(input, 10);
+  EXPECT_EQ(psl::to_string(got), "next_e[1,10](a) until next_e[2,20](b)");
+}
+
+// ---- Def. III.2 context mapping ---------------------------------------------------
+
+TEST(ContextMap, BasicContextsMapToTb) {
+  for (auto kind : {psl::ClockContext::Kind::kTrue, psl::ClockContext::Kind::kClk,
+                    psl::ClockContext::Kind::kClkPos,
+                    psl::ClockContext::Kind::kClkNeg}) {
+    psl::ClockContext c;
+    c.kind = kind;
+    const psl::TransactionContext t = map_context(c);
+    EXPECT_EQ(t.guard, nullptr);
+    EXPECT_EQ(psl::to_string(t), "Tb");
+  }
+}
+
+TEST(ContextMap, GuardCarriesOver) {
+  psl::ClockContext c;
+  c.kind = psl::ClockContext::Kind::kClkPos;
+  c.guard = parse("monitor_en && mode == 2");
+  const psl::TransactionContext t = map_context(c);
+  EXPECT_EQ(psl::to_string(t), "Tb && monitor_en && mode == 2");
+}
+
+// ---- Fig. 4 signal abstraction ------------------------------------------------------
+
+SignalAbstractionResult abstract(const std::string& text,
+                                 std::set<std::string> signals) {
+  return abstract_signals(to_nnf(parse(text)), signals);
+}
+
+TEST(SignalAbstraction, AtomDeleted) {
+  const auto result = abstract("a_s", {"a_s"});
+  EXPECT_EQ(result.formula, nullptr);
+  EXPECT_EQ(result.classification, AbstractionClass::kDeleted);
+}
+
+TEST(SignalAbstraction, NegatedAtomDeleted) {
+  const auto result = abstract("!a_s", {"a_s"});
+  EXPECT_EQ(result.formula, nullptr);
+}
+
+TEST(SignalAbstraction, NextOfDeletedIsDeleted) {
+  const auto result = abstract("next[3](a_s)", {"a_s"});
+  EXPECT_EQ(result.formula, nullptr);
+}
+
+TEST(SignalAbstraction, OrAbsorbsDeleted) {
+  const auto left = abstract("p || a_s", {"a_s"});
+  ASSERT_NE(left.formula, nullptr);
+  EXPECT_EQ(psl::to_string(left.formula), "p");
+  EXPECT_EQ(left.classification, AbstractionClass::kNeedsReview);
+
+  const auto right = abstract("a_s || p", {"a_s"});
+  EXPECT_EQ(psl::to_string(right.formula), "p");
+}
+
+TEST(SignalAbstraction, AndAbsorbsDeletedAsConsequence) {
+  const auto result = abstract("p && a_s", {"a_s"});
+  EXPECT_EQ(psl::to_string(result.formula), "p");
+  EXPECT_EQ(result.classification, AbstractionClass::kConsequence);
+}
+
+TEST(SignalAbstraction, UntilRules) {
+  // p until deleted -> p (needs review).
+  const auto rhs = abstract("p until a_s", {"a_s"});
+  EXPECT_EQ(psl::to_string(rhs.formula), "p");
+  EXPECT_EQ(rhs.classification, AbstractionClass::kNeedsReview);
+  // deleted until p -> deleted.
+  const auto lhs = abstract("a_s until p", {"a_s"});
+  EXPECT_EQ(lhs.formula, nullptr);
+}
+
+TEST(SignalAbstraction, ReleaseRules) {
+  // p release deleted -> deleted.
+  const auto rhs = abstract("p release a_s", {"a_s"});
+  EXPECT_EQ(rhs.formula, nullptr);
+  // deleted release p -> p (consequence: p release q entails q now).
+  const auto lhs = abstract("a_s release p", {"a_s"});
+  EXPECT_EQ(psl::to_string(lhs.formula), "p");
+  EXPECT_EQ(lhs.classification, AbstractionClass::kConsequence);
+}
+
+TEST(SignalAbstraction, AbortRules) {
+  // p abort deleted -> p (needs review: the reset protection is lost).
+  const auto rhs = abstract("p abort rst_s", {"rst_s"});
+  EXPECT_EQ(psl::to_string(rhs.formula), "p");
+  EXPECT_EQ(rhs.classification, AbstractionClass::kNeedsReview);
+  // deleted abort b -> deleted.
+  const auto lhs = abstract("a_s abort rst", {"a_s"});
+  EXPECT_EQ(lhs.formula, nullptr);
+}
+
+TEST(SignalAbstraction, AlwaysOfDeletedIsDeleted) {
+  EXPECT_EQ(abstract("always a_s", {"a_s"}).formula, nullptr);
+  EXPECT_EQ(abstract("eventually! a_s", {"a_s"}).formula, nullptr);
+}
+
+TEST(SignalAbstraction, UntouchedFormulaIsUnchangedAndShared) {
+  const ExprPtr input = to_nnf(parse("a until b"));
+  const auto result = abstract_signals(input, {"other"});
+  EXPECT_EQ(result.formula, input);  // pointer-equal: no rebuild
+  EXPECT_EQ(result.classification, AbstractionClass::kUnchanged);
+}
+
+TEST(SignalAbstraction, AtomWithAbstractedRhsSignalDeleted) {
+  const auto result = abstract("x == a_s || p", {"a_s"});
+  EXPECT_EQ(psl::to_string(result.formula), "p");
+}
+
+TEST(SignalAbstraction, PaperP3Example) {
+  // Fig. 3: p3 loses both next-chains over the abstracted handshake signals
+  // and keeps next[17](rdy); the && absorptions are consequences.
+  const auto result = abstract(
+      "!ds || (next[15](rdy_nnc) && next[16](rdy_nc) && next[17](rdy))",
+      {"rdy_nnc", "rdy_nc"});
+  EXPECT_EQ(psl::to_string(result.formula), "!ds || next[17](rdy)");
+  EXPECT_EQ(result.classification, AbstractionClass::kConsequence);
+}
+
+// ---- Methodology III.1 end to end ------------------------------------------------------
+
+AbstractionOptions options_with(psl::TimeNs period, std::set<std::string> sigs,
+                                PushMode mode = PushMode::kOpaqueFixpoints) {
+  AbstractionOptions o;
+  o.clock_period_ns = period;
+  o.abstracted_signals = std::move(sigs);
+  o.push_mode = mode;
+  return o;
+}
+
+TEST(Methodology, Fig3Q1) {
+  const auto p1 = psl::parse_rtl_property(
+      "p1: always (!(ds && indata == 0) || next[17](out != 0)) @clk_pos");
+  ASSERT_TRUE(p1.ok());
+  const auto outcome = abstract_property(p1.value(), options_with(10, {}));
+  ASSERT_FALSE(outcome.deleted());
+  EXPECT_EQ(psl::to_string(*outcome.property),
+            "always !ds || indata != 0 || next_e[1,170](out != 0) @Tb");
+  EXPECT_EQ(outcome.classification, AbstractionClass::kUnchanged);
+}
+
+TEST(Methodology, Fig3Q2PaperMode) {
+  // The published q2: next distributed into the until (Fig. 3).
+  const auto p2 = psl::parse_rtl_property(
+      "p2: always (!ds || next(!ds until next(rdy))) @clk_pos");
+  ASSERT_TRUE(p2.ok());
+  const auto outcome = abstract_property(
+      p2.value(), options_with(10, {}, PushMode::kDistributeThroughFixpoints));
+  ASSERT_FALSE(outcome.deleted());
+  EXPECT_EQ(psl::to_string(*outcome.property),
+            "always !ds || (next_e[1,10](!ds) until next_e[2,20](rdy)) @Tb");
+}
+
+TEST(Methodology, Fig3Q3) {
+  const auto p3 = psl::parse_rtl_property(
+      "p3: always (!ds || (next[15](rdy_next_next_cycle) && "
+      "next[16](rdy_next_cycle) && next[17](rdy))) @clk_pos");
+  ASSERT_TRUE(p3.ok());
+  const auto outcome = abstract_property(
+      p3.value(),
+      options_with(10, {"rdy_next_cycle", "rdy_next_next_cycle"}));
+  ASSERT_FALSE(outcome.deleted());
+  EXPECT_EQ(psl::to_string(*outcome.property),
+            "always !ds || next_e[1,170](rdy) @Tb");
+  EXPECT_EQ(outcome.classification, AbstractionClass::kConsequence);
+}
+
+TEST(Methodology, DeletedPropertyReported) {
+  const auto p = psl::parse_rtl_property(
+      "always (rdy_nnc -> next(rdy_nc)) @clk_pos");
+  ASSERT_TRUE(p.ok());
+  const auto outcome =
+      abstract_property(p.value(), options_with(10, {"rdy_nc", "rdy_nnc"}));
+  EXPECT_TRUE(outcome.deleted());
+  EXPECT_EQ(outcome.classification, AbstractionClass::kDeleted);
+}
+
+TEST(Methodology, GuardOverAbstractedSignalFallsBackToTb) {
+  const auto p = psl::parse_rtl_property(
+      "always (!ds || next(rdy)) @clk_pos && dbg_en");
+  ASSERT_TRUE(p.ok());
+  const auto outcome = abstract_property(p.value(), options_with(10, {"dbg_en"}));
+  ASSERT_FALSE(outcome.deleted());
+  EXPECT_EQ(outcome.property->context.guard, nullptr);
+}
+
+TEST(Methodology, GuardPartiallyAbstracted) {
+  const auto p = psl::parse_rtl_property(
+      "always (!ds || next(rdy)) @clk_pos && monitor_en && dbg_en");
+  ASSERT_TRUE(p.ok());
+  const auto outcome = abstract_property(p.value(), options_with(10, {"dbg_en"}));
+  ASSERT_FALSE(outcome.deleted());
+  ASSERT_NE(outcome.property->context.guard, nullptr);
+  EXPECT_EQ(psl::to_string(outcome.property->context.guard), "monitor_en");
+}
+
+TEST(Methodology, SuiteKeepsOrderAndCounts) {
+  const auto suite = psl::parse_rtl_property_file(
+      "a1: always (!x || next(y)) @clk_pos;"
+      "a2: always (ctrl -> next(ctrl2)) @clk_pos;"
+      "a3: always (x until y) @clk_pos;");
+  ASSERT_TRUE(suite.ok());
+  const auto outcomes =
+      abstract_suite(suite.value(), options_with(10, {"ctrl", "ctrl2"}));
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_FALSE(outcomes[0].deleted());
+  EXPECT_TRUE(outcomes[1].deleted());
+  EXPECT_FALSE(outcomes[2].deleted());
+  // Theorem III.1: pure until properties pass through unchanged.
+  EXPECT_EQ(psl::to_string(outcomes[2].property->formula), "always x until y");
+}
+
+TEST(Methodology, SimpleSubsetViolationsAreReported) {
+  const auto p = psl::parse_rtl_property("always (next(a) || next(b)) @clk_pos");
+  ASSERT_TRUE(p.ok());
+  const auto outcome = abstract_property(p.value(), options_with(10, {}));
+  bool found = false;
+  for (const auto& note : outcome.notes) {
+    if (note.find("simple-subset") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace repro::rewrite

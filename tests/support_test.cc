@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/rng.h"
+#include "support/status.h"
+#include "support/strutil.h"
+
+namespace repro {
+namespace {
+
+TEST(Strutil, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strutil, SplitAndTrimDropsEmptyPieces) {
+  const auto parts = split_and_trim(" a; b ;; c ;", ';');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strutil, StartsWith) {
+  EXPECT_TRUE(starts_with("abcdef", "abc"));
+  EXPECT_FALSE(starts_with("ab", "abc"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(Strutil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"x"}, ", "), "x");
+}
+
+TEST(Result, HoldsValueOrError) {
+  Result<int> ok(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+
+  Result<int> bad(Error{"boom", 3});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().message, "boom");
+  EXPECT_EQ(bad.error().to_string(), "boom (at offset 3)");
+}
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 15);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceZeroAndCertain) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0, 10));
+    EXPECT_TRUE(rng.chance(10, 10));
+  }
+}
+
+}  // namespace
+}  // namespace repro

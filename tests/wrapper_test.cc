@@ -1,0 +1,167 @@
+// Tests for the Sec. IV wrapper: instance pool sizing (lifetime), the
+// evaluation table, reset/reuse, activation rules and the Fig. 5 scenario.
+#include <gtest/gtest.h>
+
+#include "checker/wrapper.h"
+#include "psl/parser.h"
+
+namespace repro::checker {
+namespace {
+
+psl::TlmProperty tlm(const std::string& text) {
+  auto result = psl::parse_tlm_property(text);
+  EXPECT_TRUE(result.ok()) << text;
+  return result.value();
+}
+
+void transaction(TlmCheckerWrapper& wrapper, psl::TimeNs time,
+                 std::initializer_list<std::pair<const char*, uint64_t>> values) {
+  MapContext ctx;
+  for (const auto& [name, value] : values) ctx.set(name, value);
+  wrapper.on_transaction(time, ctx);
+}
+
+// ---- Sec. IV point 1: allocation / lifetime ------------------------------------------
+
+TEST(Wrapper, LifetimeMatchesPaperExample) {
+  // q3 with eps = 170 and clock period 10: at most 17 instants where
+  // transactions can occur in (t_fire, t_end] -> pool of 17 instances.
+  TlmCheckerWrapper wrapper(tlm("q3: always (!ds || next_e[1,170](rdy)) @Tb"),
+                            /*clock_period_ns=*/10);
+  EXPECT_EQ(wrapper.lifetime(), 17u);
+  EXPECT_EQ(wrapper.stats().pool_capacity, 17u);
+}
+
+TEST(Wrapper, UnboundedLifetimeForUntilProperties) {
+  TlmCheckerWrapper wrapper(tlm("always (!ds || (!rdy until rdy)) @Tb"), 10);
+  EXPECT_EQ(wrapper.lifetime(), 0u);
+  EXPECT_EQ(wrapper.stats().pool_capacity, 0u);  // grows on demand
+}
+
+TEST(Wrapper, LifetimeUsesLongestPath) {
+  TlmCheckerWrapper wrapper(
+      tlm("always (!ds || (next_e[1,30](a) && next_e[2,50](b))) @Tb"), 10);
+  EXPECT_EQ(wrapper.lifetime(), 5u);
+}
+
+// ---- Sec. IV points 2-4: evaluation, reuse, activation ---------------------------------
+
+TEST(Wrapper, PassingScenarioQ3) {
+  TlmCheckerWrapper wrapper(tlm("always (!ds || next_e[1,170](rdy)) @Tb"), 10);
+  transaction(wrapper, 100, {{"ds", 1}, {"rdy", 0}});
+  transaction(wrapper, 110, {{"ds", 0}, {"rdy", 0}});
+  transaction(wrapper, 270, {{"ds", 0}, {"rdy", 1}});
+  wrapper.finish();
+  EXPECT_EQ(wrapper.stats().failures, 0u);
+  EXPECT_EQ(wrapper.stats().activations, 3u);
+  // All three sessions resolved: two trivially (ds low), one at 270 ns.
+  EXPECT_EQ(wrapper.stats().holds, 3u);
+}
+
+TEST(Wrapper, MissedEvaluationPointRaisesFailureAtNextTransaction) {
+  // Fig. 5: an instance expected at t_fire+170 whose instant passes without
+  // a transaction fails when the next (later) transaction arrives.
+  TlmCheckerWrapper wrapper(tlm("always (!ds || next_e[1,170](rdy)) @Tb"), 10);
+  transaction(wrapper, 100, {{"ds", 1}, {"rdy", 0}});
+  transaction(wrapper, 350, {{"ds", 0}, {"rdy", 1}});  // 270 was missed
+  wrapper.finish();
+  EXPECT_EQ(wrapper.stats().failures, 1u);
+  ASSERT_EQ(wrapper.failures().size(), 1u);
+  EXPECT_EQ(wrapper.failures()[0].time, 350u);
+}
+
+TEST(Wrapper, EarlyTransactionsAreNotConsumed) {
+  // Transactions before t_fire+eps must not consume the evaluation point.
+  TlmCheckerWrapper wrapper(tlm("always (!ds || next_e[1,170](rdy)) @Tb"), 10);
+  transaction(wrapper, 100, {{"ds", 1}, {"rdy", 0}});
+  transaction(wrapper, 150, {{"ds", 0}, {"rdy", 0}});
+  transaction(wrapper, 200, {{"ds", 0}, {"rdy", 0}});
+  transaction(wrapper, 270, {{"ds", 0}, {"rdy", 1}});
+  wrapper.finish();
+  EXPECT_EQ(wrapper.stats().failures, 0u);
+}
+
+TEST(Wrapper, InstancesAreRecycled) {
+  TlmCheckerWrapper wrapper(tlm("always (!ds || next_e[1,20](rdy)) @Tb"), 10);
+  // Many sessions, all trivially true: the pool (2 instances) must serve all
+  // of them through reuse.
+  for (int i = 0; i < 50; ++i) {
+    transaction(wrapper, 10 * (i + 1), {{"ds", 0}, {"rdy", 0}});
+  }
+  wrapper.finish();
+  EXPECT_EQ(wrapper.stats().activations, 50u);
+  EXPECT_EQ(wrapper.stats().pool_capacity, 2u);  // never grew
+  EXPECT_GE(wrapper.stats().reuses, 48u);
+}
+
+TEST(Wrapper, EvaluationTableOnlyWakesDueInstances) {
+  TlmCheckerWrapper wrapper(tlm("always (!ds || next_e[1,170](rdy)) @Tb"), 10);
+  transaction(wrapper, 100, {{"ds", 1}, {"rdy", 0}});
+  const uint64_t steps_after_firing = wrapper.stats().steps;
+  // Early transactions: the scheduled instance must not be stepped at all.
+  transaction(wrapper, 110, {{"ds", 0}, {"rdy", 0}});
+  transaction(wrapper, 120, {{"ds", 0}, {"rdy", 0}});
+  // Each early transaction costs exactly one step: the (trivially resolved)
+  // new activation; the pending instance sleeps in the table.
+  EXPECT_EQ(wrapper.stats().steps, steps_after_firing + 2);
+  transaction(wrapper, 270, {{"ds", 0}, {"rdy", 1}});
+  wrapper.finish();
+  EXPECT_EQ(wrapper.stats().failures, 0u);
+}
+
+TEST(Wrapper, TransactionContextGuardGatesActivation) {
+  TlmCheckerWrapper wrapper(
+      tlm("always (!ds || next_e[1,20](rdy)) @Tb && monitor_en"), 10);
+  transaction(wrapper, 10, {{"ds", 1}, {"rdy", 0}, {"monitor_en", 0}});
+  transaction(wrapper, 20, {{"ds", 0}, {"rdy", 0}, {"monitor_en", 1}});
+  wrapper.finish();
+  EXPECT_EQ(wrapper.stats().activations, 1u);  // only the guarded-in event
+}
+
+TEST(Wrapper, DenseUntilInstancesSeeEveryTransaction) {
+  TlmCheckerWrapper wrapper(tlm("always (!ds || (!rdy until rdy)) @Tb"), 10);
+  transaction(wrapper, 10, {{"ds", 1}, {"rdy", 0}});
+  transaction(wrapper, 20, {{"ds", 0}, {"rdy", 0}});
+  transaction(wrapper, 30, {{"ds", 0}, {"rdy", 1}});
+  wrapper.finish();
+  EXPECT_EQ(wrapper.stats().failures, 0u);
+  EXPECT_EQ(wrapper.stats().holds, 3u);
+}
+
+TEST(Wrapper, DetectsWrongTlmImplementation) {
+  // rdy arrives on time but out is 0: the data check fails.
+  TlmCheckerWrapper wrapper(
+      tlm("always (!ds || next_e[1,30](out != 0)) @Tb"), 10);
+  transaction(wrapper, 10, {{"ds", 1}, {"out", 0}});
+  transaction(wrapper, 40, {{"ds", 0}, {"out", 0}});
+  wrapper.finish();
+  EXPECT_EQ(wrapper.stats().failures, 1u);
+}
+
+TEST(Wrapper, UncompletedInstancesAreNotFailures) {
+  TlmCheckerWrapper wrapper(tlm("always (!ds || next_e[1,170](rdy)) @Tb"), 10);
+  transaction(wrapper, 100, {{"ds", 1}, {"rdy", 0}});
+  wrapper.finish();  // simulation ends before the evaluation point
+  EXPECT_EQ(wrapper.stats().failures, 0u);
+  EXPECT_EQ(wrapper.stats().holds, 1u);  // weakly satisfied at truncation
+}
+
+TEST(Wrapper, EventuallyStrongFailsAtFinish) {
+  TlmCheckerWrapper wrapper(tlm("always (!ds || eventually! rdy) @Tb"), 10);
+  transaction(wrapper, 10, {{"ds", 1}, {"rdy", 0}});
+  transaction(wrapper, 20, {{"ds", 0}, {"rdy", 0}});
+  wrapper.finish();
+  EXPECT_EQ(wrapper.stats().failures, 1u);
+}
+
+TEST(Wrapper, TablePeakTracksConcurrentScheduledInstances) {
+  TlmCheckerWrapper wrapper(tlm("always (!ds || next_e[1,170](rdy)) @Tb"), 10);
+  for (int i = 0; i < 5; ++i) {
+    transaction(wrapper, 10 * (i + 1), {{"ds", 1}, {"rdy", 0}});
+  }
+  EXPECT_EQ(wrapper.stats().table_peak, 5u);
+  wrapper.finish();
+}
+
+}  // namespace
+}  // namespace repro::checker
