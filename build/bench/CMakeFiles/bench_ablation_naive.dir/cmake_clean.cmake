@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_naive.dir/bench_ablation_naive.cc.o"
+  "CMakeFiles/bench_ablation_naive.dir/bench_ablation_naive.cc.o.d"
+  "CMakeFiles/bench_ablation_naive.dir/bench_table_common.cc.o"
+  "CMakeFiles/bench_ablation_naive.dir/bench_table_common.cc.o.d"
+  "bench_ablation_naive"
+  "bench_ablation_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

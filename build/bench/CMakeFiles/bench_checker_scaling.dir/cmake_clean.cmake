@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checker_scaling.dir/bench_checker_scaling.cc.o"
+  "CMakeFiles/bench_checker_scaling.dir/bench_checker_scaling.cc.o.d"
+  "CMakeFiles/bench_checker_scaling.dir/bench_table_common.cc.o"
+  "CMakeFiles/bench_checker_scaling.dir/bench_table_common.cc.o.d"
+  "bench_checker_scaling"
+  "bench_checker_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checker_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

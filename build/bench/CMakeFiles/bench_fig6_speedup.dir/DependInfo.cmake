@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_speedup.cc" "bench/CMakeFiles/bench_fig6_speedup.dir/bench_fig6_speedup.cc.o" "gcc" "bench/CMakeFiles/bench_fig6_speedup.dir/bench_fig6_speedup.cc.o.d"
+  "/root/repo/bench/bench_table_common.cc" "bench/CMakeFiles/bench_fig6_speedup.dir/bench_table_common.cc.o" "gcc" "bench/CMakeFiles/bench_fig6_speedup.dir/bench_table_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_abv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_psl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_tlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_colorconv.dir/bench_table1_colorconv.cc.o"
+  "CMakeFiles/bench_table1_colorconv.dir/bench_table1_colorconv.cc.o.d"
+  "CMakeFiles/bench_table1_colorconv.dir/bench_table_common.cc.o"
+  "CMakeFiles/bench_table1_colorconv.dir/bench_table_common.cc.o.d"
+  "bench_table1_colorconv"
+  "bench_table1_colorconv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_colorconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_des56.dir/bench_table1_des56.cc.o"
+  "CMakeFiles/bench_table1_des56.dir/bench_table1_des56.cc.o.d"
+  "CMakeFiles/bench_table1_des56.dir/bench_table_common.cc.o"
+  "CMakeFiles/bench_table1_des56.dir/bench_table_common.cc.o.d"
+  "bench_table1_des56"
+  "bench_table1_des56.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_des56.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

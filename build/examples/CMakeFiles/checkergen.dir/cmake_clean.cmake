@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkergen.dir/checkergen.cpp.o"
+  "CMakeFiles/checkergen.dir/checkergen.cpp.o.d"
+  "checkergen"
+  "checkergen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkergen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

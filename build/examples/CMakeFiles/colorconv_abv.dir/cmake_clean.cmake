@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colorconv_abv.dir/colorconv_abv.cpp.o"
+  "CMakeFiles/colorconv_abv.dir/colorconv_abv.cpp.o.d"
+  "colorconv_abv"
+  "colorconv_abv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colorconv_abv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

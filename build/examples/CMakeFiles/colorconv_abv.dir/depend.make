@@ -1,0 +1,2 @@
+# Empty dependencies file for colorconv_abv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/des56_abv.cpp" "examples/CMakeFiles/des56_abv.dir/des56_abv.cpp.o" "gcc" "examples/CMakeFiles/des56_abv.dir/des56_abv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_abv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_psl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_tlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

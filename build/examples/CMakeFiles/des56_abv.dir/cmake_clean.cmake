@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des56_abv.dir/des56_abv.cpp.o"
+  "CMakeFiles/des56_abv.dir/des56_abv.cpp.o.d"
+  "des56_abv"
+  "des56_abv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des56_abv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pslabs.dir/pslabs.cpp.o"
+  "CMakeFiles/pslabs.dir/pslabs.cpp.o.d"
+  "pslabs"
+  "pslabs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pslabs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

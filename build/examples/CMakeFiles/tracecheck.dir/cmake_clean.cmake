@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracecheck.dir/tracecheck.cpp.o"
+  "CMakeFiles/tracecheck.dir/tracecheck.cpp.o.d"
+  "tracecheck"
+  "tracecheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracecheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

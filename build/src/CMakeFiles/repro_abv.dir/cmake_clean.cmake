@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_abv.dir/abv/report.cc.o"
+  "CMakeFiles/repro_abv.dir/abv/report.cc.o.d"
+  "CMakeFiles/repro_abv.dir/abv/rtl_env.cc.o"
+  "CMakeFiles/repro_abv.dir/abv/rtl_env.cc.o.d"
+  "CMakeFiles/repro_abv.dir/abv/tlm_env.cc.o"
+  "CMakeFiles/repro_abv.dir/abv/tlm_env.cc.o.d"
+  "librepro_abv.a"
+  "librepro_abv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_abv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

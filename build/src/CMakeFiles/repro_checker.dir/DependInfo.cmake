@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/checker.cc" "src/CMakeFiles/repro_checker.dir/checker/checker.cc.o" "gcc" "src/CMakeFiles/repro_checker.dir/checker/checker.cc.o.d"
+  "/root/repo/src/checker/codegen.cc" "src/CMakeFiles/repro_checker.dir/checker/codegen.cc.o" "gcc" "src/CMakeFiles/repro_checker.dir/checker/codegen.cc.o.d"
+  "/root/repo/src/checker/instance.cc" "src/CMakeFiles/repro_checker.dir/checker/instance.cc.o" "gcc" "src/CMakeFiles/repro_checker.dir/checker/instance.cc.o.d"
+  "/root/repo/src/checker/reference_eval.cc" "src/CMakeFiles/repro_checker.dir/checker/reference_eval.cc.o" "gcc" "src/CMakeFiles/repro_checker.dir/checker/reference_eval.cc.o.d"
+  "/root/repo/src/checker/trace.cc" "src/CMakeFiles/repro_checker.dir/checker/trace.cc.o" "gcc" "src/CMakeFiles/repro_checker.dir/checker/trace.cc.o.d"
+  "/root/repo/src/checker/trace_io.cc" "src/CMakeFiles/repro_checker.dir/checker/trace_io.cc.o" "gcc" "src/CMakeFiles/repro_checker.dir/checker/trace_io.cc.o.d"
+  "/root/repo/src/checker/wrapper.cc" "src/CMakeFiles/repro_checker.dir/checker/wrapper.cc.o" "gcc" "src/CMakeFiles/repro_checker.dir/checker/wrapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_psl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_checker.dir/checker/checker.cc.o"
+  "CMakeFiles/repro_checker.dir/checker/checker.cc.o.d"
+  "CMakeFiles/repro_checker.dir/checker/codegen.cc.o"
+  "CMakeFiles/repro_checker.dir/checker/codegen.cc.o.d"
+  "CMakeFiles/repro_checker.dir/checker/instance.cc.o"
+  "CMakeFiles/repro_checker.dir/checker/instance.cc.o.d"
+  "CMakeFiles/repro_checker.dir/checker/reference_eval.cc.o"
+  "CMakeFiles/repro_checker.dir/checker/reference_eval.cc.o.d"
+  "CMakeFiles/repro_checker.dir/checker/trace.cc.o"
+  "CMakeFiles/repro_checker.dir/checker/trace.cc.o.d"
+  "CMakeFiles/repro_checker.dir/checker/trace_io.cc.o"
+  "CMakeFiles/repro_checker.dir/checker/trace_io.cc.o.d"
+  "CMakeFiles/repro_checker.dir/checker/wrapper.cc.o"
+  "CMakeFiles/repro_checker.dir/checker/wrapper.cc.o.d"
+  "librepro_checker.a"
+  "librepro_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

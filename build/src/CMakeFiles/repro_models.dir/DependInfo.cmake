@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/colorconv/colorconv_core.cc" "src/CMakeFiles/repro_models.dir/models/colorconv/colorconv_core.cc.o" "gcc" "src/CMakeFiles/repro_models.dir/models/colorconv/colorconv_core.cc.o.d"
+  "/root/repo/src/models/colorconv/colorconv_rtl.cc" "src/CMakeFiles/repro_models.dir/models/colorconv/colorconv_rtl.cc.o" "gcc" "src/CMakeFiles/repro_models.dir/models/colorconv/colorconv_rtl.cc.o.d"
+  "/root/repo/src/models/colorconv/colorconv_tlm_at.cc" "src/CMakeFiles/repro_models.dir/models/colorconv/colorconv_tlm_at.cc.o" "gcc" "src/CMakeFiles/repro_models.dir/models/colorconv/colorconv_tlm_at.cc.o.d"
+  "/root/repo/src/models/colorconv/colorconv_tlm_ca.cc" "src/CMakeFiles/repro_models.dir/models/colorconv/colorconv_tlm_ca.cc.o" "gcc" "src/CMakeFiles/repro_models.dir/models/colorconv/colorconv_tlm_ca.cc.o.d"
+  "/root/repo/src/models/des56/des56_cycle.cc" "src/CMakeFiles/repro_models.dir/models/des56/des56_cycle.cc.o" "gcc" "src/CMakeFiles/repro_models.dir/models/des56/des56_cycle.cc.o.d"
+  "/root/repo/src/models/des56/des56_rtl.cc" "src/CMakeFiles/repro_models.dir/models/des56/des56_rtl.cc.o" "gcc" "src/CMakeFiles/repro_models.dir/models/des56/des56_rtl.cc.o.d"
+  "/root/repo/src/models/des56/des56_tlm_at.cc" "src/CMakeFiles/repro_models.dir/models/des56/des56_tlm_at.cc.o" "gcc" "src/CMakeFiles/repro_models.dir/models/des56/des56_tlm_at.cc.o.d"
+  "/root/repo/src/models/des56/des56_tlm_ca.cc" "src/CMakeFiles/repro_models.dir/models/des56/des56_tlm_ca.cc.o" "gcc" "src/CMakeFiles/repro_models.dir/models/des56/des56_tlm_ca.cc.o.d"
+  "/root/repo/src/models/des56/des_core.cc" "src/CMakeFiles/repro_models.dir/models/des56/des_core.cc.o" "gcc" "src/CMakeFiles/repro_models.dir/models/des56/des_core.cc.o.d"
+  "/root/repo/src/models/properties.cc" "src/CMakeFiles/repro_models.dir/models/properties.cc.o" "gcc" "src/CMakeFiles/repro_models.dir/models/properties.cc.o.d"
+  "/root/repo/src/models/stimulus.cc" "src/CMakeFiles/repro_models.dir/models/stimulus.cc.o" "gcc" "src/CMakeFiles/repro_models.dir/models/stimulus.cc.o.d"
+  "/root/repo/src/models/testbench.cc" "src/CMakeFiles/repro_models.dir/models/testbench.cc.o" "gcc" "src/CMakeFiles/repro_models.dir/models/testbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_abv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_tlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_psl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

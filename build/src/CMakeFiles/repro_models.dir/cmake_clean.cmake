@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_models.dir/models/colorconv/colorconv_core.cc.o"
+  "CMakeFiles/repro_models.dir/models/colorconv/colorconv_core.cc.o.d"
+  "CMakeFiles/repro_models.dir/models/colorconv/colorconv_rtl.cc.o"
+  "CMakeFiles/repro_models.dir/models/colorconv/colorconv_rtl.cc.o.d"
+  "CMakeFiles/repro_models.dir/models/colorconv/colorconv_tlm_at.cc.o"
+  "CMakeFiles/repro_models.dir/models/colorconv/colorconv_tlm_at.cc.o.d"
+  "CMakeFiles/repro_models.dir/models/colorconv/colorconv_tlm_ca.cc.o"
+  "CMakeFiles/repro_models.dir/models/colorconv/colorconv_tlm_ca.cc.o.d"
+  "CMakeFiles/repro_models.dir/models/des56/des56_cycle.cc.o"
+  "CMakeFiles/repro_models.dir/models/des56/des56_cycle.cc.o.d"
+  "CMakeFiles/repro_models.dir/models/des56/des56_rtl.cc.o"
+  "CMakeFiles/repro_models.dir/models/des56/des56_rtl.cc.o.d"
+  "CMakeFiles/repro_models.dir/models/des56/des56_tlm_at.cc.o"
+  "CMakeFiles/repro_models.dir/models/des56/des56_tlm_at.cc.o.d"
+  "CMakeFiles/repro_models.dir/models/des56/des56_tlm_ca.cc.o"
+  "CMakeFiles/repro_models.dir/models/des56/des56_tlm_ca.cc.o.d"
+  "CMakeFiles/repro_models.dir/models/des56/des_core.cc.o"
+  "CMakeFiles/repro_models.dir/models/des56/des_core.cc.o.d"
+  "CMakeFiles/repro_models.dir/models/properties.cc.o"
+  "CMakeFiles/repro_models.dir/models/properties.cc.o.d"
+  "CMakeFiles/repro_models.dir/models/stimulus.cc.o"
+  "CMakeFiles/repro_models.dir/models/stimulus.cc.o.d"
+  "CMakeFiles/repro_models.dir/models/testbench.cc.o"
+  "CMakeFiles/repro_models.dir/models/testbench.cc.o.d"
+  "librepro_models.a"
+  "librepro_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psl/ast.cc" "src/CMakeFiles/repro_psl.dir/psl/ast.cc.o" "gcc" "src/CMakeFiles/repro_psl.dir/psl/ast.cc.o.d"
+  "/root/repo/src/psl/lexer.cc" "src/CMakeFiles/repro_psl.dir/psl/lexer.cc.o" "gcc" "src/CMakeFiles/repro_psl.dir/psl/lexer.cc.o.d"
+  "/root/repo/src/psl/parser.cc" "src/CMakeFiles/repro_psl.dir/psl/parser.cc.o" "gcc" "src/CMakeFiles/repro_psl.dir/psl/parser.cc.o.d"
+  "/root/repo/src/psl/simple_subset.cc" "src/CMakeFiles/repro_psl.dir/psl/simple_subset.cc.o" "gcc" "src/CMakeFiles/repro_psl.dir/psl/simple_subset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_psl.dir/psl/ast.cc.o"
+  "CMakeFiles/repro_psl.dir/psl/ast.cc.o.d"
+  "CMakeFiles/repro_psl.dir/psl/lexer.cc.o"
+  "CMakeFiles/repro_psl.dir/psl/lexer.cc.o.d"
+  "CMakeFiles/repro_psl.dir/psl/parser.cc.o"
+  "CMakeFiles/repro_psl.dir/psl/parser.cc.o.d"
+  "CMakeFiles/repro_psl.dir/psl/simple_subset.cc.o"
+  "CMakeFiles/repro_psl.dir/psl/simple_subset.cc.o.d"
+  "librepro_psl.a"
+  "librepro_psl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_psl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

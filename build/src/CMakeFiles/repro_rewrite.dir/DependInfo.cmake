@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/context_map.cc" "src/CMakeFiles/repro_rewrite.dir/rewrite/context_map.cc.o" "gcc" "src/CMakeFiles/repro_rewrite.dir/rewrite/context_map.cc.o.d"
+  "/root/repo/src/rewrite/methodology.cc" "src/CMakeFiles/repro_rewrite.dir/rewrite/methodology.cc.o" "gcc" "src/CMakeFiles/repro_rewrite.dir/rewrite/methodology.cc.o.d"
+  "/root/repo/src/rewrite/next_substitution.cc" "src/CMakeFiles/repro_rewrite.dir/rewrite/next_substitution.cc.o" "gcc" "src/CMakeFiles/repro_rewrite.dir/rewrite/next_substitution.cc.o.d"
+  "/root/repo/src/rewrite/nnf.cc" "src/CMakeFiles/repro_rewrite.dir/rewrite/nnf.cc.o" "gcc" "src/CMakeFiles/repro_rewrite.dir/rewrite/nnf.cc.o.d"
+  "/root/repo/src/rewrite/push_ahead.cc" "src/CMakeFiles/repro_rewrite.dir/rewrite/push_ahead.cc.o" "gcc" "src/CMakeFiles/repro_rewrite.dir/rewrite/push_ahead.cc.o.d"
+  "/root/repo/src/rewrite/signal_abstraction.cc" "src/CMakeFiles/repro_rewrite.dir/rewrite/signal_abstraction.cc.o" "gcc" "src/CMakeFiles/repro_rewrite.dir/rewrite/signal_abstraction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_psl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_rewrite.dir/rewrite/context_map.cc.o"
+  "CMakeFiles/repro_rewrite.dir/rewrite/context_map.cc.o.d"
+  "CMakeFiles/repro_rewrite.dir/rewrite/methodology.cc.o"
+  "CMakeFiles/repro_rewrite.dir/rewrite/methodology.cc.o.d"
+  "CMakeFiles/repro_rewrite.dir/rewrite/next_substitution.cc.o"
+  "CMakeFiles/repro_rewrite.dir/rewrite/next_substitution.cc.o.d"
+  "CMakeFiles/repro_rewrite.dir/rewrite/nnf.cc.o"
+  "CMakeFiles/repro_rewrite.dir/rewrite/nnf.cc.o.d"
+  "CMakeFiles/repro_rewrite.dir/rewrite/push_ahead.cc.o"
+  "CMakeFiles/repro_rewrite.dir/rewrite/push_ahead.cc.o.d"
+  "CMakeFiles/repro_rewrite.dir/rewrite/signal_abstraction.cc.o"
+  "CMakeFiles/repro_rewrite.dir/rewrite/signal_abstraction.cc.o.d"
+  "librepro_rewrite.a"
+  "librepro_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

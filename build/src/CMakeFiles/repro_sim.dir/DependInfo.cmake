@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/clock.cc" "src/CMakeFiles/repro_sim.dir/sim/clock.cc.o" "gcc" "src/CMakeFiles/repro_sim.dir/sim/clock.cc.o.d"
+  "/root/repo/src/sim/kernel.cc" "src/CMakeFiles/repro_sim.dir/sim/kernel.cc.o" "gcc" "src/CMakeFiles/repro_sim.dir/sim/kernel.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/repro_sim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/repro_sim.dir/sim/trace.cc.o.d"
+  "/root/repo/src/sim/vcd.cc" "src/CMakeFiles/repro_sim.dir/sim/vcd.cc.o" "gcc" "src/CMakeFiles/repro_sim.dir/sim/vcd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sim.dir/sim/clock.cc.o"
+  "CMakeFiles/repro_sim.dir/sim/clock.cc.o.d"
+  "CMakeFiles/repro_sim.dir/sim/kernel.cc.o"
+  "CMakeFiles/repro_sim.dir/sim/kernel.cc.o.d"
+  "CMakeFiles/repro_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/repro_sim.dir/sim/trace.cc.o.d"
+  "CMakeFiles/repro_sim.dir/sim/vcd.cc.o"
+  "CMakeFiles/repro_sim.dir/sim/vcd.cc.o.d"
+  "librepro_sim.a"
+  "librepro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlm/recorder.cc" "src/CMakeFiles/repro_tlm.dir/tlm/recorder.cc.o" "gcc" "src/CMakeFiles/repro_tlm.dir/tlm/recorder.cc.o.d"
+  "/root/repo/src/tlm/socket.cc" "src/CMakeFiles/repro_tlm.dir/tlm/socket.cc.o" "gcc" "src/CMakeFiles/repro_tlm.dir/tlm/socket.cc.o.d"
+  "/root/repo/src/tlm/transaction.cc" "src/CMakeFiles/repro_tlm.dir/tlm/transaction.cc.o" "gcc" "src/CMakeFiles/repro_tlm.dir/tlm/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

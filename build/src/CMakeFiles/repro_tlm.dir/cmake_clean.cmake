@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_tlm.dir/tlm/recorder.cc.o"
+  "CMakeFiles/repro_tlm.dir/tlm/recorder.cc.o.d"
+  "CMakeFiles/repro_tlm.dir/tlm/socket.cc.o"
+  "CMakeFiles/repro_tlm.dir/tlm/socket.cc.o.d"
+  "CMakeFiles/repro_tlm.dir/tlm/transaction.cc.o"
+  "CMakeFiles/repro_tlm.dir/tlm/transaction.cc.o.d"
+  "librepro_tlm.a"
+  "librepro_tlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_tlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

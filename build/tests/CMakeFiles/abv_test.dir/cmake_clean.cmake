@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abv_test.dir/abv_test.cc.o"
+  "CMakeFiles/abv_test.dir/abv_test.cc.o.d"
+  "abv_test"
+  "abv_test.pdb"
+  "abv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_colorconv_test.dir/models_colorconv_test.cc.o"
+  "CMakeFiles/models_colorconv_test.dir/models_colorconv_test.cc.o.d"
+  "models_colorconv_test"
+  "models_colorconv_test.pdb"
+  "models_colorconv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_colorconv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

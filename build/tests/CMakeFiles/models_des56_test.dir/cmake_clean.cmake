@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_des56_test.dir/models_des56_test.cc.o"
+  "CMakeFiles/models_des56_test.dir/models_des56_test.cc.o.d"
+  "models_des56_test"
+  "models_des56_test.pdb"
+  "models_des56_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_des56_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psl_test.dir/psl_test.cc.o"
+  "CMakeFiles/psl_test.dir/psl_test.cc.o.d"
+  "psl_test"
+  "psl_test.pdb"
+  "psl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlm_test.dir/tlm_test.cc.o"
+  "CMakeFiles/tlm_test.dir/tlm_test.cc.o.d"
+  "tlm_test"
+  "tlm_test.pdb"
+  "tlm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

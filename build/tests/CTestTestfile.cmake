@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/psl_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/checker_test[1]_include.cmake")
+include("/root/repo/build/tests/wrapper_test[1]_include.cmake")
+include("/root/repo/build/tests/tlm_test[1]_include.cmake")
+include("/root/repo/build/tests/abv_test[1]_include.cmake")
+include("/root/repo/build/tests/models_des56_test[1]_include.cmake")
+include("/root/repo/build/tests/models_colorconv_test[1]_include.cmake")
+include("/root/repo/build/tests/equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/tools_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
