@@ -2,6 +2,12 @@
 // checkers linearly affects the overhead in the overall simulation, in both
 // testcases and at each abstraction level". Sweeps the checker count from 0
 // to the full suite at every level and prints per-checker overhead.
+//
+// At the TLM levels each row is printed twice: once with the serial
+// evaluation engine (jobs=1, the paper's configuration) and once with the
+// sharded engine (jobs=N, REPRO_BENCH_JOBS or hardware concurrency), so the
+// scaling of the parallel checker engine is visible next to the serial
+// baseline it must match verdict-for-verdict.
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -14,10 +20,56 @@ using models::Level;
 
 namespace {
 
+struct RowFit {
+  double slope = 0;  // overhead per checker, percent
+  double r = 1;      // linearity correlation
+};
+
+RowFit fit(const std::vector<double>& secs) {
+  const double base = secs[0];
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  const double n_points = static_cast<double>(secs.size());
+  for (size_t i = 0; i < secs.size(); ++i) {
+    const double x = static_cast<double>(i);
+    const double y = (secs[i] / base - 1.0) * 100.0;
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+  }
+  RowFit f;
+  f.slope = (n_points * sxy - sx * sy) / (n_points * sxx - sx * sx);
+  const double denom = (n_points * sxx - sx * sx) * (n_points * syy - sy * sy);
+  f.r = denom > 0 ? (n_points * sxy - sx * sy) / std::sqrt(denom) : 1.0;
+  return f;
+}
+
+std::vector<double> row(models::RunConfig config, size_t suite_size,
+                        size_t jobs) {
+  config.jobs = jobs;
+  std::vector<double> secs;
+  for (size_t n = 0; n <= suite_size; ++n) {
+    config.checkers = n;
+    secs.push_back(bench::measure(config, /*repeats=*/2).seconds);
+  }
+  return secs;
+}
+
+void print_row(const char* label, const std::vector<double>& secs) {
+  std::printf("%-12s", label);
+  for (double s : secs) std::printf(" %8.4f", s);
+  std::printf("\n");
+  const RowFit f = fit(secs);
+  std::printf("%-12s overhead/checker = %.1f%%, linearity r = %.3f\n", "",
+              f.slope, f.r);
+}
+
 void sweep(Design design, size_t workload, size_t suite_size) {
   const size_t w = bench::scaled(workload);
+  const size_t jobs = bench::bench_jobs();
   std::printf("--- %s (workload %zu) ---\n", models::to_string(design), w);
-  std::printf("%-8s", "level");
+  std::printf("%-12s", "level");
   for (size_t n = 0; n <= suite_size; ++n) std::printf(" %7zuC", n);
   std::printf("\n");
   for (Level level : {Level::kRtl, Level::kTlmCa, Level::kTlmAt}) {
@@ -25,33 +77,16 @@ void sweep(Design design, size_t workload, size_t suite_size) {
     config.design = design;
     config.level = level;
     config.workload = w;
-    std::vector<double> secs;
-    for (size_t n = 0; n <= suite_size; ++n) {
-      config.checkers = n;
-      secs.push_back(bench::measure(config, /*repeats=*/2).seconds);
-    }
-    std::printf("%-8s", models::to_string(level));
-    for (double s : secs) std::printf(" %8.4f", s);
-    std::printf("\n");
-    // Least-squares slope of overhead vs. checker count, as a linearity
-    // indicator: report overhead-per-checker and the correlation.
-    const double base = secs[0];
-    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
-    const double n_points = static_cast<double>(secs.size());
-    for (size_t i = 0; i < secs.size(); ++i) {
-      const double x = static_cast<double>(i);
-      const double y = (secs[i] / base - 1.0) * 100.0;
-      sx += x;
-      sy += y;
-      sxx += x * x;
-      sxy += x * y;
-      syy += y * y;
-    }
-    const double slope = (n_points * sxy - sx * sy) / (n_points * sxx - sx * sx);
-    const double denom = (n_points * sxx - sx * sx) * (n_points * syy - sy * sy);
-    const double r = denom > 0 ? (n_points * sxy - sx * sy) / std::sqrt(denom) : 1.0;
-    std::printf("%-8s overhead/checker = %.1f%%, linearity r = %.3f\n", "",
-                slope, r);
+    const std::vector<double> serial = row(config, suite_size, /*jobs=*/1);
+    print_row(models::to_string(level), serial);
+    if (level == Level::kRtl) continue;  // the engine only runs at TLM
+    const std::vector<double> sharded = row(config, suite_size, jobs);
+    char label[32];
+    std::snprintf(label, sizeof label, "%s x%zu", models::to_string(level),
+                  jobs);
+    print_row(label, sharded);
+    std::printf("%-12s full-suite serial/sharded = %.2fx\n", "",
+                serial.back() / sharded.back());
   }
 }
 
@@ -59,6 +94,8 @@ void sweep(Design design, size_t workload, size_t suite_size) {
 
 int main() {
   std::printf("=== Checker-count scaling (linearity claim, Sec. V) ===\n");
+  std::printf("sharded rows use jobs=%zu (REPRO_BENCH_JOBS to override)\n",
+              bench::bench_jobs());
   sweep(Design::kDes56, 1600, 9);
   sweep(Design::kColorConv, 16000, 12);
   return 0;

@@ -1,6 +1,8 @@
 // Regenerates Fig. 6: RTL/TLM simulation speedup for both testcases, with
 // and without checkers ("with" = the full property suite, as in the paper's
-// All C configuration).
+// All C configuration). A third column runs the full suite through the
+// sharded evaluation engine (jobs=N) so the serial and parallel checker
+// runtimes can be compared on the same workload.
 #include <cstdio>
 
 #include "bench_table_common.h"
@@ -13,37 +15,55 @@ namespace {
 
 void speedups(Design design, size_t workload, size_t suite_size) {
   const size_t w = bench::scaled(workload);
+  const size_t jobs = bench::bench_jobs();
   models::RunConfig config;
   config.design = design;
   config.workload = w;
 
-  double secs[3][2];  // [level][without/with]
+  double secs[3][3];  // [level][without / with serial / with sharded]
   bool ok = true;
   int row = 0;
   for (Level level : {Level::kRtl, Level::kTlmCa, Level::kTlmAt}) {
     config.level = level;
+    config.jobs = 1;
     config.checkers = 0;
     const bench::Measurement base = bench::measure(config);
     config.checkers = suite_size;
     const bench::Measurement with = bench::measure(config);
     secs[row][0] = base.seconds;
     secs[row][1] = with.seconds;
-    ok = ok && base.functional_ok && with.functional_ok && with.properties_ok;
+    if (level == Level::kRtl) {
+      secs[row][2] = with.seconds;  // the engine only runs at TLM
+      ok = ok && base.functional_ok && with.functional_ok && with.properties_ok;
+    } else {
+      config.jobs = jobs;
+      const bench::Measurement sharded = bench::measure(config);
+      secs[row][2] = sharded.seconds;
+      ok = ok && base.functional_ok && with.functional_ok &&
+           with.properties_ok && sharded.functional_ok && sharded.properties_ok;
+    }
     ++row;
   }
 
-  std::printf("%-10s %-18s %14s %14s   %s\n", models::to_string(design), "",
-              "w/out checkers", "with checkers", ok ? "ok" : "CHECK-FAILED");
-  std::printf("%-10s %-18s %14.2f %14.2f\n", "", "RTL/TLM-CA speedup",
-              secs[0][0] / secs[1][0], secs[0][1] / secs[1][1]);
-  std::printf("%-10s %-18s %14.2f %14.2f\n", "", "RTL/TLM-AT speedup",
-              secs[0][0] / secs[2][0], secs[0][1] / secs[2][1]);
+  char sharded_hdr[24];
+  std::snprintf(sharded_hdr, sizeof sharded_hdr, "with c. x%zu", jobs);
+  std::printf("%-10s %-18s %14s %14s %14s   %s\n", models::to_string(design),
+              "", "w/out checkers", "with checkers", sharded_hdr,
+              ok ? "ok" : "CHECK-FAILED");
+  std::printf("%-10s %-18s %14.2f %14.2f %14.2f\n", "", "RTL/TLM-CA speedup",
+              secs[0][0] / secs[1][0], secs[0][1] / secs[1][1],
+              secs[0][1] / secs[1][2]);
+  std::printf("%-10s %-18s %14.2f %14.2f %14.2f\n", "", "RTL/TLM-AT speedup",
+              secs[0][0] / secs[2][0], secs[0][1] / secs[2][1],
+              secs[0][1] / secs[2][2]);
 }
 
 }  // namespace
 
 int main() {
   std::printf("=== Fig. 6: RTL/TLM simulation speedup ===\n");
+  std::printf("sharded column uses jobs=%zu (REPRO_BENCH_JOBS to override)\n",
+              bench::bench_jobs());
   speedups(Design::kDes56, 2400, 9);
   speedups(Design::kColorConv, 24000, 12);
   return 0;

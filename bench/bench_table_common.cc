@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 namespace repro::bench {
 
@@ -11,6 +12,16 @@ size_t scaled(size_t workload) {
   const long pct = std::strtol(scale, nullptr, 10);
   if (pct <= 0) return workload;
   return std::max<size_t>(1, workload * static_cast<size_t>(pct) / 100);
+}
+
+size_t bench_jobs() {
+  const char* env = std::getenv("REPRO_BENCH_JOBS");
+  if (env != nullptr) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n >= 1) return static_cast<size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<size_t>(hw == 0 ? 2 : hw, 2, 8);
 }
 
 Measurement measure(const models::RunConfig& config, int repeats) {

@@ -14,6 +14,11 @@ namespace repro::bench {
 // REPRO_BENCH_SCALE environment variable (integer percentage, default 100).
 size_t scaled(size_t workload);
 
+// Worker count used for the sharded-engine benchmark columns: the
+// REPRO_BENCH_JOBS environment variable when set, otherwise the hardware
+// concurrency clamped to [2, 8].
+size_t bench_jobs();
+
 struct Measurement {
   double seconds = 0;
   bool functional_ok = false;

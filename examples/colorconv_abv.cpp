@@ -7,6 +7,8 @@
 // corrupted luminance value — to show that the abstracted checkers actually
 // catch wrong TLM implementations (the purpose of the whole flow).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "checker/wrapper.h"
@@ -54,16 +56,30 @@ bool buggy_model_is_caught() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --jobs N shards the TLM checker suites across N worker threads
+  // (default 1 = serial; results are identical for any N).
+  size_t jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (jobs == 0) jobs = 1;  // non-numeric or 0: serial
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   const models::PropertySuite suite = models::colorconv_suite();
   const size_t kPixels = 2000;
 
-  std::printf("== ColorConv: %zu pixels, %zu properties ==\n", kPixels,
-              suite.properties.size());
+  std::printf("== ColorConv: %zu pixels, %zu properties, %zu evaluation job%s ==\n",
+              kPixels, suite.properties.size(), jobs, jobs == 1 ? "" : "s");
   models::RunConfig config;
   config.design = Design::kColorConv;
   config.workload = kPixels;
   config.checkers = suite.properties.size();
+  config.jobs = jobs;
 
   bool all_ok = true;
   for (Level level : {Level::kRtl, Level::kTlmCa, Level::kTlmAt}) {

@@ -3,7 +3,13 @@
 // Abstracts the 9-property RTL suite, prints the generated TLM properties,
 // then runs the RTL and TLM-AT simulations with all checkers enabled and
 // reports the verification results and the relative simulation cost.
+//
+// Usage: des56_abv [--jobs N]
+//   --jobs N  shard the TLM checker suite across N worker threads
+//             (default 1 = serial; results are identical for any N).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "models/properties.h"
@@ -14,7 +20,18 @@ using namespace repro;
 using models::Design;
 using models::Level;
 
-int main() {
+int main(int argc, char** argv) {
+  size_t jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (jobs == 0) jobs = 1;  // non-numeric or 0: serial
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   const models::PropertySuite suite = models::des56_suite();
 
   std::printf("== DES56 property abstraction ==\n");
@@ -33,11 +50,13 @@ int main() {
   }
 
   const size_t kOps = 300;
-  std::printf("\n== dynamic ABV, %zu operations ==\n", kOps);
+  std::printf("\n== dynamic ABV, %zu operations, %zu evaluation job%s ==\n",
+              kOps, jobs, jobs == 1 ? "" : "s");
   models::RunConfig config;
   config.design = Design::kDes56;
   config.workload = kOps;
   config.checkers = suite.properties.size();
+  config.jobs = jobs;
 
   config.level = Level::kRtl;
   const models::RunResult rtl = models::run_simulation(config);

@@ -1,0 +1,85 @@
+#include "abv/eval_engine.h"
+
+#include <algorithm>
+
+#include "abv/tlm_env.h"
+
+namespace repro::abv {
+
+EvalEngine::EvalEngine(Options options) : options_(options) {
+  options_.jobs = std::max<size_t>(1, options_.jobs);
+  options_.batch_size = std::max<size_t>(1, options_.batch_size);
+}
+
+EvalEngine::~EvalEngine() = default;
+
+void EvalEngine::add(checker::TlmCheckerWrapper* wrapper) {
+  wrappers_.push_back(wrapper);
+}
+
+void EvalEngine::add(checker::PropertyChecker* checker) {
+  checkers_.push_back(checker);
+}
+
+void EvalEngine::ensure_sharded() {
+  if (sharded_) return;
+  sharded_ = true;
+  const size_t units = wrappers_.size() + checkers_.size();
+  const size_t count = std::max<size_t>(1, std::min(options_.jobs, units));
+  shards_.resize(count);
+  // Round-robin in registration order balances heterogeneous property costs
+  // across shards and is deterministic.
+  for (size_t i = 0; i < wrappers_.size(); ++i) {
+    shards_[i % count].wrappers.push_back(wrappers_[i]);
+  }
+  for (size_t i = 0; i < checkers_.size(); ++i) {
+    shards_[(wrappers_.size() + i) % count].checkers.push_back(checkers_[i]);
+  }
+  shard_tasks_.reserve(count);
+  for (Shard& shard : shards_) {
+    shard_tasks_.push_back([this, &shard] {
+      for (const tlm::TransactionRecord& record : batch_) {
+        const ObservablesContext ctx(record.observables);
+        for (checker::TlmCheckerWrapper* w : shard.wrappers) {
+          w->on_transaction(record.end, ctx);
+        }
+        for (checker::PropertyChecker* c : shard.checkers) {
+          c->on_event(record.end, ctx);
+        }
+      }
+    });
+  }
+  // The caller participates in every round, so jobs shards need jobs - 1
+  // pool workers.
+  pool_ = std::make_unique<support::ThreadPool>(count - 1);
+  batch_.reserve(options_.batch_size);
+}
+
+void EvalEngine::flush() {
+  if (batch_.empty()) return;
+  pool_->run_all(shard_tasks_);
+  batch_.clear();
+}
+
+void EvalEngine::on_record(const tlm::TransactionRecord& record) {
+  if (options_.jobs == 1) {
+    // Exact historical serial path: evaluate synchronously, no buffering.
+    const ObservablesContext ctx(record.observables);
+    for (checker::TlmCheckerWrapper* w : wrappers_) {
+      w->on_transaction(record.end, ctx);
+    }
+    for (checker::PropertyChecker* c : checkers_) c->on_event(record.end, ctx);
+    return;
+  }
+  ensure_sharded();
+  batch_.push_back(record);
+  if (batch_.size() >= options_.batch_size) flush();
+}
+
+void EvalEngine::finish() {
+  if (sharded_) flush();
+  for (checker::TlmCheckerWrapper* w : wrappers_) w->finish();
+  for (checker::PropertyChecker* c : checkers_) c->finish();
+}
+
+}  // namespace repro::abv

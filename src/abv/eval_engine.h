@@ -1,0 +1,88 @@
+// Sharded, batched evaluation engine for the TLM ABV runtime.
+//
+// The serial runtime walks every wrapper and checker at every transaction
+// end, so checking time grows linearly with the property count. The engine
+// removes that bottleneck for large suites: wrappers/checkers are
+// partitioned round-robin into per-worker shards, incoming transaction
+// records are buffered into batches, and each batch is dispatched to all
+// shards concurrently on a fixed thread pool.
+//
+// Correctness model:
+//   - Each wrapper/checker is owned by exactly one shard, and a shard's
+//     batch task is a single unit of work, so no locking is needed inside
+//     on_transaction/on_event.
+//   - Every shard iterates the batch in arrival order, so each property
+//     observes the exact event stream of the serial engine; per-property
+//     stats, verdicts and failure logs are therefore identical for any
+//     `jobs` value.
+//   - `jobs = 1` bypasses batching entirely and dispatches records
+//     synchronously, which is bit-identical to the historical serial path.
+//   - finish() flushes the pending batch, then retires properties serially
+//     in registration order, so the merged Report is deterministic.
+#ifndef REPRO_ABV_EVAL_ENGINE_H_
+#define REPRO_ABV_EVAL_ENGINE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "checker/checker.h"
+#include "checker/wrapper.h"
+#include "support/thread_pool.h"
+#include "tlm/transaction.h"
+
+namespace repro::abv {
+
+class EvalEngine {
+ public:
+  struct Options {
+    // Worker shards. 1 = serial synchronous dispatch (the historical
+    // behavior); values < 1 are clamped to 1.
+    size_t jobs = 1;
+    // Records buffered per concurrent dispatch when jobs > 1.
+    size_t batch_size = 64;
+  };
+
+  explicit EvalEngine(Options options);
+  ~EvalEngine();
+
+  // Registration, in report order. Call before the first on_record.
+  void add(checker::TlmCheckerWrapper* wrapper);
+  void add(checker::PropertyChecker* checker);
+
+  // One completed transaction. Serial mode evaluates immediately; sharded
+  // mode buffers and dispatches full batches to all shards concurrently.
+  void on_record(const tlm::TransactionRecord& record);
+
+  // Flushes the pending batch and retires every property (end-of-trace
+  // semantics), serially and in registration order.
+  void finish();
+
+  size_t jobs() const { return options_.jobs; }
+  // Shards actually formed (0 before the first dispatch in sharded mode).
+  size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::vector<checker::TlmCheckerWrapper*> wrappers;
+    std::vector<checker::PropertyChecker*> checkers;
+  };
+
+  void ensure_sharded();
+  void flush();
+
+  Options options_;
+  std::vector<checker::TlmCheckerWrapper*> wrappers_;
+  std::vector<checker::PropertyChecker*> checkers_;
+
+  std::vector<Shard> shards_;
+  std::vector<std::function<void()>> shard_tasks_;  // reused every flush
+  std::vector<tlm::TransactionRecord> batch_;
+  std::unique_ptr<support::ThreadPool> pool_;
+  bool sharded_ = false;
+};
+
+}  // namespace repro::abv
+
+#endif  // REPRO_ABV_EVAL_ENGINE_H_

@@ -1,5 +1,6 @@
 #include "abv/report.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <ostream>
 
@@ -15,6 +16,12 @@ void Report::add(const checker::TlmCheckerWrapper& wrapper) {
   const checker::WrapperStats& s = wrapper.stats();
   properties_.push_back({wrapper.name(), s.transactions, s.activations, s.holds,
                          s.failures, s.uncompleted, s.steps});
+}
+
+void Report::sort_by_name() {
+  std::stable_sort(
+      properties_.begin(), properties_.end(),
+      [](const PropertyReport& a, const PropertyReport& b) { return a.name < b.name; });
 }
 
 bool Report::all_ok() const {

@@ -31,6 +31,12 @@ class Report {
 
   const std::vector<PropertyReport>& properties() const { return properties_; }
 
+  // Reorders the rows by property name (stable). Rows are collected in
+  // registration order, which is already independent of the evaluation
+  // engine's worker count; sorting gives a canonical order for diffing
+  // reports across runs that registered properties differently.
+  void sort_by_name();
+
   bool all_ok() const;
   uint64_t total_failures() const;
   uint64_t total_activations() const;

@@ -1,12 +1,21 @@
 #include "abv/tlm_env.h"
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace repro::abv {
 
 uint64_t ObservablesContext::value(std::string_view name) const {
   const std::optional<uint64_t> v = values_.get(name);
-  assert(v.has_value() && "observable missing from transaction record");
+  if (!v.has_value()) {
+    // A property referenced a signal the model does not expose in its
+    // transaction records. Under NDEBUG an assert would vanish and the
+    // dereference below would be UB; fail fast with the name instead.
+    std::fprintf(stderr,
+                 "fatal: observable '%.*s' missing from transaction record\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
   return *v;
 }
 
@@ -25,17 +34,25 @@ void TlmAbvEnv::add_rtl_property(const psl::RtlProperty& property) {
 }
 
 void TlmAbvEnv::attach(tlm::TransactionRecorder& recorder) {
+  EvalEngine::Options options;
+  options.jobs = jobs_;
+  engine_ = std::make_unique<EvalEngine>(options);
+  for (auto& wrapper : wrappers_) engine_->add(wrapper.get());
+  for (auto& checker : checkers_) engine_->add(checker.get());
   recorder.subscribe(
       [this](const tlm::TransactionRecord& record) { on_record(record); });
 }
 
 void TlmAbvEnv::on_record(const tlm::TransactionRecord& record) {
-  const ObservablesContext ctx(record.observables);
-  for (auto& wrapper : wrappers_) wrapper->on_transaction(record.end, ctx);
-  for (auto& checker : checkers_) checker->on_event(record.end, ctx);
+  engine_->on_record(record);
 }
 
 void TlmAbvEnv::finish() {
+  if (engine_ != nullptr) {
+    engine_->finish();
+    return;
+  }
+  // Never attached: retire directly (nothing was ever dispatched).
   for (auto& wrapper : wrappers_) wrapper->finish();
   for (auto& checker : checkers_) checker->finish();
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "abv/eval_engine.h"
 #include "abv/report.h"
 #include "checker/checker.h"
 #include "checker/wrapper.h"
@@ -27,6 +28,8 @@ class ObservablesContext : public checker::ValueContext {
  public:
   explicit ObservablesContext(const tlm::Snapshot& values) : values_(values) {}
 
+  // Fails fast (with the observable's name) when the record does not carry
+  // `name`; a silent garbage read would make verdicts meaningless.
   uint64_t value(std::string_view name) const override;
   bool has(std::string_view name) const override;
 
@@ -37,9 +40,16 @@ class ObservablesContext : public checker::ValueContext {
 class TlmAbvEnv {
  public:
   // `clock_period_ns` is the reference RTL clock period, used to size the
-  // wrapper instance pools (Sec. IV point 1).
-  explicit TlmAbvEnv(psl::TimeNs clock_period_ns = 10)
-      : clock_period_ns_(clock_period_ns) {}
+  // wrapper instance pools (Sec. IV point 1). `jobs` selects the evaluation
+  // engine: 1 (default) is the exact serial walk; N > 1 shards the
+  // registered properties across N concurrent workers with identical
+  // per-property results (see EvalEngine).
+  explicit TlmAbvEnv(psl::TimeNs clock_period_ns = 10, size_t jobs = 1)
+      : clock_period_ns_(clock_period_ns), jobs_(jobs == 0 ? 1 : jobs) {}
+
+  // Reconfigures the worker count; must be called before attach().
+  void set_jobs(size_t jobs) { jobs_ = jobs == 0 ? 1 : jobs; }
+  size_t jobs() const { return jobs_; }
 
   // Registers an abstracted TLM property (checked through the wrapper).
   void add_property(const psl::TlmProperty& property);
@@ -49,7 +59,8 @@ class TlmAbvEnv {
   // any, carries over.
   void add_rtl_property(const psl::RtlProperty& property);
 
-  // Subscribes to the recorder. Call after all add_* calls.
+  // Builds the evaluation engine over the registered properties and
+  // subscribes to the recorder. Call after all add_* and set_jobs calls.
   void attach(tlm::TransactionRecorder& recorder);
 
   void finish();
@@ -65,8 +76,10 @@ class TlmAbvEnv {
   void on_record(const tlm::TransactionRecord& record);
 
   psl::TimeNs clock_period_ns_;
+  size_t jobs_ = 1;
   std::vector<std::unique_ptr<checker::TlmCheckerWrapper>> wrappers_;
   std::vector<std::unique_ptr<checker::PropertyChecker>> checkers_;
+  std::unique_ptr<EvalEngine> engine_;  // built by attach()
 };
 
 }  // namespace repro::abv

@@ -1,5 +1,6 @@
 #include "checker/wrapper.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace repro::checker {
@@ -68,6 +69,16 @@ void TlmCheckerWrapper::retire(std::unique_ptr<Instance> instance, Verdict v,
       break;
   }
   // Sec. IV point 3: reset the instance so it can serve a later session.
+  // Bounded properties keep their statically sized pool (Sec. IV point 1);
+  // unbounded (until-based) properties would otherwise accumulate every
+  // instance ever allocated, so their pool is capped at the high-water mark
+  // of concurrently active instances and the excess is dropped.
+  if (lifetime_ == 0 &&
+      free_pool_.size() >= std::max<size_t>(1, peak_active_)) {
+    ++stats_.pool_dropped;
+    --stats_.pool_capacity;
+    return;
+  }
   instance->reset();
   free_pool_.push_back(std::move(instance));
 }
@@ -79,6 +90,7 @@ void TlmCheckerWrapper::place(std::unique_ptr<Instance> instance) {
   } else {
     dense_.push_back(std::move(instance));
   }
+  peak_active_ = std::max(peak_active_, table_.size() + dense_.size());
 }
 
 std::unique_ptr<Instance> TlmCheckerWrapper::acquire() {
@@ -94,6 +106,7 @@ std::unique_ptr<Instance> TlmCheckerWrapper::acquire() {
 
 void TlmCheckerWrapper::on_transaction(psl::TimeNs time, const ValueContext& values) {
   ++stats_.transactions;
+  last_time_ = time;
   const Event ev{time, &values};
 
   // Sec. IV point 2: evaluate every scheduled instance whose deadline is at
@@ -146,14 +159,17 @@ void TlmCheckerWrapper::on_transaction(psl::TimeNs time, const ValueContext& val
 }
 
 void TlmCheckerWrapper::finish() {
+  // End-of-sim retirements are attributed to the last observed transaction
+  // time: a dense instance failed *by* then, and a scheduled instance's
+  // deadline may lie beyond the end of the trace.
   for (auto& [deadline, instance] : table_) {
     const Verdict v = instance->finish();
-    retire(std::move(instance), v, deadline);
+    retire(std::move(instance), v, std::min(deadline, last_time_));
   }
   table_.clear();
   for (auto& instance : dense_) {
     const Verdict v = instance->finish();
-    retire(std::move(instance), v, 0);
+    retire(std::move(instance), v, last_time_);
   }
   dense_.clear();
 }

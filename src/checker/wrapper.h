@@ -44,7 +44,8 @@ struct WrapperStats {
   uint64_t uncompleted = 0;
   uint64_t reuses = 0;         // sessions served by a recycled instance
   uint64_t steps = 0;          // instance step() calls
-  size_t pool_capacity = 0;    // instances allocated in total
+  size_t pool_capacity = 0;    // live instances (active + pooled)
+  size_t pool_dropped = 0;     // instances freed by the free-pool cap
   size_t table_peak = 0;       // peak size of the evaluation table
 };
 
@@ -82,6 +83,12 @@ class TlmCheckerWrapper {
   bool repeating_ = false;
   bool started_ = false;
   size_t lifetime_ = 0;
+  // Last transaction-end time observed; end-of-sim retirements are reported
+  // at this instant (never later than the end of the trace).
+  psl::TimeNs last_time_ = 0;
+  // High-water mark of concurrently scheduled + dense instances; caps the
+  // free pool of unbounded (until-based) properties.
+  size_t peak_active_ = 0;
 
   // Evaluation table: next required evaluation time -> scheduled instance.
   std::multimap<psl::TimeNs, std::unique_ptr<Instance>> table_;

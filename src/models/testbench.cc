@@ -131,7 +131,7 @@ RunResult run_des56_tlm_ca(const RunConfig& config, const PropertySuite& suite) 
   const std::vector<DesOp> ops = make_des_ops(config.workload, config.seed);
   Des56DriverModel driver(ops);
 
-  abv::TlmAbvEnv env(suite.clock_period_ns);
+  abv::TlmAbvEnv env(suite.clock_period_ns, config.jobs);
   if (abv_enabled(config)) {
     // TLM-CA rows of Table I: the original RTL properties, unabstracted,
     // replayed on the per-cycle transaction stream.
@@ -199,7 +199,7 @@ RunResult run_des56_tlm_at(const RunConfig& config, const PropertySuite& suite) 
 
   RunResult result;
   size_t deleted = 0;
-  abv::TlmAbvEnv env(suite.clock_period_ns);
+  abv::TlmAbvEnv env(suite.clock_period_ns, config.jobs);
   if (abv_enabled(config)) {
     if (config.at_replay_unabstracted) {
       for (const psl::RtlProperty& p : pick(suite, config)) {
@@ -329,7 +329,7 @@ RunResult run_colorconv_tlm_ca(const RunConfig& config,
   for (const CcBurst& b : bursts) total_pixels += b.pixels.size();
   ColorConvDriverModel driver(bursts);
 
-  abv::TlmAbvEnv env(suite.clock_period_ns);
+  abv::TlmAbvEnv env(suite.clock_period_ns, config.jobs);
   if (abv_enabled(config)) {
     for (const psl::RtlProperty& p : pick(suite, config)) {
       env.add_rtl_property(p);
@@ -393,7 +393,7 @@ RunResult run_colorconv_tlm_at(const RunConfig& config,
 
   RunResult result;
   size_t deleted = 0;
-  abv::TlmAbvEnv env(suite.clock_period_ns);
+  abv::TlmAbvEnv env(suite.clock_period_ns, config.jobs);
   if (abv_enabled(config)) {
     if (config.at_replay_unabstracted) {
       for (const psl::RtlProperty& p : pick(suite, config)) {

@@ -34,6 +34,10 @@ struct RunConfig {
   size_t workload = 500;
   uint64_t seed = 42;
   psl::TimeNs clock_period_ns = 10;
+  // Worker count of the TLM evaluation engine: 1 = serial (exact legacy
+  // behavior), N > 1 shards the property suite across N threads with
+  // identical per-property results. Ignored at RTL.
+  size_t jobs = 1;
   // Push mode used when abstracting properties for TLM-AT.
   rewrite::PushMode push_mode = rewrite::PushMode::kOpaqueFixpoints;
   // Ablation: replay the *unabstracted* RTL properties at TLM-AT, counting

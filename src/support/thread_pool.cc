@@ -1,0 +1,52 @@
+#include "support/thread_pool.h"
+
+namespace repro::support {
+
+ThreadPool::ThreadPool(size_t workers) {
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::drain(std::unique_lock<std::mutex>& lock) {
+  while (!queue_.empty()) {
+    const std::function<void()>* task = queue_.front();
+    queue_.pop_front();
+    lock.unlock();
+    (*task)();
+    lock.lock();
+    if (--unfinished_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_ && queue_.empty()) return;
+    drain(lock);
+  }
+}
+
+void ThreadPool::run_all(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (const auto& task : tasks) queue_.push_back(&task);
+  unfinished_ = tasks.size();
+  if (!threads_.empty()) work_cv_.notify_all();
+  // The caller helps drain the queue, then waits for in-flight tasks.
+  drain(lock);
+  done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+}  // namespace repro::support

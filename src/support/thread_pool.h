@@ -1,0 +1,58 @@
+// Fixed-size worker pool used by the sharded ABV evaluation engine.
+//
+// The pool is deliberately minimal: it only supports fork/join rounds
+// (`run_all`), which is the exact shape of the engine's batch dispatch —
+// one task per shard, then a barrier before the next batch is buffered.
+// The calling thread participates in draining the round's queue, so a pool
+// with W workers executes a round with up to W+1 threads and `workers = 0`
+// degenerates to plain serial execution on the caller.
+#ifndef REPRO_SUPPORT_THREAD_POOL_H_
+#define REPRO_SUPPORT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace repro::support {
+
+class ThreadPool {
+ public:
+  // Spawns `workers` threads (0 is allowed and means run_all executes
+  // everything on the calling thread).
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t workers() const { return threads_.size(); }
+
+  // Executes every task and returns once all of them have completed.
+  // Tasks may run on any worker thread or on the calling thread; completion
+  // of run_all establishes a happens-before edge between the tasks of this
+  // round and anything the caller does afterwards. Not reentrant: one
+  // run_all round at a time.
+  void run_all(const std::vector<std::function<void()>>& tasks);
+
+ private:
+  void worker_loop();
+  // Pops and runs queued tasks until the queue is empty. Returns with the
+  // lock in `lock` held.
+  void drain(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: work or shutdown
+  std::condition_variable done_cv_;  // signals run_all: round complete
+  std::deque<const std::function<void()>*> queue_;
+  size_t unfinished_ = 0;  // tasks queued or executing in this round
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace repro::support
+
+#endif  // REPRO_SUPPORT_THREAD_POOL_H_

@@ -1,0 +1,271 @@
+// Tests for the sharded evaluation engine and its thread pool: the engine
+// must produce bit-identical per-property verdicts, stats and failure logs
+// for any worker count, because every wrapper observes the same ordered
+// transaction stream regardless of sharding.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "abv/eval_engine.h"
+#include "abv/tlm_env.h"
+#include "checker/wrapper.h"
+#include "models/testbench.h"
+#include "psl/parser.h"
+#include "support/thread_pool.h"
+#include "tlm/transaction.h"
+
+namespace repro {
+namespace {
+
+// ---- ThreadPool ------------------------------------------------------------------
+
+TEST(ThreadPool, RunsAllTasksWithWorkers) {
+  support::ThreadPool pool(3);
+  EXPECT_EQ(pool.workers(), 3u);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.run_all(tasks);
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsOnCaller) {
+  support::ThreadPool pool(0);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool on_caller = false;
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&] { on_caller = std::this_thread::get_id() == caller; });
+  pool.run_all(tasks);
+  EXPECT_TRUE(on_caller);
+}
+
+TEST(ThreadPool, RunAllIsABarrierAcrossRounds) {
+  // Each round must complete before the next starts: with a per-round
+  // counter, no task of round k may observe a value from round k+1.
+  support::ThreadPool pool(2);
+  int rounds_done = 0;  // unsynchronized on purpose: run_all must order it
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> in_round{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+      tasks.push_back([&in_round] { in_round.fetch_add(1); });
+    }
+    pool.run_all(tasks);
+    EXPECT_EQ(in_round.load(), 8);
+    ++rounds_done;
+  }
+  EXPECT_EQ(rounds_done, 50);
+}
+
+TEST(ThreadPool, EmptyRoundIsANoOp) {
+  support::ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  pool.run_all(tasks);  // must not hang
+}
+
+// ---- EvalEngine ------------------------------------------------------------------
+
+psl::TlmProperty tlm_prop(const std::string& text) {
+  auto result = psl::parse_tlm_property(text);
+  EXPECT_TRUE(result.ok()) << text;
+  return result.value();
+}
+
+tlm::TransactionRecord make_record(sim::Time end, uint64_t ds, uint64_t rdy,
+                                   uint64_t out) {
+  static auto keys = std::make_shared<tlm::Snapshot::Keys>(
+      tlm::Snapshot::Keys{"ds", "rdy", "out"});
+  tlm::TransactionRecord record;
+  record.end = end;
+  record.observables = tlm::Snapshot(keys);
+  record.observables.set("ds", ds);
+  record.observables.set("rdy", rdy);
+  record.observables.set("out", out);
+  return record;
+}
+
+// A mixed suite: time-scheduled, until-based (dense), and a data check that
+// fails on part of the stream.
+std::vector<psl::TlmProperty> mixed_suite() {
+  return {
+      tlm_prop("s1: always (!ds || next_e[1,40](rdy)) @Tb"),
+      tlm_prop("s2: always (!ds || next_e[1,80](rdy)) @Tb"),
+      tlm_prop("d1: always (!ds || (!rdy until rdy)) @Tb"),
+      tlm_prop("f1: always (!ds || next_e[1,40](out != 0)) @Tb"),
+      tlm_prop("s3: always (!ds || next_e[2,80](rdy)) @Tb"),
+  };
+}
+
+// A deterministic stream with firings, on-time completions, missed
+// deadlines (gaps) and zero `out` data (f1 failures).
+std::vector<tlm::TransactionRecord> mixed_stream(size_t n) {
+  std::vector<tlm::TransactionRecord> out;
+  sim::Time t = 10;
+  for (size_t i = 0; i < n; ++i) {
+    const bool fire = i % 3 == 0;
+    const bool gap = i % 7 == 6;       // skip ahead: deadlines get missed
+    const uint64_t data = i % 5 == 0 ? 0 : i;  // zeros fail f1
+    out.push_back(make_record(t, fire ? 1 : 0, fire ? 0 : 1, data));
+    t += gap ? 130 : 40;
+  }
+  return out;
+}
+
+struct SuiteRun {
+  std::vector<std::unique_ptr<checker::TlmCheckerWrapper>> wrappers;
+};
+
+SuiteRun run_suite(size_t jobs, size_t records) {
+  SuiteRun run;
+  abv::EvalEngine::Options options;
+  options.jobs = jobs;
+  options.batch_size = 16;  // force several flushes plus a finish() tail
+  abv::EvalEngine engine(options);
+  for (const psl::TlmProperty& p : mixed_suite()) {
+    run.wrappers.push_back(std::make_unique<checker::TlmCheckerWrapper>(p, 10));
+    engine.add(run.wrappers.back().get());
+  }
+  for (const tlm::TransactionRecord& r : mixed_stream(records)) {
+    engine.on_record(r);
+  }
+  engine.finish();
+  return run;
+}
+
+void expect_identical(const SuiteRun& a, const SuiteRun& b) {
+  ASSERT_EQ(a.wrappers.size(), b.wrappers.size());
+  for (size_t i = 0; i < a.wrappers.size(); ++i) {
+    const checker::TlmCheckerWrapper& wa = *a.wrappers[i];
+    const checker::TlmCheckerWrapper& wb = *b.wrappers[i];
+    ASSERT_EQ(wa.name(), wb.name());
+    const checker::WrapperStats& sa = wa.stats();
+    const checker::WrapperStats& sb = wb.stats();
+    EXPECT_EQ(sa.transactions, sb.transactions) << wa.name();
+    EXPECT_EQ(sa.activations, sb.activations) << wa.name();
+    EXPECT_EQ(sa.failures, sb.failures) << wa.name();
+    EXPECT_EQ(sa.holds, sb.holds) << wa.name();
+    EXPECT_EQ(sa.trivial, sb.trivial) << wa.name();
+    EXPECT_EQ(sa.uncompleted, sb.uncompleted) << wa.name();
+    EXPECT_EQ(sa.reuses, sb.reuses) << wa.name();
+    EXPECT_EQ(sa.steps, sb.steps) << wa.name();
+    EXPECT_EQ(sa.pool_capacity, sb.pool_capacity) << wa.name();
+    EXPECT_EQ(sa.table_peak, sb.table_peak) << wa.name();
+    ASSERT_EQ(wa.failures().size(), wb.failures().size()) << wa.name();
+    for (size_t k = 0; k < wa.failures().size(); ++k) {
+      EXPECT_EQ(wa.failures()[k].time, wb.failures()[k].time) << wa.name();
+      EXPECT_EQ(wa.failures()[k].property, wb.failures()[k].property);
+    }
+  }
+}
+
+TEST(EvalEngine, ShardedMatchesSerialOnMixedSuite) {
+  const SuiteRun serial = run_suite(/*jobs=*/1, /*records=*/200);
+  // The stream contains failures; the test is vacuous without them.
+  uint64_t failures = 0;
+  for (const auto& w : serial.wrappers) failures += w->stats().failures;
+  EXPECT_GT(failures, 0u);
+  for (size_t jobs : {2, 3, 4, 16}) {
+    const SuiteRun sharded = run_suite(jobs, /*records=*/200);
+    expect_identical(serial, sharded);
+  }
+}
+
+TEST(EvalEngine, MoreJobsThanPropertiesIsCappedToOneShardEach) {
+  const SuiteRun serial = run_suite(/*jobs=*/1, /*records=*/40);
+  const SuiteRun sharded = run_suite(/*jobs=*/64, /*records=*/40);
+  expect_identical(serial, sharded);
+}
+
+TEST(EvalEngine, FinishFlushesAPartialBatch) {
+  // Fewer records than one batch: everything is evaluated at finish().
+  const SuiteRun serial = run_suite(/*jobs=*/1, /*records=*/5);
+  const SuiteRun sharded = run_suite(/*jobs=*/4, /*records=*/5);
+  expect_identical(serial, sharded);
+  uint64_t transactions = 0;
+  for (const auto& w : sharded.wrappers) transactions += w->stats().transactions;
+  EXPECT_EQ(transactions, 5u * sharded.wrappers.size());
+}
+
+TEST(EvalEngine, FinishWithoutRecordsRetiresNothing) {
+  abv::EvalEngine::Options options;
+  options.jobs = 4;
+  abv::EvalEngine engine(options);
+  auto p = tlm_prop("q: always (!ds || next_e[1,40](rdy)) @Tb");
+  checker::TlmCheckerWrapper wrapper(p, 10);
+  engine.add(&wrapper);
+  engine.finish();
+  EXPECT_EQ(wrapper.stats().transactions, 0u);
+  EXPECT_EQ(wrapper.stats().activations, 0u);
+}
+
+// ---- Full-simulation serial-vs-sharded equivalence --------------------------------
+
+void expect_reports_identical(const models::RunResult& a,
+                              const models::RunResult& b) {
+  EXPECT_EQ(a.functional_ok, b.functional_ok);
+  EXPECT_EQ(a.properties_ok, b.properties_ok);
+  EXPECT_EQ(a.transactions, b.transactions);
+  EXPECT_EQ(a.sim_end_ns, b.sim_end_ns);
+  const auto& pa = a.report.properties();
+  const auto& pb = b.report.properties();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].name, pb[i].name);
+    EXPECT_EQ(pa[i].events, pb[i].events) << pa[i].name;
+    EXPECT_EQ(pa[i].activations, pb[i].activations) << pa[i].name;
+    EXPECT_EQ(pa[i].holds, pb[i].holds) << pa[i].name;
+    EXPECT_EQ(pa[i].failures, pb[i].failures) << pa[i].name;
+    EXPECT_EQ(pa[i].uncompleted, pb[i].uncompleted) << pa[i].name;
+    EXPECT_EQ(pa[i].steps, pb[i].steps) << pa[i].name;
+  }
+}
+
+void expect_jobs_equivalent(models::Design design, models::Level level,
+                            size_t workload) {
+  models::RunConfig config;
+  config.design = design;
+  config.level = level;
+  config.workload = workload;
+  config.checkers = 99;  // whole suite (clamped)
+  config.jobs = 1;
+  const models::RunResult serial = models::run_simulation(config);
+  EXPECT_TRUE(serial.functional_ok);
+  config.jobs = 4;
+  const models::RunResult sharded = models::run_simulation(config);
+  expect_reports_identical(serial, sharded);
+}
+
+TEST(JobsEquivalence, Des56TlmAt) {
+  expect_jobs_equivalent(models::Design::kDes56, models::Level::kTlmAt, 60);
+}
+
+TEST(JobsEquivalence, Des56TlmCa) {
+  expect_jobs_equivalent(models::Design::kDes56, models::Level::kTlmCa, 40);
+}
+
+TEST(JobsEquivalence, ColorConvTlmAt) {
+  expect_jobs_equivalent(models::Design::kColorConv, models::Level::kTlmAt, 600);
+}
+
+TEST(JobsEquivalence, ColorConvTlmCa) {
+  expect_jobs_equivalent(models::Design::kColorConv, models::Level::kTlmCa, 300);
+}
+
+// ---- TlmAbvEnv jobs knob ----------------------------------------------------------
+
+TEST(EvalEngine, TlmAbvEnvThreadsJobsThrough) {
+  abv::TlmAbvEnv env(10, 4);
+  EXPECT_EQ(env.jobs(), 4u);
+  env.set_jobs(0);  // clamped
+  EXPECT_EQ(env.jobs(), 1u);
+  env.set_jobs(2);
+  EXPECT_EQ(env.jobs(), 2u);
+}
+
+}  // namespace
+}  // namespace repro

@@ -154,6 +154,77 @@ TEST(Wrapper, EventuallyStrongFailsAtFinish) {
   EXPECT_EQ(wrapper.stats().failures, 1u);
 }
 
+TEST(Wrapper, MissedDeadlineStrictlyBeforeNextTransaction) {
+  // Two pending instances with different deadlines; the next transaction
+  // arrives after the earlier deadline but exactly on the later one. Only
+  // the earlier instance missed its evaluation point.
+  TlmCheckerWrapper wrapper(tlm("always (!ds || next_e[1,40](rdy)) @Tb"), 10);
+  transaction(wrapper, 100, {{"ds", 1}, {"rdy", 0}});  // deadline 140
+  transaction(wrapper, 150, {{"ds", 1}, {"rdy", 0}});  // 140 missed; dl 190
+  transaction(wrapper, 190, {{"ds", 0}, {"rdy", 1}});  // 190 met on time
+  wrapper.finish();
+  EXPECT_EQ(wrapper.stats().failures, 1u);
+  ASSERT_EQ(wrapper.failures().size(), 1u);
+  // The miss is detected (and logged) at the transaction that exposed it.
+  EXPECT_EQ(wrapper.failures()[0].time, 150u);
+  EXPECT_EQ(wrapper.stats().holds, 2u);  // the on-time instance + trivial
+}
+
+TEST(Wrapper, EndOfSimDenseFailureLoggedAtLastEventTime) {
+  // A strong obligation that fails at end-of-sim must be attributed to the
+  // last observed transaction time, not t=0.
+  TlmCheckerWrapper wrapper(tlm("always (!ds || eventually! rdy) @Tb"), 10);
+  transaction(wrapper, 10, {{"ds", 1}, {"rdy", 0}});
+  transaction(wrapper, 250, {{"ds", 0}, {"rdy", 0}});
+  wrapper.finish();
+  EXPECT_EQ(wrapper.stats().failures, 1u);
+  ASSERT_EQ(wrapper.failures().size(), 1u);
+  EXPECT_EQ(wrapper.failures()[0].time, 250u);
+}
+
+TEST(Wrapper, EndOfSimTableFailureNotReportedAfterLastEvent) {
+  // A scheduled instance whose deadline (60) lies beyond the end of the
+  // trace and that resolves false at finish() must not be reported at a
+  // time later than the last observed transaction.
+  TlmCheckerWrapper wrapper(tlm("q: always (!ds || !next_e[1,50](rdy)) @Tb"),
+                            10);
+  transaction(wrapper, 10, {{"ds", 1}, {"rdy", 0}});
+  wrapper.finish();  // next_e resolves weakly true; the negation fails
+  EXPECT_EQ(wrapper.stats().failures, 1u);
+  ASSERT_EQ(wrapper.failures().size(), 1u);
+  EXPECT_EQ(wrapper.failures()[0].time, 10u);
+}
+
+TEST(Wrapper, UnboundedFreePoolIsCappedAtActiveHighWaterMark) {
+  // Until-based property: the pool must not retain more instances than were
+  // ever concurrently active. Sequence engineered so a retirement would
+  // overflow the cap: instance A goes dense (peak_active = 1), a second
+  // instance resolves trivially and is pooled, then A retires into an
+  // already-full pool and must be dropped.
+  TlmCheckerWrapper wrapper(tlm("always (!ds || (!rdy until rdy)) @Tb"), 10);
+  transaction(wrapper, 10, {{"ds", 1}, {"rdy", 0}});  // A allocated, dense
+  EXPECT_EQ(wrapper.stats().pool_capacity, 1u);
+  transaction(wrapper, 20, {{"ds", 0}, {"rdy", 0}});  // B allocated, trivial
+  EXPECT_EQ(wrapper.stats().pool_capacity, 2u);
+  transaction(wrapper, 30, {{"ds", 0}, {"rdy", 1}});  // A resolves: dropped
+  wrapper.finish();
+  EXPECT_EQ(wrapper.stats().failures, 0u);
+  EXPECT_EQ(wrapper.stats().pool_dropped, 1u);
+  // Live instances (pooled, nothing active) match the high-water mark.
+  EXPECT_EQ(wrapper.stats().pool_capacity, 1u);
+}
+
+TEST(Wrapper, BoundedPoolIsNeverDropped) {
+  // Time-scheduled properties keep their statically sized pool.
+  TlmCheckerWrapper wrapper(tlm("always (!ds || next_e[1,20](rdy)) @Tb"), 10);
+  for (int i = 0; i < 20; ++i) {
+    transaction(wrapper, 10 * (i + 1), {{"ds", 0}, {"rdy", 0}});
+  }
+  wrapper.finish();
+  EXPECT_EQ(wrapper.stats().pool_dropped, 0u);
+  EXPECT_EQ(wrapper.stats().pool_capacity, 2u);
+}
+
 TEST(Wrapper, TablePeakTracksConcurrentScheduledInstances) {
   TlmCheckerWrapper wrapper(tlm("always (!ds || next_e[1,170](rdy)) @Tb"), 10);
   for (int i = 0; i < 5; ++i) {
