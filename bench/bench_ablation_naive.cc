@@ -22,7 +22,8 @@ using models::Level;
 
 namespace {
 
-models::RunResult run_at(std::vector<size_t> indices, rewrite::PushMode mode,
+models::RunResult run_at(const char* label, bench::BenchJson& json,
+                         std::vector<size_t> indices, rewrite::PushMode mode,
                          bool naive) {
   models::RunConfig config;
   config.design = Design::kDes56;
@@ -31,7 +32,9 @@ models::RunResult run_at(std::vector<size_t> indices, rewrite::PushMode mode,
   config.property_indices = std::move(indices);
   config.push_mode = mode;
   config.at_replay_unabstracted = naive;
-  return models::run_simulation(config);
+  models::RunResult result = models::run_simulation(config);
+  json.add(label, config, result.wall_seconds, result);
+  return result;
 }
 
 uint64_t total_failures(const models::RunResult& r) {
@@ -44,25 +47,27 @@ int main() {
   std::printf("=== Ablation: naive reuse vs. paper push mode vs. default ===\n");
   std::printf("(DES56 TLM-AT, correct model — every failure is spurious)\n\n");
 
+  bench::BenchJson json("ablation_naive");
+
   // A: naive event counting. p3 (index 2) is excluded: it references the
   // abstracted signals, which do not exist at all in the AT interface.
   const models::RunResult naive =
-      run_at({0, 1, 3, 4, 5, 6, 7, 8}, rewrite::PushMode::kOpaqueFixpoints,
-             /*naive=*/true);
+      run_at("A naive", json, {0, 1, 3, 4, 5, 6, 7, 8},
+             rewrite::PushMode::kOpaqueFixpoints, /*naive=*/true);
   std::printf("A. naive next[n] event counting: %llu spurious failures\n",
               static_cast<unsigned long long>(total_failures(naive)));
 
   // B: paper-exact push mode, full suite.
   const models::RunResult paper =
-      run_at({0, 1, 2, 3, 4, 5, 6, 7, 8},
+      run_at("B paper push", json, {0, 1, 2, 3, 4, 5, 6, 7, 8},
              rewrite::PushMode::kDistributeThroughFixpoints, /*naive=*/false);
   std::printf("B. paper push mode (next into until): %llu spurious failures\n",
               static_cast<unsigned long long>(total_failures(paper)));
 
   // C: library default.
   const models::RunResult sound =
-      run_at({0, 1, 2, 3, 4, 5, 6, 7, 8}, rewrite::PushMode::kOpaqueFixpoints,
-             /*naive=*/false);
+      run_at("C default", json, {0, 1, 2, 3, 4, 5, 6, 7, 8},
+             rewrite::PushMode::kOpaqueFixpoints, /*naive=*/false);
   std::printf("C. opaque-fixpoint mode (default):  %llu spurious failures\n\n",
               static_cast<unsigned long long>(total_failures(sound)));
 

@@ -46,12 +46,17 @@ RowFit fit(const std::vector<double>& secs) {
 }
 
 std::vector<double> row(models::RunConfig config, size_t suite_size,
-                        size_t jobs) {
+                        size_t jobs, bench::BenchJson& json) {
   config.jobs = jobs;
   std::vector<double> secs;
   for (size_t n = 0; n <= suite_size; ++n) {
     config.checkers = n;
-    secs.push_back(bench::measure(config, /*repeats=*/2).seconds);
+    const bench::Measurement m = bench::measure(config, /*repeats=*/2);
+    char label[64];
+    std::snprintf(label, sizeof label, "%s x%zu %zuC",
+                  models::to_string(config.level), jobs, n);
+    json.add(label, config, m);
+    secs.push_back(m.seconds);
   }
   return secs;
 }
@@ -68,6 +73,8 @@ void print_row(const char* label, const std::vector<double>& secs) {
 void sweep(Design design, size_t workload, size_t suite_size) {
   const size_t w = bench::scaled(workload);
   const size_t jobs = bench::bench_jobs();
+  bench::BenchJson json(std::string("checker_scaling_") +
+                        models::to_string(design));
   std::printf("--- %s (workload %zu) ---\n", models::to_string(design), w);
   std::printf("%-12s", "level");
   for (size_t n = 0; n <= suite_size; ++n) std::printf(" %7zuC", n);
@@ -77,10 +84,10 @@ void sweep(Design design, size_t workload, size_t suite_size) {
     config.design = design;
     config.level = level;
     config.workload = w;
-    const std::vector<double> serial = row(config, suite_size, /*jobs=*/1);
+    const std::vector<double> serial = row(config, suite_size, /*jobs=*/1, json);
     print_row(models::to_string(level), serial);
     if (level == Level::kRtl) continue;  // the engine only runs at TLM
-    const std::vector<double> sharded = row(config, suite_size, jobs);
+    const std::vector<double> sharded = row(config, suite_size, jobs, json);
     char label[32];
     std::snprintf(label, sizeof label, "%s x%zu", models::to_string(level),
                   jobs);

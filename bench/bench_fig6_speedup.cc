@@ -16,6 +16,7 @@ namespace {
 void speedups(Design design, size_t workload, size_t suite_size) {
   const size_t w = bench::scaled(workload);
   const size_t jobs = bench::bench_jobs();
+  bench::BenchJson json(std::string("fig6_") + models::to_string(design));
   models::RunConfig config;
   config.design = design;
   config.workload = w;
@@ -28,8 +29,10 @@ void speedups(Design design, size_t workload, size_t suite_size) {
     config.jobs = 1;
     config.checkers = 0;
     const bench::Measurement base = bench::measure(config);
+    json.add(std::string(models::to_string(level)) + " base", config, base);
     config.checkers = suite_size;
     const bench::Measurement with = bench::measure(config);
+    json.add(std::string(models::to_string(level)) + " all C", config, with);
     secs[row][0] = base.seconds;
     secs[row][1] = with.seconds;
     if (level == Level::kRtl) {
@@ -38,6 +41,8 @@ void speedups(Design design, size_t workload, size_t suite_size) {
     } else {
       config.jobs = jobs;
       const bench::Measurement sharded = bench::measure(config);
+      json.add(std::string(models::to_string(level)) + " all C sharded", config,
+               sharded);
       secs[row][2] = sharded.seconds;
       ok = ok && base.functional_ok && with.functional_ok &&
            with.properties_ok && sharded.functional_ok && sharded.properties_ok;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 
 namespace repro::bench {
@@ -38,6 +40,52 @@ Measurement measure(const models::RunConfig& config, int repeats) {
   return m;
 }
 
+BenchJson::BenchJson(std::string name) : name_(std::move(name)) {
+  const char* env = std::getenv("REPRO_BENCH_JSON");
+  if (env == nullptr || env[0] == '\0' ||
+      (env[0] == '0' && env[1] == '\0')) {
+    return;
+  }
+  enabled_ = true;
+  std::error_code ec;
+  if (std::filesystem::is_directory(env, ec)) dir_ = env;
+}
+
+void BenchJson::add(const std::string& label, const models::RunConfig& config,
+                    double seconds, const models::RunResult& result) {
+  if (!enabled_) return;
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "%s    {\"label\": \"%s\", \"design\": \"%s\", \"level\": \"%s\", "
+      "\"checkers\": %zu, \"jobs\": %zu, \"workload\": %zu, "
+      "\"seconds\": %.6f, \"transactions\": %llu, "
+      "\"functional_ok\": %s, \"properties_ok\": %s}",
+      count_ == 0 ? "\n" : ",\n", label.c_str(),
+      models::to_string(config.design), models::to_string(config.level),
+      config.checkers, config.jobs, config.workload, seconds,
+      static_cast<unsigned long long>(result.transactions),
+      result.functional_ok ? "true" : "false",
+      result.properties_ok ? "true" : "false");
+  records_ += buf;
+  ++count_;
+}
+
+BenchJson::~BenchJson() {
+  if (!enabled_) return;
+  const std::string path =
+      (dir_.empty() ? std::string() : dir_ + "/") + "BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "REPRO_BENCH_JSON: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"schema_version\": 1,\n  \"bench\": \"" << name_
+      << "\",\n  \"records\": [" << records_ << (count_ ? "\n  ]" : "]")
+      << "\n}\n";
+  std::printf("benchmark records written to %s\n", path.c_str());
+}
+
 void print_row(const char* label, double without_s, double with_s, bool ok) {
   const double overhead = (with_s / without_s - 1.0) * 100.0;
   std::printf("%-14s %10.4f %10.4f %9.1f%%   %s\n", label, without_s, with_s,
@@ -47,6 +95,7 @@ void print_row(const char* label, double without_s, double with_s, bool ok) {
 void run_table1(models::Design design, size_t workload, size_t suite_size) {
   using models::Level;
   const size_t w = scaled(workload);
+  BenchJson json(std::string("table1_") + models::to_string(design));
   std::printf("=== Table I: %s (workload %zu, properties %zu) ===\n",
               models::to_string(design), w, suite_size);
   std::printf("%-14s %10s %10s %10s\n", "config", "w/out c.(s)", "with c.(s)",
@@ -62,12 +111,14 @@ void run_table1(models::Design design, size_t workload, size_t suite_size) {
     config.workload = w;
     config.checkers = 0;
     const Measurement base = measure(config);
+    json.add(std::string(models::to_string(level)) + " 0 C", config, base);
     for (int i = 0; i < 3; ++i) {
       config.checkers = points[i];
       const Measurement with = measure(config);
       char label[64];
       std::snprintf(label, sizeof label, "%s %s", models::to_string(level),
                     point_names[i]);
+      json.add(label, config, with);
       print_row(label, base.seconds, with.seconds,
                 base.functional_ok && with.functional_ok && with.properties_ok);
     }

@@ -41,6 +41,33 @@ struct CheckerPoints {
   size_t all;
 };
 
+// Machine-readable benchmark output. When the REPRO_BENCH_JSON environment
+// variable is set (non-empty, not "0"), every record add()ed during the
+// harness run is written as one JSON file, BENCH_<name>.json, at
+// destruction. A value naming an existing directory selects the output
+// directory; any other truthy value writes to the current directory.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name);
+  ~BenchJson();
+
+  bool enabled() const { return enabled_; }
+
+  void add(const std::string& label, const models::RunConfig& config,
+           double seconds, const models::RunResult& result);
+  void add(const std::string& label, const models::RunConfig& config,
+           const Measurement& m) {
+    add(label, config, m.seconds, m.result);
+  }
+
+ private:
+  std::string name_;
+  std::string dir_;
+  bool enabled_ = false;
+  std::string records_;  // accumulated JSON array elements
+  size_t count_ = 0;
+};
+
 // Emits the full Table I block for one design.
 void run_table1(models::Design design, size_t workload, size_t suite_size);
 

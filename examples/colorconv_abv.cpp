@@ -5,11 +5,18 @@
 // properties passing. Part 2 injects a bug into a copy of the abstracted
 // checker environment — it replays the correct transaction stream but with a
 // corrupted luminance value — to show that the abstracted checkers actually
-// catch wrong TLM implementations (the purpose of the whole flow).
+// catch wrong TLM implementations (the purpose of the whole flow), and that
+// the failure verdict carries a witness ring of the transactions leading up
+// to it.
+//
+// Usage: colorconv_abv [--jobs N] [--batch-size N] [--witness-depth N]
+//                      [--trace-out FILE] [--report-out FILE]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "checker/wrapper.h"
 #include "models/colorconv/colorconv_core.h"
@@ -25,6 +32,8 @@ namespace {
 
 // Replays a tiny handmade stream against the abstracted c2 checker
 // ("y <= 235 eight cycles after every pixel"), with a deliberately wrong y.
+// Returns true when the checker both fails and logs the failure with a
+// non-empty witness ring.
 bool buggy_model_is_caught() {
   const models::PropertySuite suite = models::colorconv_suite();
   rewrite::AbstractionOptions options;
@@ -51,21 +60,52 @@ bool buggy_model_is_caught() {
   transaction(100, true, 0);    // pixel accepted
   transaction(180, false, 255); // result 8 cycles later: y out of range!
   wrapper.finish();
-  return wrapper.stats().failures > 0;
+  if (wrapper.stats().failures == 0 || wrapper.failures().empty()) return false;
+  const checker::Failure& failure = wrapper.failures().front();
+  std::printf("witness ring at the verdict (%zu transaction%s):\n",
+              failure.witness.size(), failure.witness.size() == 1 ? "" : "s");
+  for (const checker::WitnessEntry& entry : failure.witness) {
+    std::printf("  t=%4llu ns:", static_cast<unsigned long long>(entry.time));
+    if (entry.observables != nullptr) {
+      for (const auto& [name, value] : *entry.observables) {
+        std::printf(" %s=%llu", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+    }
+    std::printf("\n");
+  }
+  return !failure.witness.empty();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --jobs N shards the TLM checker suites across N worker threads
-  // (default 1 = serial; results are identical for any N).
   size_t jobs = 1;
+  size_t batch_size = 64;
+  size_t witness_depth = 8;
+  std::string trace_out;
+  std::string report_out;
   for (int i = 1; i < argc; ++i) {
+    auto size_arg = [&](size_t& out) {
+      out = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    };
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+      size_arg(jobs);
       if (jobs == 0) jobs = 1;  // non-numeric or 0: serial
+    } else if (std::strcmp(argv[i], "--batch-size") == 0 && i + 1 < argc) {
+      size_arg(batch_size);
+      if (batch_size == 0) batch_size = 1;
+    } else if (std::strcmp(argv[i], "--witness-depth") == 0 && i + 1 < argc) {
+      size_arg(witness_depth);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--report-out") == 0 && i + 1 < argc) {
+      report_out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N] [--batch-size N] [--witness-depth N]\n"
+                   "          [--trace-out FILE] [--report-out FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -80,10 +120,14 @@ int main(int argc, char** argv) {
   config.workload = kPixels;
   config.checkers = suite.properties.size();
   config.jobs = jobs;
+  config.batch_size = batch_size;
+  config.witness_depth = witness_depth;
 
   bool all_ok = true;
   for (Level level : {Level::kRtl, Level::kTlmCa, Level::kTlmAt}) {
     config.level = level;
+    // Observability outputs cover the TLM-AT run (the paper's target level).
+    config.trace_path = level == Level::kTlmAt ? trace_out : "";
     const models::RunResult r = models::run_simulation(config);
     std::printf("%-7s: %7.3f s  functional=%s properties=%s\n",
                 models::to_string(level), r.wall_seconds,
@@ -93,12 +137,29 @@ int main(int argc, char** argv) {
     if (level == Level::kTlmAt) {
       std::printf("\nper-property results at TLM-AT:\n");
       r.report.print(std::cout);
+      if (!report_out.empty()) {
+        abv::ReportTiming timing;
+        timing.wall_seconds = r.wall_seconds;
+        timing.jobs = jobs;
+        timing.records = r.transactions;
+        timing.metrics = r.metrics;
+        std::ofstream out(report_out);
+        if (!out) {
+          std::fprintf(stderr, "cannot write report to %s\n", report_out.c_str());
+          return 1;
+        }
+        r.report.write_json(out, &timing);
+        std::printf("JSON report written to %s\n", report_out.c_str());
+      }
+      if (!trace_out.empty()) {
+        std::printf("Chrome trace written to %s\n", trace_out.c_str());
+      }
     }
   }
 
   std::printf("\n== failure injection ==\n");
   const bool caught = buggy_model_is_caught();
-  std::printf("buggy TLM model caught by abstracted checker: %s\n",
+  std::printf("buggy TLM model caught by abstracted checker (with witness): %s\n",
               caught ? "yes" : "NO (problem!)");
   return (all_ok && caught) ? 0 : 1;
 }

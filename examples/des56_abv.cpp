@@ -4,30 +4,78 @@
 // then runs the RTL and TLM-AT simulations with all checkers enabled and
 // reports the verification results and the relative simulation cost.
 //
-// Usage: des56_abv [--jobs N]
-//   --jobs N  shard the TLM checker suite across N worker threads
-//             (default 1 = serial; results are identical for any N).
+// The TLM-AT run additionally carries a deliberately failing "witness demo"
+// property (wdemo: rdy must rise one cycle after ds — it actually rises 17
+// cycles later), to demonstrate the failure-witness ring buffer: each logged
+// violation carries the last transactions observed before the verdict.
+//
+// Usage: des56_abv [--jobs N] [--batch-size N] [--witness-depth N]
+//                  [--trace-out FILE] [--report-out FILE] [--no-witness-demo]
+//   --jobs N           shard the TLM checker suite across N worker threads
+//                      (default 1 = serial; results are identical for any N).
+//   --batch-size N     records per sharded dispatch (default 64).
+//   --witness-depth N  failure-witness ring depth per checker (default 8).
+//   --trace-out FILE   write a Chrome trace-event JSON of the TLM-AT run
+//                      (open in Perfetto / chrome://tracing).
+//   --report-out FILE  write the TLM-AT verification report as JSON.
+//   --no-witness-demo  do not inject the failing demo property.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "models/properties.h"
 #include "models/testbench.h"
+#include "psl/parser.h"
 #include "rewrite/methodology.h"
 
 using namespace repro;
 using models::Design;
 using models::Level;
 
+namespace {
+
+constexpr char kWitnessDemoName[] = "wdemo";
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--jobs N] [--batch-size N] [--witness-depth N]\n"
+               "          [--trace-out FILE] [--report-out FILE] "
+               "[--no-witness-demo]\n",
+               argv0);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   size_t jobs = 1;
+  size_t batch_size = 64;
+  size_t witness_depth = 8;
+  std::string trace_out;
+  std::string report_out;
+  bool witness_demo = true;
   for (int i = 1; i < argc; ++i) {
+    auto size_arg = [&](size_t& out) {
+      out = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    };
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+      size_arg(jobs);
       if (jobs == 0) jobs = 1;  // non-numeric or 0: serial
+    } else if (std::strcmp(argv[i], "--batch-size") == 0 && i + 1 < argc) {
+      size_arg(batch_size);
+      if (batch_size == 0) batch_size = 1;
+    } else if (std::strcmp(argv[i], "--witness-depth") == 0 && i + 1 < argc) {
+      size_arg(witness_depth);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--report-out") == 0 && i + 1 < argc) {
+      report_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-witness-demo") == 0) {
+      witness_demo = false;
     } else {
-      std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+      usage(argv[0]);
       return 2;
     }
   }
@@ -57,25 +105,103 @@ int main(int argc, char** argv) {
   config.workload = kOps;
   config.checkers = suite.properties.size();
   config.jobs = jobs;
+  config.batch_size = batch_size;
+  config.witness_depth = witness_depth;
 
   config.level = Level::kRtl;
   const models::RunResult rtl = models::run_simulation(config);
   std::printf("RTL    : %7.3f s  functional=%s properties=%s\n", rtl.wall_seconds,
               rtl.functional_ok ? "ok" : "FAIL", rtl.properties_ok ? "ok" : "FAIL");
 
+  // The demo property is injected only at TLM-AT: rdy rises 17 cycles after
+  // ds, so next[1](rdy) fails at every accepted operation and each logged
+  // failure carries a witness ring.
+  if (witness_demo) {
+    auto parsed = psl::parse_rtl_property(
+        std::string(kWitnessDemoName) + ": always (!ds || next[1](rdy)) @clk_pos");
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "internal error: witness demo property: %s\n",
+                   parsed.error().to_string().c_str());
+      return 1;
+    }
+    config.extra_properties.push_back(std::move(parsed).take());
+  }
   config.level = Level::kTlmAt;
+  config.trace_path = trace_out;
   const models::RunResult at = models::run_simulation(config);
+
+  // With the demo injected, "properties ok" means: every real property
+  // holds, and the demo property fails (it is designed to).
+  bool real_ok = true;
+  const abv::PropertyReport* demo = nullptr;
+  for (const abv::PropertyReport& p : at.report.properties()) {
+    if (p.name == kWitnessDemoName) {
+      demo = &p;
+    } else {
+      real_ok = real_ok && p.ok();
+    }
+  }
+  const bool demo_ok =
+      !witness_demo || (demo != nullptr && demo->failures > 0 &&
+                        !demo->failure_log.empty() &&
+                        !demo->failure_log.front().witness.empty());
+
   std::printf("TLM-AT : %7.3f s  functional=%s properties=%s  (%llu transactions)\n",
               at.wall_seconds, at.functional_ok ? "ok" : "FAIL",
-              at.properties_ok ? "ok" : "FAIL",
+              real_ok ? "ok" : "FAIL",
               static_cast<unsigned long long>(at.transactions));
 
   std::printf("\nRTL / TLM-AT speedup with all checkers: %.2fx\n",
               rtl.wall_seconds / at.wall_seconds);
   std::printf("\nper-property results at TLM-AT:\n");
   at.report.print(std::cout);
+
+  if (witness_demo) {
+    std::printf("\n== witness demo (%s is designed to fail) ==\n",
+                kWitnessDemoName);
+    if (!demo_ok) {
+      std::printf("demo property did not produce a witnessed failure!\n");
+    } else {
+      const checker::Failure& first = demo->failure_log.front();
+      std::printf("%llu failure%s logged; first at t=%llu ns, witness ring "
+                  "(%zu transaction%s, oldest first):\n",
+                  static_cast<unsigned long long>(demo->failures),
+                  demo->failures == 1 ? "" : "s",
+                  static_cast<unsigned long long>(first.time),
+                  first.witness.size(), first.witness.size() == 1 ? "" : "s");
+      for (const checker::WitnessEntry& entry : first.witness) {
+        std::printf("  t=%6llu ns:", static_cast<unsigned long long>(entry.time));
+        if (entry.observables != nullptr) {
+          for (const auto& [name, value] : *entry.observables) {
+            std::printf(" %s=%llu", name.c_str(),
+                        static_cast<unsigned long long>(value));
+          }
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
+  if (!report_out.empty()) {
+    abv::ReportTiming timing;
+    timing.wall_seconds = at.wall_seconds;
+    timing.jobs = jobs;
+    timing.records = at.transactions;
+    timing.metrics = at.metrics;
+    std::ofstream out(report_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write report to %s\n", report_out.c_str());
+      return 1;
+    }
+    at.report.write_json(out, &timing);
+    std::printf("\nJSON report written to %s\n", report_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    std::printf("Chrome trace written to %s\n", trace_out.c_str());
+  }
+
   return (rtl.functional_ok && rtl.properties_ok && at.functional_ok &&
-          at.properties_ok)
+          real_ok && demo_ok)
              ? 0
              : 1;
 }

@@ -1,19 +1,49 @@
 #include "abv/eval_engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 
 #include "abv/tlm_env.h"
 
 namespace repro::abv {
 
-EvalEngine::EvalEngine(Options options) : options_(options) {
+namespace {
+
+// Monotonic wall clock for busy-time metrics; only differences are used.
+uint64_t mono_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+EvalEngine::EvalEngine(Options options)
+    : options_(options),
+      batch_ns_(support::exponential_bounds(1 << 10, 18))  // 1 us .. ~268 ms
+{
   options_.jobs = std::max<size_t>(1, options_.jobs);
   options_.batch_size = std::max<size_t>(1, options_.batch_size);
+  if (options_.metrics != nullptr) {
+    m_records_ = &options_.metrics->counter("engine.records");
+    m_batches_ = &options_.metrics->counter("engine.batches");
+    m_shard_records_ = &options_.metrics->counter("engine.shard_records");
+    m_shard_busy_ns_ = &options_.metrics->counter("engine.shard_busy_ns");
+    m_queue_depth_ = &options_.metrics->gauge("engine.queue_depth");
+  }
+  if (options_.trace != nullptr) {
+    options_.trace->name_thread(0, "dispatch");
+  }
 }
 
 EvalEngine::~EvalEngine() = default;
 
 void EvalEngine::add(checker::TlmCheckerWrapper* wrapper) {
+  // Serial mode evaluates on the dispatch lane; ensure_sharded() reassigns
+  // the wrapper to its shard's lane.
+  wrapper->set_trace(options_.trace, 0);
   wrappers_.push_back(wrapper);
 }
 
@@ -31,13 +61,24 @@ void EvalEngine::ensure_sharded() {
   // across shards and is deterministic.
   for (size_t i = 0; i < wrappers_.size(); ++i) {
     shards_[i % count].wrappers.push_back(wrappers_[i]);
+    wrappers_[i]->set_trace(options_.trace, static_cast<uint32_t>(i % count) + 1);
   }
   for (size_t i = 0; i < checkers_.size(); ++i) {
     shards_[(wrappers_.size() + i) % count].checkers.push_back(checkers_[i]);
   }
   shard_tasks_.reserve(count);
-  for (Shard& shard : shards_) {
-    shard_tasks_.push_back([this, &shard] {
+  for (size_t s = 0; s < count; ++s) {
+    Shard& shard = shards_[s];
+    if (options_.trace != nullptr) {
+      options_.trace->name_thread(static_cast<uint32_t>(s) + 1,
+                                  "shard-" + std::to_string(s));
+    }
+    shard_tasks_.push_back([this, &shard, s] {
+      const bool instrumented =
+          options_.trace != nullptr || m_shard_busy_ns_ != nullptr;
+      const uint64_t t0 = options_.trace != nullptr ? options_.trace->now_ns()
+                          : instrumented           ? mono_ns()
+                                                   : 0;
       for (const tlm::TransactionRecord& record : batch_) {
         const ObservablesContext ctx(record.observables);
         for (checker::TlmCheckerWrapper* w : shard.wrappers) {
@@ -46,6 +87,16 @@ void EvalEngine::ensure_sharded() {
         for (checker::PropertyChecker* c : shard.checkers) {
           c->on_event(record.end, ctx);
         }
+      }
+      if (!instrumented) return;
+      const uint64_t t1 =
+          options_.trace != nullptr ? options_.trace->now_ns() : mono_ns();
+      const uint64_t busy = t1 > t0 ? t1 - t0 : 0;
+      if (m_shard_busy_ns_ != nullptr) m_shard_busy_ns_->add(s, busy);
+      if (m_shard_records_ != nullptr) m_shard_records_->add(s, batch_.size());
+      if (options_.trace != nullptr) {
+        options_.trace->span(static_cast<uint32_t>(s) + 1, "shard_batch", t0,
+                             busy, {{"records", batch_.size()}});
       }
     });
   }
@@ -57,11 +108,30 @@ void EvalEngine::ensure_sharded() {
 
 void EvalEngine::flush() {
   if (batch_.empty()) return;
+  if (m_queue_depth_ != nullptr) m_queue_depth_->set(0, batch_.size());
+  const bool instrumented =
+      options_.trace != nullptr || options_.metrics != nullptr;
+  const uint64_t t0 = options_.trace != nullptr ? options_.trace->now_ns()
+                      : instrumented           ? mono_ns()
+                                               : 0;
   pool_->run_all(shard_tasks_);
+  if (instrumented) {
+    const uint64_t t1 =
+        options_.trace != nullptr ? options_.trace->now_ns() : mono_ns();
+    const uint64_t dur = t1 > t0 ? t1 - t0 : 0;
+    batch_ns_.record(dur);
+    if (m_batches_ != nullptr) m_batches_->add(0, 1);
+    if (options_.trace != nullptr) {
+      options_.trace->span(0, "batch_dispatch", t0, dur,
+                           {{"records", batch_.size()},
+                            {"shards", shards_.size()}});
+    }
+  }
   batch_.clear();
 }
 
 void EvalEngine::on_record(const tlm::TransactionRecord& record) {
+  if (m_records_ != nullptr) m_records_->add(0, 1);
   if (options_.jobs == 1) {
     // Exact historical serial path: evaluate synchronously, no buffering.
     const ObservablesContext ctx(record.observables);
@@ -76,10 +146,34 @@ void EvalEngine::on_record(const tlm::TransactionRecord& record) {
   if (batch_.size() >= options_.batch_size) flush();
 }
 
+void EvalEngine::publish_metrics() {
+  if (options_.metrics == nullptr) return;
+  options_.metrics->merge_histogram("engine.batch_ns", batch_ns_);
+  support::MetricsRegistry::Gauge& pool_hw =
+      options_.metrics->gauge("wrapper.pool_capacity");
+  support::MetricsRegistry::Gauge& table_peak =
+      options_.metrics->gauge("wrapper.table_peak");
+  for (checker::TlmCheckerWrapper* w : wrappers_) {
+    // Serial, in registration order: the merged histogram and the gauge
+    // high-water marks are deterministic for a given transaction stream.
+    options_.metrics->merge_histogram("wrapper.latency_ns",
+                                      w->latency_histogram());
+    pool_hw.set(0, w->stats().pool_capacity);
+    table_peak.set(0, w->stats().table_peak);
+  }
+}
+
 void EvalEngine::finish() {
   if (sharded_) flush();
+  const uint64_t t0 = options_.trace != nullptr ? options_.trace->now_ns() : 0;
   for (checker::TlmCheckerWrapper* w : wrappers_) w->finish();
   for (checker::PropertyChecker* c : checkers_) c->finish();
+  if (options_.trace != nullptr) {
+    options_.trace->span_end(0, "retire", t0,
+                             {{"wrappers", wrappers_.size()},
+                              {"checkers", checkers_.size()}});
+  }
+  publish_metrics();
 }
 
 }  // namespace repro::abv

@@ -29,7 +29,9 @@
 
 #include "checker/checker.h"
 #include "checker/wrapper.h"
+#include "support/metrics.h"
 #include "support/thread_pool.h"
+#include "support/trace_sink.h"
 #include "tlm/transaction.h"
 
 namespace repro::abv {
@@ -40,8 +42,16 @@ class EvalEngine {
     // Worker shards. 1 = serial synchronous dispatch (the historical
     // behavior); values < 1 are clamped to 1.
     size_t jobs = 1;
-    // Records buffered per concurrent dispatch when jobs > 1.
+    // Records buffered per concurrent dispatch when jobs > 1; values < 1
+    // are clamped to 1.
     size_t batch_size = 64;
+    // Optional metrics registry (records, batches, queue depth, per-shard
+    // busy time, dispatch latency, wrapper pool/latency at finish). Must
+    // have >= jobs lanes and outlive the engine. nullptr disables.
+    support::MetricsRegistry* metrics = nullptr;
+    // Optional Chrome-trace sink (batch/shard/retire spans, per-failure
+    // instants). Must outlive the engine. nullptr disables.
+    support::TraceSink* trace = nullptr;
   };
 
   explicit EvalEngine(Options options);
@@ -71,6 +81,7 @@ class EvalEngine {
 
   void ensure_sharded();
   void flush();
+  void publish_metrics();
 
   Options options_;
   std::vector<checker::TlmCheckerWrapper*> wrappers_;
@@ -81,6 +92,17 @@ class EvalEngine {
   std::vector<tlm::TransactionRecord> batch_;
   std::unique_ptr<support::ThreadPool> pool_;
   bool sharded_ = false;
+
+  // Metric handles (owned by options_.metrics), resolved once up front so
+  // the hot path is a relaxed atomic add into the caller's lane.
+  support::MetricsRegistry::Counter* m_records_ = nullptr;
+  support::MetricsRegistry::Counter* m_batches_ = nullptr;
+  support::MetricsRegistry::Counter* m_shard_records_ = nullptr;
+  support::MetricsRegistry::Counter* m_shard_busy_ns_ = nullptr;
+  support::MetricsRegistry::Gauge* m_queue_depth_ = nullptr;
+  // Batch dispatch wall latency; recorded on the dispatch thread only and
+  // merged into the registry at finish().
+  support::Histogram batch_ns_;
 };
 
 }  // namespace repro::abv

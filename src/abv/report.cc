@@ -2,26 +2,129 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <map>
 #include <ostream>
+#include <sstream>
 
 namespace repro::abv {
+
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << std::hex << std::setw(2) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+size_t digits(uint64_t v) {
+  size_t n = 1;
+  while (v >= 10) {
+    v /= 10;
+    ++n;
+  }
+  return n;
+}
+
+void append_delta(std::string& out, const char* field, int64_t v) {
+  if (v == 0) return;
+  if (!out.empty()) out += ", ";
+  out += field;
+  out += v > 0 ? " +" : " -";
+  out += std::to_string(v > 0 ? v : -v);
+}
+
+}  // namespace
+
+std::string PropertyDelta::to_string() const {
+  std::string fields;
+  append_delta(fields, "events", events);
+  append_delta(fields, "activations", activations);
+  append_delta(fields, "holds", holds);
+  append_delta(fields, "failures", failures);
+  append_delta(fields, "uncompleted", uncompleted);
+  append_delta(fields, "steps", steps);
+  if (fields.empty()) fields = "no change";
+  return name + ": " + fields;
+}
 
 void Report::add(const checker::PropertyChecker& checker) {
   const checker::CheckerStats& s = checker.stats();
   properties_.push_back({checker.name(), s.events, s.activations, s.holds,
-                         s.failures, s.uncompleted, s.steps});
+                         s.failures, s.uncompleted, s.steps,
+                         checker.failures()});
 }
 
 void Report::add(const checker::TlmCheckerWrapper& wrapper) {
   const checker::WrapperStats& s = wrapper.stats();
   properties_.push_back({wrapper.name(), s.transactions, s.activations, s.holds,
-                         s.failures, s.uncompleted, s.steps});
+                         s.failures, s.uncompleted, s.steps,
+                         wrapper.failures()});
 }
 
 void Report::sort_by_name() {
   std::stable_sort(
       properties_.begin(), properties_.end(),
       [](const PropertyReport& a, const PropertyReport& b) { return a.name < b.name; });
+}
+
+std::vector<PropertyDelta> Report::diff(const Report& other) const {
+  std::map<std::string, const PropertyReport*> mine;
+  for (const auto& p : properties_) mine.emplace(p.name, &p);
+
+  std::vector<PropertyDelta> deltas;
+  auto signed_delta = [](uint64_t b, uint64_t a) {
+    return static_cast<int64_t>(b) - static_cast<int64_t>(a);
+  };
+  for (const auto& p : other.properties_) {
+    const auto it = mine.find(p.name);
+    const PropertyReport base = it != mine.end() ? *it->second : PropertyReport{};
+    if (it != mine.end()) mine.erase(it);
+    PropertyDelta d;
+    d.name = p.name;
+    d.events = signed_delta(p.events, base.events);
+    d.activations = signed_delta(p.activations, base.activations);
+    d.holds = signed_delta(p.holds, base.holds);
+    d.failures = signed_delta(p.failures, base.failures);
+    d.uncompleted = signed_delta(p.uncompleted, base.uncompleted);
+    d.steps = signed_delta(p.steps, base.steps);
+    if (!d.zero()) deltas.push_back(std::move(d));
+  }
+  // Properties present here but absent from `other` show up as the negated
+  // counts, so the diff is symmetric up to sign.
+  for (const auto& [name, p] : mine) {
+    PropertyDelta d;
+    d.name = name;
+    d.events = -static_cast<int64_t>(p->events);
+    d.activations = -static_cast<int64_t>(p->activations);
+    d.holds = -static_cast<int64_t>(p->holds);
+    d.failures = -static_cast<int64_t>(p->failures);
+    d.uncompleted = -static_cast<int64_t>(p->uncompleted);
+    d.steps = -static_cast<int64_t>(p->steps);
+    if (!d.zero()) deltas.push_back(std::move(d));
+  }
+  return deltas;
 }
 
 bool Report::all_ok() const {
@@ -44,14 +147,118 @@ uint64_t Report::total_activations() const {
 }
 
 void Report::print(std::ostream& os) const {
-  os << std::left << std::setw(16) << "property" << std::right << std::setw(12)
-     << "events" << std::setw(12) << "activated" << std::setw(12) << "holds"
-     << std::setw(10) << "fails" << std::setw(12) << "pending" << "\n";
+  PropertyReport totals;
+  totals.name = "total";
+  size_t name_width = totals.name.size();
   for (const auto& p : properties_) {
-    os << std::left << std::setw(16) << p.name << std::right << std::setw(12)
-       << p.events << std::setw(12) << p.activations << std::setw(12) << p.holds
-       << std::setw(10) << p.failures << std::setw(12) << p.uncompleted << "\n";
+    name_width = std::max(name_width, p.name.size());
+    totals.events += p.events;
+    totals.activations += p.activations;
+    totals.holds += p.holds;
+    totals.failures += p.failures;
+    totals.uncompleted += p.uncompleted;
   }
+  struct Column {
+    const char* header;
+    uint64_t PropertyReport::*field;
+    size_t width;
+  };
+  Column columns[] = {{"events", &PropertyReport::events, 0},
+                      {"activated", &PropertyReport::activations, 0},
+                      {"holds", &PropertyReport::holds, 0},
+                      {"fails", &PropertyReport::failures, 0},
+                      {"pending", &PropertyReport::uncompleted, 0}};
+  for (Column& c : columns) {
+    // Totals bound every row's value, so sizing to header vs. total suffices.
+    c.width = std::max(std::string_view(c.header).size(), digits(totals.*c.field)) + 2;
+  }
+  const std::string rule((name_width + 8) +
+                             columns[0].width + columns[1].width + columns[2].width +
+                             columns[3].width + columns[4].width,
+                         '-');
+  os << std::left << std::setw(static_cast<int>(name_width + 8)) << "property"
+     << std::right;
+  for (const Column& c : columns) os << std::setw(static_cast<int>(c.width)) << c.header;
+  os << "\n";
+  for (const auto& p : properties_) {
+    os << std::left << std::setw(static_cast<int>(name_width + 8)) << p.name
+       << std::right;
+    for (const Column& c : columns) os << std::setw(static_cast<int>(c.width)) << p.*c.field;
+    os << "\n";
+  }
+  os << rule << "\n";
+  os << std::left << std::setw(static_cast<int>(name_width + 8)) << totals.name
+     << std::right;
+  for (const Column& c : columns) os << std::setw(static_cast<int>(c.width)) << totals.*c.field;
+  os << "\n";
+}
+
+void Report::write_json(std::ostream& os, const ReportTiming* timing) const {
+  os << "{\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"all_ok\": " << (all_ok() ? "true" : "false") << ",\n";
+  os << "  \"totals\": {\"activations\": " << total_activations()
+     << ", \"failures\": " << total_failures() << "},\n";
+  os << "  \"properties\": [";
+  for (size_t i = 0; i < properties_.size(); ++i) {
+    const PropertyReport& p = properties_[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"name\": ";
+    write_escaped(os, p.name);
+    os << ", \"events\": " << p.events << ", \"activations\": " << p.activations
+       << ", \"holds\": " << p.holds << ", \"failures\": " << p.failures
+       << ", \"uncompleted\": " << p.uncompleted << ", \"steps\": " << p.steps
+       << ",\n     \"failure_log\": [";
+    for (size_t f = 0; f < p.failure_log.size(); ++f) {
+      const checker::Failure& failure = p.failure_log[f];
+      os << (f == 0 ? "\n" : ",\n");
+      os << "       {\"time_ns\": " << failure.time << ", \"witness\": [";
+      for (size_t w = 0; w < failure.witness.size(); ++w) {
+        const checker::WitnessEntry& entry = failure.witness[w];
+        os << (w == 0 ? "\n" : ",\n");
+        os << "         {\"time_ns\": " << entry.time << ", \"observables\": {";
+        if (entry.observables != nullptr) {
+          for (size_t o = 0; o < entry.observables->size(); ++o) {
+            if (o != 0) os << ", ";
+            write_escaped(os, (*entry.observables)[o].first);
+            os << ": " << (*entry.observables)[o].second;
+          }
+        }
+        os << "}}";
+      }
+      os << (failure.witness.empty() ? "]}" : "\n       ]}");
+    }
+    os << (p.failure_log.empty() ? "]}" : "\n     ]}");
+  }
+  os << (properties_.empty() ? "]" : "\n  ]");
+  if (timing != nullptr) {
+    const double rate = timing->wall_seconds > 0.0
+                            ? static_cast<double>(timing->records) / timing->wall_seconds
+                            : 0.0;
+    const std::ios_base::fmtflags flags = os.flags();
+    const std::streamsize precision = os.precision();
+    os << ",\n  \"timing\": {\n";
+    os << "    \"wall_seconds\": " << std::fixed << std::setprecision(6)
+       << timing->wall_seconds << ",\n";
+    os << "    \"jobs\": " << timing->jobs << ",\n";
+    os << "    \"records\": " << timing->records << ",\n";
+    os << "    \"records_per_sec\": " << std::setprecision(1) << rate << ",\n";
+    os.flags(flags);
+    os.precision(precision);
+    os << "    \"metrics\": ";
+    {
+      std::ostringstream metrics;
+      timing->metrics.write_json(metrics);
+      // Re-indent the nested metrics block to keep the file readable.
+      const std::string text = metrics.str();
+      for (const char c : text) {
+        os << c;
+        if (c == '\n') os << "    ";
+      }
+    }
+    os << "\n  }";
+  }
+  os << "\n}\n";
 }
 
 }  // namespace repro::abv

@@ -9,6 +9,7 @@
 
 #include "checker/checker.h"
 #include "checker/wrapper.h"
+#include "support/metrics.h"
 
 namespace repro::abv {
 
@@ -20,8 +21,42 @@ struct PropertyReport {
   uint64_t failures = 0;
   uint64_t uncompleted = 0;
   uint64_t steps = 0;
+  // Logged violations (capped at the checker), with the failure-witness ring
+  // captured at verdict time for wrapper-checked properties.
+  std::vector<checker::Failure> failure_log;
 
   bool ok() const { return failures == 0; }
+};
+
+// Per-property difference between two reports (other minus this). Only
+// fields that can legitimately differ between equivalent runs are counted;
+// a property present on one side only contributes its full (signed) counts.
+struct PropertyDelta {
+  std::string name;
+  int64_t events = 0;
+  int64_t activations = 0;
+  int64_t holds = 0;
+  int64_t failures = 0;
+  int64_t uncompleted = 0;
+  int64_t steps = 0;
+
+  bool zero() const {
+    return events == 0 && activations == 0 && holds == 0 && failures == 0 &&
+           uncompleted == 0 && steps == 0;
+  }
+  // e.g. "p1: holds -2, failures +2".
+  std::string to_string() const;
+};
+
+// Run-variant data attached to the JSON report under "timing". Everything
+// outside this section is deterministic for a given stimulus, so reports
+// from runs at different worker counts are byte-identical when the timing
+// section is omitted.
+struct ReportTiming {
+  double wall_seconds = 0.0;
+  size_t jobs = 1;
+  uint64_t records = 0;  // transaction records dispatched
+  support::MetricsSnapshot metrics;
 };
 
 class Report {
@@ -37,12 +72,22 @@ class Report {
   // reports across runs that registered properties differently.
   void sort_by_name();
 
+  // Non-zero per-property deltas (other minus this), matched by name.
+  // Empty result == the two reports agree on every counted field.
+  std::vector<PropertyDelta> diff(const Report& other) const;
+
   bool all_ok() const;
   uint64_t total_failures() const;
   uint64_t total_activations() const;
 
-  // Human-readable table, one row per property.
+  // Human-readable table, one row per property, plus a totals row. Columns
+  // are sized to the longest value so long property names stay aligned.
   void print(std::ostream& os) const;
+
+  // Machine-readable report (stable schema, schema_version 1). With
+  // `timing == nullptr` the output depends only on the verification results,
+  // not on worker count or wall time.
+  void write_json(std::ostream& os, const ReportTiming* timing = nullptr) const;
 
  private:
   std::vector<PropertyReport> properties_;

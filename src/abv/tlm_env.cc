@@ -23,6 +23,20 @@ bool ObservablesContext::has(std::string_view name) const {
   return values_.get(name).has_value();
 }
 
+std::shared_ptr<const checker::WitnessValues> ObservablesContext::witness_values()
+    const {
+  if (witness_cache_ == nullptr && values_.keys() != nullptr) {
+    auto snapshot = std::make_shared<checker::WitnessValues>();
+    const tlm::Snapshot::Keys& keys = *values_.keys();
+    snapshot->reserve(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      snapshot->emplace_back(keys[i], values_.at(i));
+    }
+    witness_cache_ = std::move(snapshot);
+  }
+  return witness_cache_;
+}
+
 void TlmAbvEnv::add_property(const psl::TlmProperty& property) {
   wrappers_.push_back(
       std::make_unique<checker::TlmCheckerWrapper>(property, clock_period_ns_));
@@ -34,10 +48,18 @@ void TlmAbvEnv::add_rtl_property(const psl::RtlProperty& property) {
 }
 
 void TlmAbvEnv::attach(tlm::TransactionRecorder& recorder) {
+  // Lane 0 is the dispatch thread; lanes 1..jobs-1 back the extra shards.
+  metrics_ = std::make_unique<support::MetricsRegistry>(jobs_);
   EvalEngine::Options options;
   options.jobs = jobs_;
+  options.batch_size = batch_size_;
+  options.metrics = metrics_.get();
+  options.trace = trace_;
   engine_ = std::make_unique<EvalEngine>(options);
-  for (auto& wrapper : wrappers_) engine_->add(wrapper.get());
+  for (auto& wrapper : wrappers_) {
+    wrapper->set_witness_depth(witness_depth_);
+    engine_->add(wrapper.get());
+  }
   for (auto& checker : checkers_) engine_->add(checker.get());
   recorder.subscribe(
       [this](const tlm::TransactionRecord& record) { on_record(record); });
@@ -55,6 +77,10 @@ void TlmAbvEnv::finish() {
   // Never attached: retire directly (nothing was ever dispatched).
   for (auto& wrapper : wrappers_) wrapper->finish();
   for (auto& checker : checkers_) checker->finish();
+}
+
+support::MetricsSnapshot TlmAbvEnv::metrics_snapshot() const {
+  return metrics_ != nullptr ? metrics_->snapshot() : support::MetricsSnapshot{};
 }
 
 Report TlmAbvEnv::report() const {

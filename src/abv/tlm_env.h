@@ -19,6 +19,8 @@
 #include "checker/checker.h"
 #include "checker/wrapper.h"
 #include "psl/ast.h"
+#include "support/metrics.h"
+#include "support/trace_sink.h"
 #include "tlm/recorder.h"
 
 namespace repro::abv {
@@ -33,8 +35,13 @@ class ObservablesContext : public checker::ValueContext {
   uint64_t value(std::string_view name) const override;
   bool has(std::string_view name) const override;
 
+  // Materialized once per context and shared, so the wrappers of one shard
+  // remembering the same transaction all hold the same immutable snapshot.
+  std::shared_ptr<const checker::WitnessValues> witness_values() const override;
+
  private:
   const tlm::Snapshot& values_;
+  mutable std::shared_ptr<const checker::WitnessValues> witness_cache_;
 };
 
 class TlmAbvEnv {
@@ -50,6 +57,22 @@ class TlmAbvEnv {
   // Reconfigures the worker count; must be called before attach().
   void set_jobs(size_t jobs) { jobs_ = jobs == 0 ? 1 : jobs; }
   size_t jobs() const { return jobs_; }
+
+  // Records buffered per sharded dispatch (ignored at jobs = 1); must be
+  // called before attach(). 0 is clamped to 1.
+  void set_batch_size(size_t batch_size) {
+    batch_size_ = batch_size == 0 ? 1 : batch_size;
+  }
+  size_t batch_size() const { return batch_size_; }
+
+  // Failure-witness ring depth applied to every wrapper at attach() (0
+  // disables witness capture).
+  void set_witness_depth(size_t depth) { witness_depth_ = depth; }
+  size_t witness_depth() const { return witness_depth_; }
+
+  // Chrome-trace sink for engine spans and failure instants; must outlive
+  // the environment. nullptr (default) disables tracing.
+  void set_trace_sink(support::TraceSink* sink) { trace_ = sink; }
 
   // Registers an abstracted TLM property (checked through the wrapper).
   void add_property(const psl::TlmProperty& property);
@@ -68,6 +91,13 @@ class TlmAbvEnv {
   Report report() const;
   bool all_ok() const;
 
+  // Metrics registry backing the evaluation engine; created by attach()
+  // (nullptr before). Callers may add their own gauges (lane 0) before
+  // taking a snapshot.
+  support::MetricsRegistry* metrics() { return metrics_.get(); }
+  // Deterministic merged view; empty when never attached.
+  support::MetricsSnapshot metrics_snapshot() const;
+
   const std::vector<std::unique_ptr<checker::TlmCheckerWrapper>>& wrappers() const {
     return wrappers_;
   }
@@ -77,9 +107,13 @@ class TlmAbvEnv {
 
   psl::TimeNs clock_period_ns_;
   size_t jobs_ = 1;
+  size_t batch_size_ = 64;
+  size_t witness_depth_ = 8;
+  support::TraceSink* trace_ = nullptr;
   std::vector<std::unique_ptr<checker::TlmCheckerWrapper>> wrappers_;
   std::vector<std::unique_ptr<checker::PropertyChecker>> checkers_;
-  std::unique_ptr<EvalEngine> engine_;  // built by attach()
+  std::unique_ptr<support::MetricsRegistry> metrics_;  // built by attach()
+  std::unique_ptr<EvalEngine> engine_;                 // built by attach()
 };
 
 }  // namespace repro::abv

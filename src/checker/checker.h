@@ -23,10 +23,14 @@
 
 namespace repro::checker {
 
-// One observed property violation.
+// One observed property violation. `time` is the simulation (VCD) timestamp
+// the violation was attributed to. `witness` is the wrapper's ring buffer of
+// recent transactions at failure time, oldest first; empty for plain
+// checkers and for wrappers configured with witness depth 0.
 struct Failure {
   psl::TimeNs time = 0;
   std::string property;
+  std::vector<WitnessEntry> witness;
 };
 
 struct CheckerStats {

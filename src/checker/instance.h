@@ -75,10 +75,16 @@ class Instance {
   // Restores the instance to its fresh (pre-anchor) state for reuse.
   void reset();
 
+  // Activation bookkeeping for the wrapper's activation-to-verdict latency
+  // metric: set by the owner at the anchor event, read at retirement.
+  void set_activated_at(psl::TimeNs t) { activated_at_ = t; }
+  psl::TimeNs activated_at() const { return activated_at_; }
+
  private:
   psl::ExprPtr formula_;
   std::unique_ptr<detail::Node> root_;
   Verdict verdict_ = Verdict::kPending;
+  psl::TimeNs activated_at_ = 0;
 };
 
 }  // namespace repro::checker

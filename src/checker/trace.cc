@@ -23,6 +23,13 @@ bool MapContext::has(std::string_view name) const {
   return values_.count(std::string(name)) != 0;
 }
 
+std::shared_ptr<const WitnessValues> MapContext::witness_values() const {
+  auto values = std::make_shared<WitnessValues>();
+  values->reserve(values_.size());
+  for (const auto& [name, value] : values_) values->emplace_back(name, value);
+  return values;
+}
+
 bool eval_atom(const psl::Atom& atom, const ValueContext& ctx) {
   const uint64_t lhs = ctx.value(atom.lhs);
   if (atom.op == psl::CmpOp::kTruthy) return lhs != 0;

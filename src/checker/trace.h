@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "psl/ast.h"
@@ -23,6 +25,18 @@ enum class Verdict { kTrue, kFalse, kPending };
 
 const char* to_string(Verdict v);
 
+// The (name, value) pairs one evaluation event exposed, materialized for
+// failure diagnostics. Shared: every wrapper whose ring buffer remembers the
+// same event holds the same immutable snapshot.
+using WitnessValues = std::vector<std::pair<std::string, uint64_t>>;
+
+// One remembered evaluation event: the simulation (VCD) timestamp of the
+// transaction plus the observables it carried.
+struct WitnessEntry {
+  psl::TimeNs time = 0;
+  std::shared_ptr<const WitnessValues> observables;
+};
+
 // Read access to the DUV observables at one evaluation event.
 class ValueContext {
  public:
@@ -31,6 +45,12 @@ class ValueContext {
   // provides (checked by has()).
   virtual uint64_t value(std::string_view name) const = 0;
   virtual bool has(std::string_view name) const = 0;
+  // Shareable snapshot of every signal this context exposes, for failure
+  // witnesses. nullptr when the context cannot enumerate its signals (the
+  // wrapper then skips witness capture for this event).
+  virtual std::shared_ptr<const WitnessValues> witness_values() const {
+    return nullptr;
+  }
 };
 
 // ValueContext backed by a plain map; used for recorded traces and tests.
@@ -44,6 +64,7 @@ class MapContext : public ValueContext {
 
   uint64_t value(std::string_view name) const override;
   bool has(std::string_view name) const override;
+  std::shared_ptr<const WitnessValues> witness_values() const override;
 
   const std::map<std::string, uint64_t>& entries() const { return values_; }
 

@@ -7,7 +7,12 @@ namespace repro::checker {
 
 TlmCheckerWrapper::TlmCheckerWrapper(const psl::TlmProperty& property,
                                      psl::TimeNs clock_period_ns)
-    : name_(property.name), formula_(property.formula), guard_(property.context.guard) {
+    : name_(property.name),
+      formula_(property.formula),
+      guard_(property.context.guard),
+      // Sub-period to ~2k-period sim-time latencies; DES56's longest next_e
+      // window (170 ns at a 10 ns clock) sits mid-range.
+      latency_ns_(support::exponential_bounds(clock_period_ns, 12)) {
   assert(formula_);
   assert(clock_period_ns >= 1);
   body_ = formula_;
@@ -54,6 +59,8 @@ TlmCheckerWrapper::TlmCheckerWrapper(const psl::TlmProperty& property,
 
 void TlmCheckerWrapper::retire(std::unique_ptr<Instance> instance, Verdict v,
                                psl::TimeNs time) {
+  const psl::TimeNs activated = instance->activated_at();
+  latency_ns_.record(time >= activated ? time - activated : 0);
   switch (v) {
     case Verdict::kTrue:
       ++stats_.holds;
@@ -61,7 +68,10 @@ void TlmCheckerWrapper::retire(std::unique_ptr<Instance> instance, Verdict v,
     case Verdict::kFalse:
       ++stats_.failures;
       if (failure_log_.size() < kMaxLoggedFailures) {
-        failure_log_.push_back({time, name_});
+        failure_log_.push_back({time, name_, witness_snapshot()});
+      }
+      if (trace_ != nullptr) {
+        trace_->instant(trace_tid_, "fail:" + name_, {{"sim_time_ns", time}});
       }
       break;
     case Verdict::kPending:
@@ -93,6 +103,36 @@ void TlmCheckerWrapper::place(std::unique_ptr<Instance> instance) {
   peak_active_ = std::max(peak_active_, table_.size() + dense_.size());
 }
 
+void TlmCheckerWrapper::set_witness_depth(size_t depth) {
+  witness_depth_ = depth;
+  witness_ring_.clear();
+  witness_ring_.shrink_to_fit();
+  witness_next_ = 0;
+}
+
+void TlmCheckerWrapper::capture_witness(psl::TimeNs time,
+                                        const ValueContext& values) {
+  auto observables = values.witness_values();
+  if (observables == nullptr) return;  // context cannot enumerate its signals
+  if (witness_ring_.size() < witness_depth_) {
+    witness_ring_.push_back({time, std::move(observables)});
+  } else {
+    witness_ring_[witness_next_] = {time, std::move(observables)};
+    witness_next_ = (witness_next_ + 1) % witness_depth_;
+  }
+}
+
+std::vector<WitnessEntry> TlmCheckerWrapper::witness_snapshot() const {
+  // Oldest first: once the ring is full, witness_next_ points at the oldest
+  // entry; before that, insertion order is already chronological.
+  std::vector<WitnessEntry> out;
+  out.reserve(witness_ring_.size());
+  for (size_t i = 0; i < witness_ring_.size(); ++i) {
+    out.push_back(witness_ring_[(witness_next_ + i) % witness_ring_.size()]);
+  }
+  return out;
+}
+
 std::unique_ptr<Instance> TlmCheckerWrapper::acquire() {
   if (!free_pool_.empty()) {
     auto instance = std::move(free_pool_.back());
@@ -107,6 +147,7 @@ std::unique_ptr<Instance> TlmCheckerWrapper::acquire() {
 void TlmCheckerWrapper::on_transaction(psl::TimeNs time, const ValueContext& values) {
   ++stats_.transactions;
   last_time_ = time;
+  if (witness_depth_ > 0) capture_witness(time, values);
   const Event ev{time, &values};
 
   // Sec. IV point 2: evaluate every scheduled instance whose deadline is at
@@ -145,6 +186,7 @@ void TlmCheckerWrapper::on_transaction(psl::TimeNs time, const ValueContext& val
   started_ = true;
 
   auto instance = acquire();
+  instance->set_activated_at(time);
   ++stats_.activations;
   ++stats_.steps;
   const Verdict v = instance->step(ev);

@@ -32,6 +32,8 @@
 #include "checker/checker.h"
 #include "checker/instance.h"
 #include "psl/ast.h"
+#include "support/metrics.h"
+#include "support/trace_sink.h"
 
 namespace repro::checker {
 
@@ -71,10 +73,31 @@ class TlmCheckerWrapper {
   // Lifetime in instants, as computed per Sec. IV (0 if unbounded).
   size_t lifetime() const { return lifetime_; }
 
+  // --- Observability -------------------------------------------------------
+
+  // Resizes the failure-witness ring buffer (recent transactions dumped
+  // alongside each failure verdict). 0 disables capture. Call before the
+  // first on_transaction; resizing discards buffered entries.
+  void set_witness_depth(size_t depth);
+  size_t witness_depth() const { return witness_depth_; }
+
+  // Emits an instant trace event on lane `tid` for every failure verdict.
+  // The sink must outlive the wrapper; nullptr disables emission.
+  void set_trace(support::TraceSink* sink, uint32_t tid) {
+    trace_ = sink;
+    trace_tid_ = tid;
+  }
+
+  // Activation-to-verdict latency in simulation nanoseconds, one sample per
+  // retired session. Deterministic for a given transaction stream.
+  const support::Histogram& latency_histogram() const { return latency_ns_; }
+
  private:
   void retire(std::unique_ptr<Instance> instance, Verdict v, psl::TimeNs time);
   void place(std::unique_ptr<Instance> instance);
   std::unique_ptr<Instance> acquire();
+  void capture_witness(psl::TimeNs time, const ValueContext& values);
+  std::vector<WitnessEntry> witness_snapshot() const;
 
   std::string name_;
   psl::ExprPtr formula_;   // keeps the AST alive
@@ -99,6 +122,18 @@ class TlmCheckerWrapper {
 
   WrapperStats stats_;
   std::vector<Failure> failure_log_;
+
+  // Failure-witness ring buffer: the last `witness_depth_` transactions,
+  // written circularly (witness_next_ is the overwrite position once full).
+  size_t witness_depth_ = 8;
+  std::vector<WitnessEntry> witness_ring_;
+  size_t witness_next_ = 0;
+
+  // Activation-to-verdict latency in simulation ns.
+  support::Histogram latency_ns_;
+
+  support::TraceSink* trace_ = nullptr;
+  uint32_t trace_tid_ = 0;
 
   static constexpr size_t kMaxLoggedFailures = 64;
 };

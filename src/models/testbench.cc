@@ -17,6 +17,8 @@
 #include "models/properties.h"
 #include "models/stimulus.h"
 #include "sim/clock.h"
+#include "support/metrics.h"
+#include "support/trace_sink.h"
 #include "tlm/recorder.h"
 #include "tlm/socket.h"
 
@@ -36,14 +38,42 @@ std::vector<psl::RtlProperty> pick(const PropertySuite& suite,
     for (size_t i : config.property_indices) {
       if (i < suite.properties.size()) out.push_back(suite.properties[i]);
     }
-    return out;
+  } else {
+    const size_t n = std::min(config.checkers, suite.properties.size());
+    out.assign(suite.properties.begin(), suite.properties.begin() + n);
   }
-  const size_t n = std::min(config.checkers, suite.properties.size());
-  return {suite.properties.begin(), suite.properties.begin() + n};
+  out.insert(out.end(), config.extra_properties.begin(),
+             config.extra_properties.end());
+  return out;
 }
 
 bool abv_enabled(const RunConfig& config) {
-  return config.checkers > 0 || !config.property_indices.empty();
+  return config.checkers > 0 || !config.property_indices.empty() ||
+         !config.extra_properties.empty();
+}
+
+// Applies the observability knobs shared by every TLM runner. The returned
+// sink (may be null) must stay alive until the end of the run; its
+// destructor writes the trace file.
+std::unique_ptr<support::TraceSink> configure_tlm_env(abv::TlmAbvEnv& env,
+                                                      const RunConfig& config) {
+  env.set_batch_size(config.batch_size);
+  env.set_witness_depth(config.witness_depth);
+  if (config.trace_path.empty()) return nullptr;
+  auto sink = std::make_unique<support::TraceSink>(config.trace_path);
+  env.set_trace_sink(sink.get());
+  return sink;
+}
+
+// Copies the environment's merged metrics into the result and adds the sim
+// kernel gauges on top (also the only metrics present at RTL / without ABV).
+void record_sim_metrics(RunResult& result, support::MetricsSnapshot base) {
+  result.metrics = std::move(base);
+  result.metrics.gauges["sim.kernel_events"] = result.kernel_events;
+  result.metrics.gauges["sim.delta_cycles"] = result.delta_cycles;
+  result.metrics.gauges["sim.transactions"] = result.transactions;
+  result.metrics.gauges["sim.wall_ns"] =
+      static_cast<uint64_t>(result.wall_seconds * 1e9);
 }
 
 // Abstracts the selected properties for TLM-AT; returns the non-deleted ones
@@ -117,6 +147,7 @@ RunResult run_des56_rtl(const RunConfig& config, const PropertySuite& suite) {
       driver.mismatches() == 0 && driver.ops_completed() == ops.size();
   result.report = env.report();
   result.properties_ok = env.all_ok();
+  record_sim_metrics(result, {});
   return result;
 }
 
@@ -132,6 +163,7 @@ RunResult run_des56_tlm_ca(const RunConfig& config, const PropertySuite& suite) 
   Des56DriverModel driver(ops);
 
   abv::TlmAbvEnv env(suite.clock_period_ns, config.jobs);
+  const auto trace = configure_tlm_env(env, config);
   if (abv_enabled(config)) {
     // TLM-CA rows of Table I: the original RTL properties, unabstracted,
     // replayed on the per-cycle transaction stream.
@@ -178,6 +210,7 @@ RunResult run_des56_tlm_ca(const RunConfig& config, const PropertySuite& suite) 
       driver.mismatches() == 0 && driver.ops_completed() == ops.size();
   result.report = env.report();
   result.properties_ok = env.all_ok();
+  record_sim_metrics(result, env.metrics_snapshot());
   return result;
 }
 
@@ -200,6 +233,7 @@ RunResult run_des56_tlm_at(const RunConfig& config, const PropertySuite& suite) 
   RunResult result;
   size_t deleted = 0;
   abv::TlmAbvEnv env(suite.clock_period_ns, config.jobs);
+  const auto trace = configure_tlm_env(env, config);
   if (abv_enabled(config)) {
     if (config.at_replay_unabstracted) {
       for (const psl::RtlProperty& p : pick(suite, config)) {
@@ -254,6 +288,7 @@ RunResult run_des56_tlm_at(const RunConfig& config, const PropertySuite& suite) 
   result.functional_ok = *mismatches == 0 && *completed == ops.size();
   result.report = env.report();
   result.properties_ok = env.all_ok();
+  record_sim_metrics(result, env.metrics_snapshot());
   return result;
 }
 
@@ -312,6 +347,7 @@ RunResult run_colorconv_rtl(const RunConfig& config, const PropertySuite& suite)
       driver.mismatches() == 0 && driver.pixels_completed() == total_pixels;
   result.report = env.report();
   result.properties_ok = env.all_ok();
+  record_sim_metrics(result, {});
   return result;
 }
 
@@ -330,6 +366,7 @@ RunResult run_colorconv_tlm_ca(const RunConfig& config,
   ColorConvDriverModel driver(bursts);
 
   abv::TlmAbvEnv env(suite.clock_period_ns, config.jobs);
+  const auto trace = configure_tlm_env(env, config);
   if (abv_enabled(config)) {
     for (const psl::RtlProperty& p : pick(suite, config)) {
       env.add_rtl_property(p);
@@ -375,6 +412,7 @@ RunResult run_colorconv_tlm_ca(const RunConfig& config,
       driver.mismatches() == 0 && driver.pixels_completed() == total_pixels;
   result.report = env.report();
   result.properties_ok = env.all_ok();
+  record_sim_metrics(result, env.metrics_snapshot());
   return result;
 }
 
@@ -394,6 +432,7 @@ RunResult run_colorconv_tlm_at(const RunConfig& config,
   RunResult result;
   size_t deleted = 0;
   abv::TlmAbvEnv env(suite.clock_period_ns, config.jobs);
+  const auto trace = configure_tlm_env(env, config);
   if (abv_enabled(config)) {
     if (config.at_replay_unabstracted) {
       for (const psl::RtlProperty& p : pick(suite, config)) {
@@ -474,6 +513,7 @@ RunResult run_colorconv_tlm_at(const RunConfig& config,
   result.functional_ok = *mismatches == 0 && *completed == total_pixels;
   result.report = env.report();
   result.properties_ok = env.all_ok();
+  record_sim_metrics(result, env.metrics_snapshot());
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "psl/ast.h"
 #include "rewrite/methodology.h"
 #include "sim/kernel.h"
+#include "support/metrics.h"
 
 namespace repro::models {
 
@@ -38,6 +39,18 @@ struct RunConfig {
   // behavior), N > 1 shards the property suite across N threads with
   // identical per-property results. Ignored at RTL.
   size_t jobs = 1;
+  // Records buffered per sharded dispatch (TLM engine, jobs > 1 only).
+  size_t batch_size = 64;
+  // Failure-witness ring depth per wrapper (0 disables capture). Ignored at
+  // RTL and for unabstracted replay (plain checkers carry no witnesses).
+  size_t witness_depth = 8;
+  // When non-empty, the TLM runners write a Chrome trace-event JSON file
+  // here (engine spans, failure instants). Ignored at RTL.
+  std::string trace_path;
+  // Extra properties appended after the suite selection; abstracted for
+  // TLM-AT like any suite entry. Lets callers inject ad-hoc properties
+  // (e.g. a deliberately failing witness demo) without editing the suite.
+  std::vector<psl::RtlProperty> extra_properties;
   // Push mode used when abstracting properties for TLM-AT.
   rewrite::PushMode push_mode = rewrite::PushMode::kOpaqueFixpoints;
   // Ablation: replay the *unabstracted* RTL properties at TLM-AT, counting
@@ -56,6 +69,9 @@ struct RunResult {
   size_t mismatches = 0;          // driver self-check failures
   size_t properties_deleted = 0;  // suite entries removed by Fig. 4 rules
   abv::Report report;             // empty when checkers == 0
+  // Merged runtime metrics: engine/wrapper metrics (TLM with ABV enabled)
+  // plus sim.* kernel gauges, filled for every run.
+  support::MetricsSnapshot metrics;
   bool functional_ok = false;
   bool properties_ok = false;  // true also when checkers == 0
 };

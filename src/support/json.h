@@ -1,0 +1,48 @@
+// Minimal JSON reader.
+//
+// Just enough of RFC 8259 to round-trip the observability outputs this
+// library emits (trace files, metric snapshots, run reports) in tests and
+// validation tools: objects, arrays, strings with the common escapes,
+// numbers (parsed as double), booleans and null. Not a general-purpose
+// library — no streaming, no \uXXXX surrogate pairs, inputs are trusted
+// build artifacts.
+#ifndef REPRO_SUPPORT_JSON_H_
+#define REPRO_SUPPORT_JSON_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace repro::support::json {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<Value> array;
+  // Insertion order preserved (matters for byte-stable golden comparisons).
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+};
+
+// Parses one JSON document (trailing whitespace allowed, trailing garbage
+// rejected). On failure returns nullopt and, if `error` is given, a short
+// description with the byte offset.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+}  // namespace repro::support::json
+
+#endif  // REPRO_SUPPORT_JSON_H_

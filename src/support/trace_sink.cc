@@ -1,0 +1,164 @@
+#include "support/trace_sink.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace repro::support {
+
+TraceSink::TraceSink() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceSink::TraceSink(std::string path) : TraceSink() { path_ = std::move(path); }
+
+TraceSink::~TraceSink() {
+  if (!path_.empty()) write_file(path_);
+}
+
+uint64_t TraceSink::now_ns() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - epoch_)
+                                   .count());
+}
+
+void TraceSink::push(Event event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void TraceSink::name_thread(uint32_t tid, const std::string& name) {
+  Event e;
+  e.phase = 'M';
+  e.tid = tid;
+  e.ts_ns = 0;
+  e.dur_ns = 0;
+  e.name = "thread_name";
+  e.thread_name = name;
+  push(std::move(e));
+}
+
+void TraceSink::span(uint32_t tid, const char* name, uint64_t start_ns,
+                     uint64_t duration_ns, Args args) {
+  Event e;
+  e.phase = 'X';
+  e.tid = tid;
+  e.ts_ns = start_ns;
+  e.dur_ns = duration_ns;
+  e.name = name;
+  e.args.assign(args.begin(), args.end());
+  push(std::move(e));
+}
+
+void TraceSink::span_end(uint32_t tid, const char* name, uint64_t start_ns,
+                         Args args) {
+  const uint64_t end = now_ns();
+  span(tid, name, start_ns, end > start_ns ? end - start_ns : 0, args);
+}
+
+void TraceSink::instant(uint32_t tid, const std::string& name, Args args) {
+  Event e;
+  e.phase = 'i';
+  e.tid = tid;
+  e.ts_ns = now_ns();
+  e.dur_ns = 0;
+  e.name = name;
+  e.args.assign(args.begin(), args.end());
+  push(std::move(e));
+}
+
+size_t TraceSink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+namespace {
+
+// Property names and thread labels only contain identifier-ish characters,
+// but escape the JSON specials anyway so the file always parses.
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+// Chrome's "ts"/"dur" unit is microseconds; emit as <us>.<ns fraction>.
+void write_us(std::ostream& os, uint64_t ns) {
+  os << ns / 1000;
+  if (ns % 1000 != 0) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, ".%03llu",
+                  static_cast<unsigned long long>(ns % 1000));
+    os << buf;
+  }
+}
+
+}  // namespace
+
+void TraceSink::write(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":";
+    write_escaped(os, e.name);
+    os << ",\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << e.tid;
+    if (e.phase == 'M') {
+      os << ",\"args\":{\"name\":";
+      write_escaped(os, e.thread_name);
+      os << "}}";
+      continue;
+    }
+    os << ",\"ts\":";
+    write_us(os, e.ts_ns);
+    if (e.phase == 'X') {
+      os << ",\"dur\":";
+      write_us(os, e.dur_ns);
+    }
+    if (e.phase == 'i') os << ",\"s\":\"t\"";
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i) os << ',';
+        write_escaped(os, e.args[i].first);
+        os << ':' << e.args[i].second;
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+bool TraceSink::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "trace_sink: cannot open '%s' for writing\n",
+                 path.c_str());
+    return false;
+  }
+  write(out);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "trace_sink: short write to '%s'\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace repro::support

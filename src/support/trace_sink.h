@@ -1,0 +1,87 @@
+// Chrome trace-event JSON sink.
+//
+// Collects complete-event spans ("ph":"X") and instant events ("ph":"i")
+// and writes them as one {"traceEvents":[...]} document loadable in
+// chrome://tracing or Perfetto (ui.perfetto.dev). Timestamps are
+// microseconds (with nanosecond fraction) measured on the steady clock from
+// sink construction; `tid` is a logical lane — the evaluation engine uses
+// tid 0 for the dispatch thread and tid 1+s for shard s, regardless of
+// which OS thread a shard task lands on, so the per-shard timelines stay
+// stable across runs.
+//
+// Emission is mutex-serialized: producers are shard tasks that emit one
+// span per batch (not per record), so the lock is far off the hot path.
+#ifndef REPRO_SUPPORT_TRACE_SINK_H_
+#define REPRO_SUPPORT_TRACE_SINK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace repro::support {
+
+class TraceSink {
+ public:
+  // Numeric event arguments, rendered into the event's "args" object.
+  using Args = std::initializer_list<std::pair<const char*, uint64_t>>;
+
+  TraceSink();
+  // Convenience: write_file(path) is called by the destructor (errors are
+  // reported to stderr — tracing must never fail the run).
+  explicit TraceSink(std::string path);
+  ~TraceSink();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Nanoseconds since sink construction, on the steady clock; pass the
+  // result back as a span's start time.
+  uint64_t now_ns() const;
+
+  // Names lane `tid` in the viewer (thread_name metadata event).
+  void name_thread(uint32_t tid, const std::string& name);
+
+  // Complete span on lane `tid` from `start_ns` (a prior now_ns() value)
+  // to now.
+  void span_end(uint32_t tid, const char* name, uint64_t start_ns,
+                Args args = {});
+  // Complete span with an explicit duration.
+  void span(uint32_t tid, const char* name, uint64_t start_ns,
+            uint64_t duration_ns, Args args = {});
+  // Thread-scoped instant event at the current time.
+  void instant(uint32_t tid, const std::string& name, Args args = {});
+
+  size_t events() const;
+
+  // Serializes every collected event as Chrome trace-event JSON.
+  void write(std::ostream& os) const;
+  // Writes to `path`; returns false (and reports) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase;  // 'X', 'i' or 'M'
+    uint32_t tid;
+    uint64_t ts_ns;
+    uint64_t dur_ns;
+    std::string name;
+    std::vector<std::pair<std::string, uint64_t>> args;
+    std::string thread_name;  // 'M' only
+  };
+
+  void push(Event event);
+
+  const std::chrono::steady_clock::time_point epoch_;
+  std::string path_;  // empty: destructor does not write
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+}  // namespace repro::support
+
+#endif  // REPRO_SUPPORT_TRACE_SINK_H_

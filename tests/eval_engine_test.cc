@@ -211,17 +211,9 @@ void expect_reports_identical(const models::RunResult& a,
   EXPECT_EQ(a.properties_ok, b.properties_ok);
   EXPECT_EQ(a.transactions, b.transactions);
   EXPECT_EQ(a.sim_end_ns, b.sim_end_ns);
-  const auto& pa = a.report.properties();
-  const auto& pb = b.report.properties();
-  ASSERT_EQ(pa.size(), pb.size());
-  for (size_t i = 0; i < pa.size(); ++i) {
-    EXPECT_EQ(pa[i].name, pb[i].name);
-    EXPECT_EQ(pa[i].events, pb[i].events) << pa[i].name;
-    EXPECT_EQ(pa[i].activations, pb[i].activations) << pa[i].name;
-    EXPECT_EQ(pa[i].holds, pb[i].holds) << pa[i].name;
-    EXPECT_EQ(pa[i].failures, pb[i].failures) << pa[i].name;
-    EXPECT_EQ(pa[i].uncompleted, pb[i].uncompleted) << pa[i].name;
-    EXPECT_EQ(pa[i].steps, pb[i].steps) << pa[i].name;
+  ASSERT_EQ(a.report.properties().size(), b.report.properties().size());
+  for (const abv::PropertyDelta& d : a.report.diff(b.report)) {
+    ADD_FAILURE() << "report mismatch: " << d.to_string();
   }
 }
 

@@ -1,0 +1,556 @@
+// Tests for the runtime observability layer: the metrics registry, the
+// Chrome trace-event sink, failure witnesses, the machine-readable report
+// and the bundled JSON reader they are all validated with.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "abv/eval_engine.h"
+#include "abv/report.h"
+#include "checker/checker.h"
+#include "checker/trace.h"
+#include "checker/wrapper.h"
+#include "models/testbench.h"
+#include "psl/parser.h"
+#include "support/json.h"
+#include "support/metrics.h"
+#include "support/trace_sink.h"
+#include "tlm/transaction.h"
+
+namespace repro {
+namespace {
+
+// ---- Histogram -------------------------------------------------------------------
+
+TEST(Histogram, ExponentialBounds) {
+  const std::vector<uint64_t> bounds = support::exponential_bounds(10, 3);
+  EXPECT_EQ(bounds, (std::vector<uint64_t>{10, 20, 40}));
+}
+
+TEST(Histogram, RecordsIntoInclusiveUpperBuckets) {
+  support::Histogram h(support::exponential_bounds(10, 3));  // 10, 20, 40
+  h.record(5);     // <= 10
+  h.record(10);    // <= 10 (inclusive upper edge)
+  h.record(11);    // <= 20
+  h.record(40);    // <= 40
+  h.record(1000);  // overflow
+  EXPECT_EQ(h.counts(), (std::vector<uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.sum(), 5u + 10 + 11 + 40 + 1000);
+  EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(Histogram, MergeAddsCountsAndAdoptsBoundsWhenEmpty) {
+  support::Histogram a(support::exponential_bounds(10, 2));
+  support::Histogram b(support::exponential_bounds(10, 2));
+  a.record(5);
+  b.record(15);
+  b.record(100);
+  a.merge(b);
+  EXPECT_EQ(a.counts(), (std::vector<uint64_t>{1, 1, 1}));
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.max(), 100u);
+
+  support::Histogram empty;
+  empty.merge(a);  // adopts a's bounds and counts
+  EXPECT_EQ(empty.bounds(), a.bounds());
+  EXPECT_EQ(empty.total(), 3u);
+}
+
+// ---- MetricsRegistry -------------------------------------------------------------
+
+TEST(Metrics, CounterSumsLanesAndGaugeTakesPeak) {
+  support::MetricsRegistry registry(3);
+  support::MetricsRegistry::Counter& c = registry.counter("c");
+  support::MetricsRegistry::Gauge& g = registry.gauge("g");
+  c.add(0, 5);
+  c.add(1, 7);
+  c.add(2, 1);
+  g.set(0, 3);
+  g.set(1, 9);
+  g.set(1, 2);  // peak keeps 9
+  EXPECT_EQ(c.total(), 13u);
+  EXPECT_EQ(g.max(), 9u);
+
+  const support::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 13u);
+  EXPECT_EQ(snap.gauges.at("g"), 9u);
+}
+
+TEST(Metrics, ConcurrentLaneWritesAreExact) {
+  constexpr size_t kLanes = 4;
+  constexpr uint64_t kPerLane = 20000;
+  support::MetricsRegistry registry(kLanes);
+  support::MetricsRegistry::Counter& c = registry.counter("hits");
+  support::MetricsRegistry::Gauge& g = registry.gauge("depth");
+  std::vector<std::thread> threads;
+  for (size_t lane = 0; lane < kLanes; ++lane) {
+    threads.emplace_back([&, lane] {
+      for (uint64_t i = 1; i <= kPerLane; ++i) {
+        c.add(lane, 1);
+        g.set(lane, i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.total(), kPerLane * kLanes);
+  EXPECT_EQ(g.max(), kPerLane);
+}
+
+TEST(Metrics, SnapshotJsonIsDeterministic) {
+  auto build = [] {
+    support::MetricsRegistry registry(2);
+    registry.counter("b").add(1, 2);
+    registry.counter("a").add(0, 1);
+    registry.gauge("z").set(0, 4);
+    support::Histogram h(support::exponential_bounds(10, 2));
+    h.record(15);
+    registry.merge_histogram("lat", h);
+    std::ostringstream os;
+    registry.snapshot().write_json(os);
+    return os.str();
+  };
+  const std::string once = build();
+  EXPECT_EQ(once, build());
+  // Keys are sorted by name regardless of registration order.
+  EXPECT_LT(once.find("\"a\""), once.find("\"b\""));
+  std::string error;
+  ASSERT_TRUE(support::json::parse(once, &error).has_value()) << error;
+}
+
+// ---- Witness ring ----------------------------------------------------------------
+
+psl::TlmProperty tlm_prop(const std::string& text) {
+  auto result = psl::parse_tlm_property(text);
+  EXPECT_TRUE(result.ok()) << text;
+  return result.value();
+}
+
+checker::MapContext des_values(bool ds, bool rdy) {
+  checker::MapContext values;
+  values.set("ds", ds ? 1 : 0);
+  values.set("rdy", rdy ? 1 : 0);
+  return values;
+}
+
+TEST(Witness, RingWrapsAroundAndSnapshotsOldestFirst) {
+  // rdy must rise within 40 ns of ds; it never does, so the session fails
+  // and the failure carries the last `depth` transactions.
+  const psl::TlmProperty p = tlm_prop("w: always (!ds || next_e[1,40](rdy)) @Tb");
+  checker::TlmCheckerWrapper wrapper(p, 10);
+  wrapper.set_witness_depth(3);
+  wrapper.on_transaction(10, des_values(true, false));
+  for (psl::TimeNs t : {20, 30, 40, 50, 60}) {
+    wrapper.on_transaction(t, des_values(false, false));
+  }
+  wrapper.finish();
+  ASSERT_GT(wrapper.stats().failures, 0u);
+  ASSERT_FALSE(wrapper.failures().empty());
+  const checker::Failure& failure = wrapper.failures().front();
+  ASSERT_EQ(failure.witness.size(), 3u);  // ring capped at depth 3
+  // Oldest first, ending at the failure's transaction.
+  EXPECT_LT(failure.witness[0].time, failure.witness[1].time);
+  EXPECT_LT(failure.witness[1].time, failure.witness[2].time);
+  EXPECT_EQ(failure.witness.back().time, failure.time);
+  ASSERT_NE(failure.witness[0].observables, nullptr);
+  // MapContext materializes every observable into the snapshot.
+  EXPECT_EQ(failure.witness[0].observables->size(), 2u);
+}
+
+TEST(Witness, DepthZeroDisablesCapture) {
+  const psl::TlmProperty p = tlm_prop("w: always (!ds || next_e[1,40](rdy)) @Tb");
+  checker::TlmCheckerWrapper wrapper(p, 10);
+  wrapper.set_witness_depth(0);
+  wrapper.on_transaction(10, des_values(true, false));
+  for (psl::TimeNs t : {20, 30, 40, 50, 60}) {
+    wrapper.on_transaction(t, des_values(false, false));
+  }
+  wrapper.finish();
+  ASSERT_GT(wrapper.stats().failures, 0u);
+  ASSERT_FALSE(wrapper.failures().empty());
+  EXPECT_TRUE(wrapper.failures().front().witness.empty());
+}
+
+TEST(Witness, PartialRingBeforeWraparound) {
+  // Only two transactions before the verdict: the ring holds both.
+  const psl::TlmProperty p = tlm_prop("w: always (!ds || next_e[1,20](rdy)) @Tb");
+  checker::TlmCheckerWrapper wrapper(p, 10);
+  wrapper.set_witness_depth(8);
+  wrapper.on_transaction(10, des_values(true, false));
+  wrapper.on_transaction(30, des_values(false, false));
+  wrapper.finish();
+  ASSERT_FALSE(wrapper.failures().empty());
+  EXPECT_EQ(wrapper.failures().front().witness.size(), 2u);
+  EXPECT_EQ(wrapper.failures().front().witness[0].time, 10u);
+}
+
+// ---- TraceSink -------------------------------------------------------------------
+
+TEST(TraceSink, WritesParseableChromeTraceJson) {
+  support::TraceSink sink;
+  sink.name_thread(0, "dispatch");
+  sink.name_thread(1, "shard-0");
+  const uint64_t t0 = sink.now_ns();
+  sink.span(1, "shard_batch", t0, 1500, {{"records", 16}});
+  sink.span_end(0, "batch_dispatch", t0, {{"records", 16}, {"shards", 1}});
+  sink.instant(1, "fail:p1", {{"sim_time_ns", 170}});
+  EXPECT_EQ(sink.events(), 5u);
+
+  std::ostringstream os;
+  sink.write(os);
+  std::string error;
+  const auto doc = support::json::parse(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const support::json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 5u);
+  size_t spans = 0, instants = 0, metadata = 0;
+  for (const support::json::Value& e : events->array) {
+    const support::json::Value* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("name"), nullptr);
+    if (ph->string == "X") {
+      ++spans;
+      ASSERT_NE(e.find("dur"), nullptr);
+      ASSERT_NE(e.find("ts"), nullptr);
+    } else if (ph->string == "i") {
+      ++instants;
+      ASSERT_NE(e.find("s"), nullptr);
+      EXPECT_EQ(e.find("s")->string, "t");
+    } else if (ph->string == "M") {
+      ++metadata;
+      EXPECT_EQ(e.find("name")->string, "thread_name");
+    }
+  }
+  EXPECT_EQ(spans, 2u);
+  EXPECT_EQ(instants, 1u);
+  EXPECT_EQ(metadata, 2u);
+}
+
+tlm::TransactionRecord obs_record(sim::Time end, uint64_t ds, uint64_t rdy) {
+  static auto keys =
+      std::make_shared<tlm::Snapshot::Keys>(tlm::Snapshot::Keys{"ds", "rdy"});
+  tlm::TransactionRecord record;
+  record.end = end;
+  record.observables = tlm::Snapshot(keys);
+  record.observables.set("ds", ds);
+  record.observables.set("rdy", rdy);
+  return record;
+}
+
+TEST(TraceSink, EngineEmitsOneLanePerShardWithNestedSpans) {
+  support::TraceSink sink;
+  support::MetricsRegistry metrics(3);
+  abv::EvalEngine::Options options;
+  options.jobs = 3;
+  options.batch_size = 8;
+  options.trace = &sink;
+  options.metrics = &metrics;
+  abv::EvalEngine engine(options);
+  std::vector<std::unique_ptr<checker::TlmCheckerWrapper>> wrappers;
+  for (const char* text :
+       {"a: always (!ds || next_e[1,40](rdy)) @Tb",
+        "b: always (!ds || next_e[1,80](rdy)) @Tb",
+        "c: always (!ds || next_e[1,40](rdy)) @Tb"}) {
+    wrappers.push_back(
+        std::make_unique<checker::TlmCheckerWrapper>(tlm_prop(text), 10));
+    engine.add(wrappers.back().get());
+  }
+  sim::Time t = 10;
+  for (int i = 0; i < 40; ++i) {
+    engine.on_record(obs_record(t, i % 4 == 0 ? 1 : 0, 0));  // rdy never rises
+    t += 50;  // always past the next_e window: every activation fails
+  }
+  engine.finish();
+
+  std::ostringstream os;
+  sink.write(os);
+  std::string error;
+  const auto doc = support::json::parse(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const support::json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::map<int, std::vector<std::pair<double, double>>> spans_by_tid;
+  size_t failures = 0;
+  for (const support::json::Value& e : events->array) {
+    const std::string& ph = e.find("ph")->string;
+    const int tid = static_cast<int>(e.find("tid")->number);
+    if (ph == "X") {
+      spans_by_tid[tid].emplace_back(e.find("ts")->number,
+                                     e.find("dur")->number);
+    } else if (ph == "i") {
+      EXPECT_EQ(tid == 1 || tid == 2 || tid == 3, true);
+      EXPECT_EQ(e.find("name")->string.rfind("fail:", 0), 0u);
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, 0u);
+  // One dispatch lane plus one lane per shard, each with at least one span.
+  for (int tid : {0, 1, 2, 3}) {
+    ASSERT_FALSE(spans_by_tid[tid].empty()) << "tid " << tid;
+  }
+  // Spans within one lane never overlap: batches are strictly sequential.
+  for (auto& [tid, spans] : spans_by_tid) {
+    std::sort(spans.begin(), spans.end());
+    for (size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first, spans[i - 1].first + spans[i - 1].second - 1e-6)
+          << "tid " << tid;
+    }
+  }
+  // Every shard_batch span nests inside some dispatch-lane span.
+  for (int tid : {1, 2, 3}) {
+    for (const auto& [ts, dur] : spans_by_tid[tid]) {
+      bool nested = false;
+      for (const auto& [dts, ddur] : spans_by_tid[0]) {
+        if (ts >= dts - 1e-6 && ts + dur <= dts + ddur + 1e-6) {
+          nested = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(nested) << "span at " << ts << " on tid " << tid
+                          << " not nested in a dispatch span";
+    }
+  }
+}
+
+// ---- Metrics through a full simulation -------------------------------------------
+
+TEST(MetricsDeterminism, DeterministicKeysAgreeAcrossJobs) {
+  auto run = [](size_t jobs) {
+    models::RunConfig config;
+    config.design = models::Design::kDes56;
+    config.level = models::Level::kTlmAt;
+    config.workload = 40;
+    config.checkers = 99;  // whole suite
+    config.jobs = jobs;
+    config.batch_size = 16;
+    return models::run_simulation(config);
+  };
+  const models::RunResult base = run(1);
+  ASSERT_TRUE(base.functional_ok);
+  EXPECT_GT(base.metrics.counters.at("engine.records"), 0u);
+  EXPECT_FALSE(base.metrics.histograms.at("wrapper.latency_ns").empty());
+  for (size_t jobs : {2, 4}) {
+    const models::RunResult r = run(jobs);
+    // Counters and gauges fed by simulation state (not wall time) and the
+    // sim-time latency histogram must be identical for any worker count.
+    EXPECT_EQ(r.metrics.counters.at("engine.records"),
+              base.metrics.counters.at("engine.records"))
+        << jobs;
+    for (const char* key : {"sim.kernel_events", "sim.delta_cycles",
+                            "sim.transactions", "wrapper.pool_capacity",
+                            "wrapper.table_peak"}) {
+      EXPECT_EQ(r.metrics.gauges.at(key), base.metrics.gauges.at(key))
+          << key << " jobs=" << jobs;
+    }
+    const support::Histogram& ha = base.metrics.histograms.at("wrapper.latency_ns");
+    const support::Histogram& hb = r.metrics.histograms.at("wrapper.latency_ns");
+    EXPECT_EQ(ha.bounds(), hb.bounds()) << jobs;
+    EXPECT_EQ(ha.counts(), hb.counts()) << jobs;
+    EXPECT_EQ(ha.sum(), hb.sum()) << jobs;
+    EXPECT_EQ(ha.max(), hb.max()) << jobs;
+  }
+}
+
+// ---- Report: totals, diff, JSON --------------------------------------------------
+
+psl::RtlProperty rtl_prop(const std::string& text) {
+  auto result = psl::parse_rtl_property(text);
+  EXPECT_TRUE(result.ok()) << text;
+  return std::move(result).take();
+}
+
+TEST(Report, PrintSizesColumnsToLongNamesAndAddsTotals) {
+  const psl::RtlProperty p = rtl_prop(
+      "a_property_with_a_very_long_descriptive_name: always (!ds || rdy) @clk_pos");
+  checker::PropertyChecker checker(p.name, p.formula, p.context.guard);
+  abv::Report report;
+  report.add(checker);
+  std::ostringstream os;
+  report.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("a_property_with_a_very_long_descriptive_name"),
+            std::string::npos);
+  EXPECT_NE(text.find("total"), std::string::npos);
+  // Every row (header, property, rule, totals) is aligned to the same width.
+  std::istringstream lines(text);
+  std::string line;
+  std::vector<size_t> lengths;
+  while (std::getline(lines, line)) lengths.push_back(line.size());
+  ASSERT_EQ(lengths.size(), 4u);
+  EXPECT_EQ(lengths[0], lengths[1]);
+  EXPECT_EQ(lengths[2], lengths[3]);
+}
+
+TEST(Report, DiffIsEmptyForIdenticalRunsAndSignedOtherwise) {
+  models::RunConfig config;
+  config.design = models::Design::kDes56;
+  config.level = models::Level::kTlmAt;
+  config.workload = 20;
+  config.checkers = 99;
+  const models::RunResult a = models::run_simulation(config);
+  const models::RunResult a2 = models::run_simulation(config);
+  EXPECT_TRUE(a.report.diff(a2.report).empty());
+
+  config.workload = 30;
+  const models::RunResult b = models::run_simulation(config);
+  const std::vector<abv::PropertyDelta> deltas = a.report.diff(b.report);
+  ASSERT_FALSE(deltas.empty());
+  // More workload means more events: deltas are positive in this direction
+  // and negative in the other.
+  EXPECT_GT(deltas.front().events, 0);
+  const std::vector<abv::PropertyDelta> reverse = b.report.diff(a.report);
+  ASSERT_EQ(reverse.size(), deltas.size());
+  EXPECT_EQ(reverse.front().events, -deltas.front().events);
+  EXPECT_NE(deltas.front().to_string().find(deltas.front().name),
+            std::string::npos);
+}
+
+TEST(Report, DiffReportsPropertiesMissingFromOneSide) {
+  const psl::RtlProperty p = rtl_prop("only_a: always (rdy) @clk_pos");
+  checker::PropertyChecker checker(p.name, p.formula, p.context.guard);
+  checker::MapContext values;
+  values.set("rdy", 1);
+  checker.on_event(10, values);
+  checker.finish();
+  abv::Report with;
+  with.add(checker);
+  abv::Report empty;
+  const std::vector<abv::PropertyDelta> gained = empty.diff(with);
+  ASSERT_EQ(gained.size(), 1u);
+  EXPECT_EQ(gained[0].name, "only_a");
+  EXPECT_GT(gained[0].events, 0);
+  const std::vector<abv::PropertyDelta> lost = with.diff(empty);
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0].events, -gained[0].events);
+}
+
+models::RunResult witness_run(size_t jobs) {
+  models::RunConfig config;
+  config.design = models::Design::kDes56;
+  config.level = models::Level::kTlmAt;
+  config.workload = 30;
+  config.checkers = 99;
+  config.jobs = jobs;
+  // Deliberately failing property: rdy rises 17 cycles after ds, not 1.
+  config.extra_properties.push_back(
+      rtl_prop("wfail: always (!ds || next[1](rdy)) @clk_pos"));
+  return models::run_simulation(config);
+}
+
+TEST(ReportJson, SchemaAndFailureWitnesses) {
+  const models::RunResult r = witness_run(1);
+  std::ostringstream os;
+  r.report.write_json(os);
+  std::string error;
+  const auto doc = support::json::parse(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_TRUE(doc->is_object());
+  ASSERT_NE(doc->find("schema_version"), nullptr);
+  EXPECT_EQ(doc->find("schema_version")->number, 1.0);
+  ASSERT_NE(doc->find("all_ok"), nullptr);
+  EXPECT_FALSE(doc->find("all_ok")->boolean);
+  ASSERT_NE(doc->find("totals"), nullptr);
+  EXPECT_GT(doc->find("totals")->find("failures")->number, 0.0);
+  EXPECT_EQ(doc->find("timing"), nullptr);  // omitted without ReportTiming
+
+  const support::json::Value* properties = doc->find("properties");
+  ASSERT_NE(properties, nullptr);
+  const support::json::Value* wfail = nullptr;
+  for (const support::json::Value& p : properties->array) {
+    for (const char* key :
+         {"name", "events", "activations", "holds", "failures", "uncompleted",
+          "steps", "failure_log"}) {
+      ASSERT_NE(p.find(key), nullptr) << key;
+    }
+    if (p.find("name")->string == "wfail") wfail = &p;
+  }
+  ASSERT_NE(wfail, nullptr);
+  EXPECT_GT(wfail->find("failures")->number, 0.0);
+  const support::json::Value& log = *wfail->find("failure_log");
+  ASSERT_FALSE(log.array.empty());
+  const support::json::Value& first = log.array.front();
+  ASSERT_NE(first.find("time_ns"), nullptr);
+  const support::json::Value* witness = first.find("witness");
+  ASSERT_NE(witness, nullptr);
+  ASSERT_FALSE(witness->array.empty());
+  const support::json::Value& entry = witness->array.front();
+  ASSERT_NE(entry.find("time_ns"), nullptr);
+  ASSERT_NE(entry.find("observables"), nullptr);
+  EXPECT_FALSE(entry.find("observables")->object.empty());
+}
+
+TEST(ReportJson, ByteIdenticalAcrossJobsWithoutTiming) {
+  auto render = [](const models::RunResult& r) {
+    std::ostringstream os;
+    r.report.write_json(os);
+    return os.str();
+  };
+  const std::string serial = render(witness_run(1));
+  EXPECT_EQ(serial, render(witness_run(4)));
+  EXPECT_EQ(serial, render(witness_run(2)));
+}
+
+TEST(ReportJson, TimingSectionCarriesMetrics) {
+  const models::RunResult r = witness_run(2);
+  abv::ReportTiming timing;
+  timing.wall_seconds = r.wall_seconds;
+  timing.jobs = 2;
+  timing.records = r.transactions;
+  timing.metrics = r.metrics;
+  std::ostringstream os;
+  r.report.write_json(os, &timing);
+  std::string error;
+  const auto doc = support::json::parse(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const support::json::Value* t = doc->find("timing");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->find("jobs")->number, 2.0);
+  ASSERT_NE(t->find("records_per_sec"), nullptr);
+  const support::json::Value* metrics = t->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->find("counters"), nullptr);
+  ASSERT_NE(metrics->find("counters")->find("engine.records"), nullptr);
+}
+
+// ---- JSON reader -----------------------------------------------------------------
+
+TEST(Json, ParsesScalarsArraysAndObjects) {
+  const auto doc = support::json::parse(
+      R"({"a": 1.5, "b": [true, false, null], "c": {"nested": "x\n\"y\""}, "d": -3e2})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("a")->number, 1.5);
+  ASSERT_EQ(doc->find("b")->array.size(), 3u);
+  EXPECT_TRUE(doc->find("b")->array[0].boolean);
+  EXPECT_EQ(doc->find("b")->array[2].kind, support::json::Value::Kind::kNull);
+  EXPECT_EQ(doc->find("c")->find("nested")->string, "x\n\"y\"");
+  EXPECT_EQ(doc->find("d")->number, -300.0);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(support::json::parse("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(support::json::parse("[1,]").has_value());
+  EXPECT_FALSE(support::json::parse("{} trailing").has_value());
+  EXPECT_FALSE(support::json::parse("\"unterminated").has_value());
+}
+
+TEST(Json, FindOnNonObjectReturnsNull) {
+  const auto doc = support::json::parse("[1, 2]");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("x"), nullptr);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by --trace-out.
+
+Checks that the file parses, that every event carries the keys its phase
+requires, that spans within one lane (tid) never overlap, that shard-lane
+spans nest inside dispatch-lane spans, and (optionally) that a --report-out
+JSON produced by the same run parses and matches the expected schema.
+
+Exit status: 0 on success, 1 on any violation (each is printed).
+
+Usage: validate_trace.py TRACE [--report REPORT] [--min-spans-per-lane N]
+"""
+
+import argparse
+import json
+import sys
+
+EPS = 1e-6  # µs tolerance: timestamps carry a ns fraction
+
+
+def fail(errors, message):
+    errors.append(message)
+    print("FAIL: %s" % message, file=sys.stderr)
+
+
+def check_events(doc, errors, min_spans):
+    if not isinstance(doc, dict):
+        fail(errors, "top level is not an object")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(errors, "traceEvents missing or empty")
+        return
+
+    spans_by_tid = {}
+    names_by_tid = {}
+    instants = 0
+    for i, event in enumerate(events):
+        where = "event %d" % i
+        phase = event.get("ph")
+        if phase not in ("X", "i", "M"):
+            fail(errors, "%s: unknown phase %r" % (where, phase))
+            continue
+        for key in ("tid", "pid", "name"):
+            if key not in event:
+                fail(errors, "%s (ph=%s): missing %r" % (where, phase, key))
+        tid = event.get("tid")
+        if phase == "X":
+            if "ts" not in event or "dur" not in event:
+                fail(errors, "%s: complete span without ts/dur" % where)
+                continue
+            spans_by_tid.setdefault(tid, []).append(
+                (float(event["ts"]), float(event["dur"]), event.get("name"))
+            )
+        elif phase == "i":
+            instants += 1
+            if event.get("s") != "t":
+                fail(errors, "%s: instant scope %r, want 't'" % (where, event.get("s")))
+            if "ts" not in event:
+                fail(errors, "%s: instant without ts" % where)
+        elif phase == "M":
+            if event.get("name") != "thread_name":
+                fail(errors, "%s: metadata name %r" % (where, event.get("name")))
+            name = event.get("args", {}).get("name")
+            if not name:
+                fail(errors, "%s: thread_name without args.name" % where)
+            names_by_tid[tid] = name
+
+    if not spans_by_tid:
+        fail(errors, "no complete spans in trace")
+        return
+
+    # Every lane that carries spans must be named, and carry enough of them.
+    for tid, spans in sorted(spans_by_tid.items()):
+        if tid not in names_by_tid:
+            fail(errors, "lane tid=%s has spans but no thread_name" % tid)
+        if len(spans) < min_spans:
+            fail(errors, "lane tid=%s has %d spans, want >= %d"
+                 % (tid, len(spans), min_spans))
+
+    # Spans within one lane are strictly sequential (batches never overlap).
+    for tid, spans in sorted(spans_by_tid.items()):
+        spans.sort()
+        for (a_ts, a_dur, a_name), (b_ts, _, b_name) in zip(spans, spans[1:]):
+            if b_ts < a_ts + a_dur - EPS:
+                fail(errors, "lane tid=%s: span %r at %f overlaps %r ending %f"
+                     % (tid, b_name, b_ts, a_name, a_ts + a_dur))
+
+    # Shard-lane spans (tid >= 1) nest inside a dispatch-lane span (tid 0).
+    dispatch = spans_by_tid.get(0, [])
+    for tid, spans in sorted(spans_by_tid.items()):
+        if tid == 0:
+            continue
+        for ts, dur, name in spans:
+            nested = any(ts >= d_ts - EPS and ts + dur <= d_ts + d_dur + EPS
+                         for d_ts, d_dur, _ in dispatch)
+            if not nested:
+                fail(errors, "lane tid=%s: span %r at %f not nested in any "
+                     "dispatch span" % (tid, name, ts))
+
+    lanes = ", ".join("%s=%s(%d spans)" % (t, names_by_tid.get(t, "?"),
+                                           len(spans_by_tid.get(t, [])))
+                      for t in sorted(spans_by_tid))
+    print("trace ok: %d events, %d instants, lanes: %s"
+          % (len(events), instants, lanes))
+
+
+def check_report(doc, errors):
+    if not isinstance(doc, dict):
+        fail(errors, "report: top level is not an object")
+        return
+    if doc.get("schema_version") != 1:
+        fail(errors, "report: schema_version %r, want 1" % doc.get("schema_version"))
+    for key in ("all_ok", "totals", "properties"):
+        if key not in doc:
+            fail(errors, "report: missing %r" % key)
+    for prop in doc.get("properties", []):
+        for key in ("name", "events", "activations", "holds", "failures",
+                    "uncompleted", "steps", "failure_log"):
+            if key not in prop:
+                fail(errors, "report: property %r missing %r"
+                     % (prop.get("name"), key))
+        for failure in prop.get("failure_log", []):
+            if "time_ns" not in failure or "witness" not in failure:
+                fail(errors, "report: malformed failure in %r" % prop.get("name"))
+    print("report ok: %d properties, all_ok=%s"
+          % (len(doc.get("properties", [])), doc.get("all_ok")))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON from --trace-out")
+    parser.add_argument("--report", help="report JSON from --report-out")
+    parser.add_argument("--min-spans-per-lane", type=int, default=1)
+    args = parser.parse_args()
+
+    errors = []
+    try:
+        with open(args.trace) as f:
+            trace = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(errors, "cannot parse %s: %s" % (args.trace, e))
+    else:
+        check_events(trace, errors, args.min_spans_per_lane)
+
+    if args.report:
+        try:
+            with open(args.report) as f:
+                report = json.load(f)
+        except (OSError, ValueError) as e:
+            fail(errors, "cannot parse %s: %s" % (args.report, e))
+        else:
+            check_report(report, errors)
+
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
