@@ -1,0 +1,190 @@
+// Micro-benchmark of the two checker-instance backends (Sec. IV): the
+// tree-walking interpreter (detail::Node virtual dispatch) vs the compiled
+// flat program (checker/program.h), stepped over identical synthetic event
+// streams for every abstracted DES56 property.
+//
+// Each backend drives one Instance through the stream with reset-on-resolve
+// (the wrapper's recycling pattern), so the numbers measure steady-state
+// step throughput including verdict resolution and reuse. Also reports the
+// hash-consing hit rate of the expression intern table over the suite.
+//
+// With REPRO_BENCH_JSON set, records land in BENCH_ir_eval.json.
+#include <chrono>
+#include <cstdio>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench_table_common.h"
+#include "checker/instance.h"
+#include "checker/program.h"
+#include "checker/trace.h"
+#include "models/properties.h"
+#include "psl/intern.h"
+#include "rewrite/methodology.h"
+#include "support/rng.h"
+
+using namespace repro;
+
+namespace {
+
+// Synthetic TLM-AT-style stream: transaction-end events at irregular
+// instants, handshake-shaped signals so next/until obligations both resolve
+// and survive. Deterministic (fixed seed) so both backends see the same
+// trace.
+checker::Trace make_trace(size_t length) {
+  Rng rng(0x1DEA11EDULL);
+  checker::Trace trace;
+  trace.reserve(length);
+  psl::TimeNs t = 0;
+  size_t since_ds = 1000;
+  for (size_t i = 0; i < length; ++i) {
+    t += 5 + rng.below(46);  // 5..50 ns between transaction ends
+    const bool ds = rng.chance(1, 5);
+    if (ds) since_ds = 0; else ++since_ds;
+    checker::Observation ob;
+    ob.time = t;
+    ob.values.set("ds", ds ? 1 : 0);
+    // rdy usually follows an accepted operation a few events later.
+    ob.values.set("rdy", (!ds && since_ds >= 2 && rng.chance(3, 5)) ? 1 : 0);
+    ob.values.set("out", rng.chance(9, 10) ? 1 + rng.below(1000) : 0);
+    ob.values.set("indata", rng.below(1000));
+    ob.values.set("monitor_en", 1);
+    trace.push_back(std::move(ob));
+  }
+  return trace;
+}
+
+struct Throughput {
+  double steps_per_second = 0;
+  uint64_t resolutions = 0;  // verdicts reached (instance then reset)
+};
+
+// One timed pass of `instance` over the trace, resetting on every resolved
+// verdict (the wrapper's recycling pattern).
+Throughput time_pass(checker::Instance& instance, const checker::Trace& trace,
+                     size_t iters) {
+  instance.reset();
+  Throughput t;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t it = 0; it < iters; ++it) {
+    for (const checker::Observation& ob : trace) {
+      const checker::Event ev{ob.time, &ob.values};
+      if (instance.step(ev) != checker::Verdict::kPending) {
+        ++t.resolutions;
+        instance.reset();
+      }
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  t.steps_per_second =
+      static_cast<double>(iters * trace.size()) / elapsed.count();
+  return t;
+}
+
+// Measures both backends with interleaved repetitions (A B A B ...) so that
+// machine-load drift hits both equally; keeps the best pass of each.
+void run_pair(checker::Instance& interp, checker::Instance& compiled,
+              const checker::Trace& trace, size_t iters, Throughput& ti,
+              Throughput& tc) {
+  time_pass(interp, trace, iters);    // warm-up
+  time_pass(compiled, trace, iters);  // warm-up
+  for (int rep = 0; rep < 5; ++rep) {
+    const Throughput a = time_pass(interp, trace, iters);
+    const Throughput b = time_pass(compiled, trace, iters);
+    if (a.steps_per_second > ti.steps_per_second) ti = a;
+    if (b.steps_per_second > tc.steps_per_second) tc = b;
+  }
+}
+
+}  // namespace
+
+int main() {
+  const size_t kTraceLen = bench::scaled(2048);
+  const size_t kIters = 64;
+  const checker::Trace trace = make_trace(kTraceLen);
+
+  const models::PropertySuite suite = models::des56_suite();
+  rewrite::AbstractionOptions options;
+  options.clock_period_ns = suite.clock_period_ns;
+  options.abstracted_signals = suite.abstracted_signals;
+  const std::vector<rewrite::AbstractionOutcome> outcomes =
+      rewrite::abstract_suite(suite.properties, options);
+
+  bench::BenchJson json("ir_eval");
+  models::RunConfig meta;  // bookkeeping for the JSON records
+  meta.design = models::Design::kDes56;
+  meta.level = models::Level::kTlmAt;
+  meta.workload = kTraceLen * kIters;
+  meta.checkers = 1;
+
+  std::printf("=== Instance step throughput: interpreter vs compiled ===\n");
+  std::printf("%zu-event stream x %zu passes per property\n\n", kTraceLen,
+              kIters);
+  std::printf("%-6s %14s %14s %9s %8s\n", "prop", "interp steps/s",
+              "compiled st/s", "speedup", "program");
+
+  double log_speedup_sum = 0;
+  size_t measured = 0;
+  for (size_t i = 0; i < suite.properties.size(); ++i) {
+    if (outcomes[i].deleted()) continue;
+    const psl::ExprPtr& formula = outcomes[i].property->formula;
+    const std::string& name = suite.properties[i].name;
+
+    checker::Instance interp(formula);
+    const auto program = checker::Program::compile(formula);
+    checker::Instance compiled(program);
+    Throughput ti, tc;
+    run_pair(interp, compiled, trace, kIters, ti, tc);
+
+    if (ti.resolutions != tc.resolutions) {
+      std::printf("%-6s BACKEND MISMATCH: %llu vs %llu resolutions\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(ti.resolutions),
+                  static_cast<unsigned long long>(tc.resolutions));
+      return 1;
+    }
+
+    const double speedup = tc.steps_per_second / ti.steps_per_second;
+    log_speedup_sum += std::log(speedup);
+    ++measured;
+    std::printf("%-6s %14.3e %14.3e %8.2fx %5zu op\n", name.c_str(),
+                ti.steps_per_second, tc.steps_per_second, speedup,
+                program->size());
+
+    const double steps = static_cast<double>(kTraceLen * kIters);
+    models::RunResult r;
+    r.transactions = kTraceLen * kIters;
+    r.functional_ok = true;
+    r.properties_ok = true;
+    r.wall_seconds = steps / ti.steps_per_second;
+    json.add(name + " interp", meta, r.wall_seconds, r);
+    r.wall_seconds = steps / tc.steps_per_second;
+    json.add(name + " compiled", meta, r.wall_seconds, r);
+  }
+
+  const double geomean =
+      measured == 0 ? 0 : std::exp(log_speedup_sum / measured);
+  std::printf("\ngeometric-mean compiled speedup: %.2fx over %zu properties\n",
+              geomean, measured);
+
+  // Hash-consing effectiveness: intern the whole abstracted suite twice.
+  psl::ExprTable table;
+  for (int round = 0; round < 2; ++round) {
+    for (const rewrite::AbstractionOutcome& o : outcomes) {
+      if (!o.deleted()) table.intern(o.property->formula);
+    }
+  }
+  const psl::ExprTable::Stats& stats = table.stats();
+  const double hit_rate =
+      static_cast<double>(stats.hits) /
+      static_cast<double>(stats.hits + stats.misses);
+  std::printf("intern table over 2x suite: %llu hits, %llu misses "
+              "(%.1f%% hit rate)\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              100.0 * hit_rate);
+
+  return geomean >= 1.0 ? 0 : 1;
+}

@@ -10,7 +10,12 @@
 // to it.
 //
 // Usage: colorconv_abv [--jobs N] [--batch-size N] [--witness-depth N]
-//                      [--trace-out FILE] [--report-out FILE]
+//                      [--failure-log-cap N] [--trace-out FILE]
+//                      [--report-out FILE] [--dump-passes] [--interpreter]
+//   --dump-passes  print every rewrite-pipeline pass per property before the
+//                  runs.
+//   --interpreter  evaluate checkers with the tree-walking interpreter
+//                  instead of the compiled flat programs.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -83,8 +88,11 @@ int main(int argc, char** argv) {
   size_t jobs = 1;
   size_t batch_size = 64;
   size_t witness_depth = 8;
+  size_t failure_log_cap = 64;
   std::string trace_out;
   std::string report_out;
+  bool dump_passes = false;
+  bool interpreter = false;
   for (int i = 1; i < argc; ++i) {
     auto size_arg = [&](size_t& out) {
       out = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -97,14 +105,22 @@ int main(int argc, char** argv) {
       if (batch_size == 0) batch_size = 1;
     } else if (std::strcmp(argv[i], "--witness-depth") == 0 && i + 1 < argc) {
       size_arg(witness_depth);
+    } else if (std::strcmp(argv[i], "--failure-log-cap") == 0 && i + 1 < argc) {
+      size_arg(failure_log_cap);
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--report-out") == 0 && i + 1 < argc) {
       report_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--dump-passes") == 0) {
+      dump_passes = true;
+    } else if (std::strcmp(argv[i], "--interpreter") == 0) {
+      interpreter = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--batch-size N] [--witness-depth N]\n"
-                   "          [--trace-out FILE] [--report-out FILE]\n",
+                   "          [--failure-log-cap N] [--trace-out FILE] "
+                   "[--report-out FILE]\n"
+                   "          [--dump-passes] [--interpreter]\n",
                    argv[0]);
       return 2;
     }
@@ -112,6 +128,21 @@ int main(int argc, char** argv) {
 
   const models::PropertySuite suite = models::colorconv_suite();
   const size_t kPixels = 2000;
+
+  if (dump_passes) {
+    std::printf("== ColorConv property abstraction ==\n");
+    rewrite::AbstractionOptions options;
+    options.clock_period_ns = suite.clock_period_ns;
+    options.abstracted_signals = suite.abstracted_signals;
+    const std::vector<rewrite::AbstractionOutcome> outcomes =
+        rewrite::abstract_suite(suite.properties, options);
+    for (size_t i = 0; i < suite.properties.size(); ++i) {
+      std::printf("%-4s %s\n", suite.properties[i].name.c_str(),
+                  psl::to_string(suite.properties[i]).c_str());
+      std::fputs(rewrite::format_passes(outcomes[i].passes).c_str(), stdout);
+    }
+    std::printf("\n");
+  }
 
   std::printf("== ColorConv: %zu pixels, %zu properties, %zu evaluation job%s ==\n",
               kPixels, suite.properties.size(), jobs, jobs == 1 ? "" : "s");
@@ -122,6 +153,8 @@ int main(int argc, char** argv) {
   config.jobs = jobs;
   config.batch_size = batch_size;
   config.witness_depth = witness_depth;
+  config.failure_log_cap = failure_log_cap;
+  config.compiled_checkers = !interpreter;
 
   bool all_ok = true;
   for (Level level : {Level::kRtl, Level::kTlmCa, Level::kTlmAt}) {

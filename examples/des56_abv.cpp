@@ -10,15 +10,20 @@
 // violation carries the last transactions observed before the verdict.
 //
 // Usage: des56_abv [--jobs N] [--batch-size N] [--witness-depth N]
-//                  [--trace-out FILE] [--report-out FILE] [--no-witness-demo]
-//   --jobs N           shard the TLM checker suite across N worker threads
-//                      (default 1 = serial; results are identical for any N).
-//   --batch-size N     records per sharded dispatch (default 64).
-//   --witness-depth N  failure-witness ring depth per checker (default 8).
-//   --trace-out FILE   write a Chrome trace-event JSON of the TLM-AT run
-//                      (open in Perfetto / chrome://tracing).
-//   --report-out FILE  write the TLM-AT verification report as JSON.
-//   --no-witness-demo  do not inject the failing demo property.
+//                  [--failure-log-cap N] [--trace-out FILE] [--report-out FILE]
+//                  [--dump-passes] [--interpreter] [--no-witness-demo]
+//   --jobs N             shard the TLM checker suite across N worker threads
+//                        (default 1 = serial; results are identical for any N).
+//   --batch-size N       records per sharded dispatch (default 64).
+//   --witness-depth N    failure-witness ring depth per checker (default 8).
+//   --failure-log-cap N  max logged failures per checker (default 64).
+//   --trace-out FILE     write a Chrome trace-event JSON of the TLM-AT run
+//                        (open in Perfetto / chrome://tracing).
+//   --report-out FILE    write the TLM-AT verification report as JSON.
+//   --dump-passes        print every rewrite-pipeline pass per property.
+//   --interpreter        evaluate checkers with the tree-walking interpreter
+//                        instead of the compiled flat programs.
+//   --no-witness-demo    do not inject the failing demo property.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,8 +47,9 @@ constexpr char kWitnessDemoName[] = "wdemo";
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--jobs N] [--batch-size N] [--witness-depth N]\n"
-               "          [--trace-out FILE] [--report-out FILE] "
-               "[--no-witness-demo]\n",
+               "          [--failure-log-cap N] [--trace-out FILE] "
+               "[--report-out FILE]\n"
+               "          [--dump-passes] [--interpreter] [--no-witness-demo]\n",
                argv0);
 }
 
@@ -53,9 +59,12 @@ int main(int argc, char** argv) {
   size_t jobs = 1;
   size_t batch_size = 64;
   size_t witness_depth = 8;
+  size_t failure_log_cap = 64;
   std::string trace_out;
   std::string report_out;
   bool witness_demo = true;
+  bool dump_passes = false;
+  bool interpreter = false;
   for (int i = 1; i < argc; ++i) {
     auto size_arg = [&](size_t& out) {
       out = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -68,10 +77,16 @@ int main(int argc, char** argv) {
       if (batch_size == 0) batch_size = 1;
     } else if (std::strcmp(argv[i], "--witness-depth") == 0 && i + 1 < argc) {
       size_arg(witness_depth);
+    } else if (std::strcmp(argv[i], "--failure-log-cap") == 0 && i + 1 < argc) {
+      size_arg(failure_log_cap);
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--report-out") == 0 && i + 1 < argc) {
       report_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--dump-passes") == 0) {
+      dump_passes = true;
+    } else if (std::strcmp(argv[i], "--interpreter") == 0) {
+      interpreter = true;
     } else if (std::strcmp(argv[i], "--no-witness-demo") == 0) {
       witness_demo = false;
     } else {
@@ -86,14 +101,20 @@ int main(int argc, char** argv) {
   rewrite::AbstractionOptions options;
   options.clock_period_ns = suite.clock_period_ns;
   options.abstracted_signals = suite.abstracted_signals;
-  for (const psl::RtlProperty& p : suite.properties) {
-    rewrite::AbstractionOutcome outcome = rewrite::abstract_property(p, options);
+  const std::vector<rewrite::AbstractionOutcome> outcomes =
+      rewrite::abstract_suite(suite.properties, options);
+  for (size_t i = 0; i < suite.properties.size(); ++i) {
+    const psl::RtlProperty& p = suite.properties[i];
+    const rewrite::AbstractionOutcome& outcome = outcomes[i];
     std::printf("%-4s rtl:  %s\n", p.name.c_str(), psl::to_string(p).c_str());
     if (outcome.deleted()) {
       std::printf("     tlm:  (deleted)\n");
     } else {
       std::printf("     tlm:  %s   [%s]\n", psl::to_string(*outcome.property).c_str(),
                   rewrite::to_string(outcome.classification));
+    }
+    if (dump_passes) {
+      std::fputs(rewrite::format_passes(outcome.passes).c_str(), stdout);
     }
   }
 
@@ -107,6 +128,8 @@ int main(int argc, char** argv) {
   config.jobs = jobs;
   config.batch_size = batch_size;
   config.witness_depth = witness_depth;
+  config.failure_log_cap = failure_log_cap;
+  config.compiled_checkers = !interpreter;
 
   config.level = Level::kRtl;
   const models::RunResult rtl = models::run_simulation(config);

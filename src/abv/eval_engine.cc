@@ -153,6 +153,8 @@ void EvalEngine::publish_metrics() {
       options_.metrics->gauge("wrapper.pool_capacity");
   support::MetricsRegistry::Gauge& table_peak =
       options_.metrics->gauge("wrapper.table_peak");
+  uint64_t program_nodes = 0;
+  uint64_t compiled = 0;
   for (checker::TlmCheckerWrapper* w : wrappers_) {
     // Serial, in registration order: the merged histogram and the gauge
     // high-water marks are deterministic for a given transaction stream.
@@ -160,7 +162,13 @@ void EvalEngine::publish_metrics() {
                                       w->latency_histogram());
     pool_hw.set(0, w->stats().pool_capacity);
     table_peak.set(0, w->stats().table_peak);
+    if (w->program() != nullptr) {
+      ++compiled;
+      program_nodes += w->program()->size();
+    }
   }
+  options_.metrics->gauge("checker.compiled_wrappers").set(0, compiled);
+  options_.metrics->gauge("checker.program_nodes").set(0, program_nodes);
 }
 
 void EvalEngine::finish() {

@@ -16,7 +16,8 @@ bool SignalBag::has(std::string_view name) const {
 
 void RtlAbvEnv::add_property(const psl::RtlProperty& property) {
   checkers_.push_back(std::make_unique<checker::PropertyChecker>(
-      property.name, property.formula, property.context.guard));
+      property.name, property.formula, property.context.guard,
+      checker_options_));
   kinds_.push_back(property.context.kind);
   switch (property.context.kind) {
     case psl::ClockContext::Kind::kTrue:

@@ -50,6 +50,15 @@ class RtlAbvEnv {
   RtlAbvEnv(sim::Kernel& kernel, SignalBag& signals)
       : kernel_(kernel), signals_(signals) {}
 
+  // Checker backend and failure-log cap applied to properties registered
+  // *after* this call; call before add_property.
+  void set_checker_options(checker::CheckerOptions options) {
+    checker_options_ = options;
+  }
+  const checker::CheckerOptions& checker_options() const {
+    return checker_options_;
+  }
+
   // Synthesizes a checker for `property` and registers it. Properties with
   // kClkPos (or the basic) context are evaluated at rising edges, kClkNeg at
   // falling edges, kClk at both.
@@ -73,6 +82,7 @@ class RtlAbvEnv {
 
   sim::Kernel& kernel_;
   SignalBag& signals_;
+  checker::CheckerOptions checker_options_;
   std::vector<std::unique_ptr<checker::PropertyChecker>> checkers_;
   std::vector<psl::ClockContext::Kind> kinds_;
   bool any_pos_ = false;

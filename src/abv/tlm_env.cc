@@ -38,13 +38,14 @@ std::shared_ptr<const checker::WitnessValues> ObservablesContext::witness_values
 }
 
 void TlmAbvEnv::add_property(const psl::TlmProperty& property) {
-  wrappers_.push_back(
-      std::make_unique<checker::TlmCheckerWrapper>(property, clock_period_ns_));
+  wrappers_.push_back(std::make_unique<checker::TlmCheckerWrapper>(
+      property, clock_period_ns_, checker_options_));
 }
 
 void TlmAbvEnv::add_rtl_property(const psl::RtlProperty& property) {
   checkers_.push_back(std::make_unique<checker::PropertyChecker>(
-      property.name, property.formula, property.context.guard));
+      property.name, property.formula, property.context.guard,
+      checker_options_));
 }
 
 void TlmAbvEnv::attach(tlm::TransactionRecorder& recorder) {

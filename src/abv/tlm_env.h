@@ -70,6 +70,15 @@ class TlmAbvEnv {
   void set_witness_depth(size_t depth) { witness_depth_ = depth; }
   size_t witness_depth() const { return witness_depth_; }
 
+  // Checker backend and failure-log cap applied to wrappers and checkers
+  // registered *after* this call; call before add_property.
+  void set_checker_options(checker::CheckerOptions options) {
+    checker_options_ = options;
+  }
+  const checker::CheckerOptions& checker_options() const {
+    return checker_options_;
+  }
+
   // Chrome-trace sink for engine spans and failure instants; must outlive
   // the environment. nullptr (default) disables tracing.
   void set_trace_sink(support::TraceSink* sink) { trace_ = sink; }
@@ -109,6 +118,7 @@ class TlmAbvEnv {
   size_t jobs_ = 1;
   size_t batch_size_ = 64;
   size_t witness_depth_ = 8;
+  checker::CheckerOptions checker_options_;
   support::TraceSink* trace_ = nullptr;
   std::vector<std::unique_ptr<checker::TlmCheckerWrapper>> wrappers_;
   std::vector<std::unique_ptr<checker::PropertyChecker>> checkers_;

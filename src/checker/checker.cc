@@ -5,14 +5,24 @@
 namespace repro::checker {
 
 PropertyChecker::PropertyChecker(std::string name, psl::ExprPtr formula,
-                                 psl::ExprPtr guard)
-    : name_(std::move(name)), formula_(std::move(formula)), guard_(std::move(guard)) {
+                                 psl::ExprPtr guard, CheckerOptions options)
+    : name_(std::move(name)),
+      formula_(std::move(formula)),
+      guard_(std::move(guard)),
+      options_(options) {
   assert(formula_);
   body_ = formula_;
   while (body_->kind == psl::ExprKind::kAlways) {
     repeating_ = true;
     body_ = body_->lhs;
   }
+  // Compile once; every instance (across all activations) shares the program.
+  if (options_.compiled) program_ = Program::compile(body_);
+}
+
+std::unique_ptr<Instance> PropertyChecker::make_instance() const {
+  if (program_) return std::make_unique<Instance>(program_);
+  return std::make_unique<Instance>(body_);
 }
 
 void PropertyChecker::retire(std::unique_ptr<Instance> instance, Verdict v,
@@ -23,7 +33,7 @@ void PropertyChecker::retire(std::unique_ptr<Instance> instance, Verdict v,
       break;
     case Verdict::kFalse:
       ++stats_.failures;
-      if (failure_log_.size() < kMaxLoggedFailures) {
+      if (failure_log_.size() < options_.failure_log_cap) {
         failure_log_.push_back({time, name_});
       }
       break;
@@ -63,7 +73,7 @@ void PropertyChecker::on_event(psl::TimeNs time, const ValueContext& values) {
     instance = std::move(free_pool_.back());
     free_pool_.pop_back();
   } else {
-    instance = std::make_unique<Instance>(body_);
+    instance = make_instance();
   }
   ++stats_.activations;
   ++stats_.steps;

@@ -18,10 +18,23 @@
 #include <vector>
 
 #include "checker/instance.h"
+#include "checker/program.h"
 #include "checker/trace.h"
 #include "psl/ast.h"
 
 namespace repro::checker {
+
+// Backend and resource options shared by PropertyChecker and the Sec. IV
+// wrapper. The compiled backend evaluates a flat program (program.h) shared
+// by every instance of a property; the interpreter backend keeps the
+// virtual-dispatch obligation tree of instance.h. Both implement the same
+// semantics (cross-validated in the ir test suite).
+struct CheckerOptions {
+  bool compiled = true;
+  // Maximum number of Failure entries retained for diagnostics; verdicts and
+  // stats are unaffected.
+  size_t failure_log_cap = 64;
+};
 
 // One observed property violation. `time` is the simulation (VCD) timestamp
 // the violation was attributed to. `witness` is the wrapper's ring buffer of
@@ -51,7 +64,8 @@ class PropertyChecker {
   // turned into per-event instance activation. `guard` is the optional
   // boolean context guard (clock context guard at RTL, Tb guard at TLM);
   // nullptr means every event is an evaluation point.
-  PropertyChecker(std::string name, psl::ExprPtr formula, psl::ExprPtr guard);
+  PropertyChecker(std::string name, psl::ExprPtr formula, psl::ExprPtr guard,
+                  CheckerOptions options = {});
 
   // Feeds one evaluation event.
   void on_event(psl::TimeNs time, const ValueContext& values);
@@ -64,21 +78,27 @@ class PropertyChecker {
   const std::vector<Failure>& failures() const { return failure_log_; }
   bool ok() const { return stats_.failures == 0; }
 
+  const CheckerOptions& options() const { return options_; }
+  // Compiled program shared by this checker's instances; nullptr on the
+  // interpreter backend.
+  const std::shared_ptr<const Program>& program() const { return program_; }
+
  private:
   void retire(std::unique_ptr<Instance> instance, Verdict v, psl::TimeNs time);
+  std::unique_ptr<Instance> make_instance() const;
 
   std::string name_;
   psl::ExprPtr formula_;       // keeps the AST alive for node back-references
   psl::ExprPtr body_;          // formula with the top-level always stripped
   psl::ExprPtr guard_;         // may be nullptr
+  CheckerOptions options_;
+  std::shared_ptr<const Program> program_;  // compiled backend only
   bool repeating_ = false;     // had a top-level always
   bool started_ = false;       // non-repeating: first activation done
   std::vector<std::unique_ptr<Instance>> active_;
   std::vector<std::unique_ptr<Instance>> free_pool_;
   CheckerStats stats_;
-  std::vector<Failure> failure_log_;  // capped to keep memory bounded
-
-  static constexpr size_t kMaxLoggedFailures = 64;
+  std::vector<Failure> failure_log_;  // capped at options_.failure_log_cap
 };
 
 }  // namespace repro::checker

@@ -441,22 +441,27 @@ Instance::Instance(psl::ExprPtr formula) : formula_(std::move(formula)) {
   root_ = detail::make_node(formula_);
 }
 
+Instance::Instance(std::shared_ptr<const Program> program)
+    : state_(std::in_place, std::move(program)) {}
+
 Verdict Instance::step(const Event& ev) {
   if (verdict_ != Verdict::kPending) return verdict_;
-  verdict_ = root_->step(ev);
+  verdict_ = state_ ? state_->step(ev) : root_->step(ev);
   return verdict_;
 }
 
 Verdict Instance::finish() {
   if (verdict_ != Verdict::kPending) return verdict_;
-  verdict_ = root_->finish();
+  verdict_ = state_ ? state_->finish() : root_->finish();
   return verdict_;
 }
 
 std::optional<psl::TimeNs> Instance::next_deadline() const {
   if (verdict_ != Verdict::kPending) return std::nullopt;
   std::vector<psl::TimeNs> deadlines;
-  if (!root_->collect_deadlines(deadlines) || deadlines.empty()) {
+  const bool scheduled = state_ ? state_->collect_deadlines(deadlines)
+                                : root_->collect_deadlines(deadlines);
+  if (!scheduled || deadlines.empty()) {
     return std::nullopt;
   }
   psl::TimeNs best = deadlines.front();
@@ -465,7 +470,11 @@ std::optional<psl::TimeNs> Instance::next_deadline() const {
 }
 
 void Instance::reset() {
-  root_->reset();
+  if (state_) {
+    state_->reset();
+  } else {
+    root_->reset();
+  }
   verdict_ = Verdict::kPending;
 }
 

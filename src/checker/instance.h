@@ -18,16 +18,11 @@
 #include <optional>
 #include <vector>
 
+#include "checker/program.h"
 #include "checker/trace.h"
 #include "psl/ast.h"
 
 namespace repro::checker {
-
-// One evaluation event handed to an instance.
-struct Event {
-  psl::TimeNs time;
-  const ValueContext* values;
-};
 
 namespace detail {
 
@@ -55,7 +50,10 @@ std::unique_ptr<Node> make_node(const psl::ExprPtr& e);
 
 class Instance {
  public:
+  // Interpreter backend: builds a virtual-dispatch obligation tree.
   explicit Instance(psl::ExprPtr formula);
+  // Compiled backend: flat state over a shared immutable Program.
+  explicit Instance(std::shared_ptr<const Program> program);
 
   // Feeds the next event; the first call anchors the instance. Returns the
   // verdict after consuming the event.
@@ -80,9 +78,13 @@ class Instance {
   void set_activated_at(psl::TimeNs t) { activated_at_ = t; }
   psl::TimeNs activated_at() const { return activated_at_; }
 
+  // True when this instance runs on the compiled backend.
+  bool compiled() const { return state_.has_value(); }
+
  private:
   psl::ExprPtr formula_;
-  std::unique_ptr<detail::Node> root_;
+  std::unique_ptr<detail::Node> root_;   // interpreter backend
+  std::optional<ProgramState> state_;    // compiled backend
   Verdict verdict_ = Verdict::kPending;
   psl::TimeNs activated_at_ = 0;
 };

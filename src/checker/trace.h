@@ -37,6 +37,14 @@ struct WitnessEntry {
   std::shared_ptr<const WitnessValues> observables;
 };
 
+class ValueContext;
+
+// One evaluation event handed to a checker instance.
+struct Event {
+  psl::TimeNs time;
+  const ValueContext* values;
+};
+
 // Read access to the DUV observables at one evaluation event.
 class ValueContext {
  public:

@@ -6,10 +6,12 @@
 namespace repro::checker {
 
 TlmCheckerWrapper::TlmCheckerWrapper(const psl::TlmProperty& property,
-                                     psl::TimeNs clock_period_ns)
+                                     psl::TimeNs clock_period_ns,
+                                     CheckerOptions options)
     : name_(property.name),
       formula_(property.formula),
       guard_(property.context.guard),
+      options_(options),
       // Sub-period to ~2k-period sim-time latencies; DES56's longest next_e
       // window (170 ns at a 10 ns clock) sits mid-range.
       latency_ns_(support::exponential_bounds(clock_period_ns, 12)) {
@@ -20,6 +22,8 @@ TlmCheckerWrapper::TlmCheckerWrapper(const psl::TlmProperty& property,
     repeating_ = true;
     body_ = body_->lhs;
   }
+  // Compile once; every instance in the pool shares the immutable program.
+  if (options_.compiled) program_ = Program::compile(body_);
   // Sec. IV point 1: the pool is sized by the lifetime of an instance, i.e.
   // the number of instants in (t_fire, t_end] at which a transaction can
   // occur. With timing equivalence those instants are multiples of the RTL
@@ -51,7 +55,7 @@ TlmCheckerWrapper::TlmCheckerWrapper(const psl::TlmProperty& property,
     lifetime_ = static_cast<size_t>(psl::max_eps(body_) / clock_period_ns);
     free_pool_.reserve(lifetime_);
     for (size_t i = 0; i < lifetime_; ++i) {
-      free_pool_.push_back(std::make_unique<Instance>(body_));
+      free_pool_.push_back(make_instance());
     }
     stats_.pool_capacity = lifetime_;
   }
@@ -67,7 +71,7 @@ void TlmCheckerWrapper::retire(std::unique_ptr<Instance> instance, Verdict v,
       break;
     case Verdict::kFalse:
       ++stats_.failures;
-      if (failure_log_.size() < kMaxLoggedFailures) {
+      if (failure_log_.size() < options_.failure_log_cap) {
         failure_log_.push_back({time, name_, witness_snapshot()});
       }
       if (trace_ != nullptr) {
@@ -141,6 +145,11 @@ std::unique_ptr<Instance> TlmCheckerWrapper::acquire() {
     return instance;
   }
   ++stats_.pool_capacity;
+  return make_instance();
+}
+
+std::unique_ptr<Instance> TlmCheckerWrapper::make_instance() const {
+  if (program_) return std::make_unique<Instance>(program_);
   return std::make_unique<Instance>(body_);
 }
 

@@ -57,7 +57,9 @@ class TlmCheckerWrapper {
   // formula's maximum next_e window it determines the instance-pool size
   // preallocated up front (Sec. IV point 1). A property with unbounded
   // lifetime (until-based) starts with an empty pool that grows on demand.
-  TlmCheckerWrapper(const psl::TlmProperty& property, psl::TimeNs clock_period_ns);
+  // `options` selects the instance backend and the failure-log cap.
+  TlmCheckerWrapper(const psl::TlmProperty& property, psl::TimeNs clock_period_ns,
+                    CheckerOptions options = {});
 
   // End of one transaction at time `time`, with the DUV observables.
   void on_transaction(psl::TimeNs time, const ValueContext& values);
@@ -72,6 +74,11 @@ class TlmCheckerWrapper {
 
   // Lifetime in instants, as computed per Sec. IV (0 if unbounded).
   size_t lifetime() const { return lifetime_; }
+
+  const CheckerOptions& options() const { return options_; }
+  // Compiled program shared by this wrapper's instances; nullptr on the
+  // interpreter backend.
+  const std::shared_ptr<const Program>& program() const { return program_; }
 
   // --- Observability -------------------------------------------------------
 
@@ -96,6 +103,7 @@ class TlmCheckerWrapper {
   void retire(std::unique_ptr<Instance> instance, Verdict v, psl::TimeNs time);
   void place(std::unique_ptr<Instance> instance);
   std::unique_ptr<Instance> acquire();
+  std::unique_ptr<Instance> make_instance() const;
   void capture_witness(psl::TimeNs time, const ValueContext& values);
   std::vector<WitnessEntry> witness_snapshot() const;
 
@@ -103,6 +111,8 @@ class TlmCheckerWrapper {
   psl::ExprPtr formula_;   // keeps the AST alive
   psl::ExprPtr body_;      // formula with top-level always stripped
   psl::ExprPtr guard_;     // transaction-context guard, may be nullptr
+  CheckerOptions options_;
+  std::shared_ptr<const Program> program_;  // compiled backend only
   bool repeating_ = false;
   bool started_ = false;
   size_t lifetime_ = 0;
@@ -134,8 +144,6 @@ class TlmCheckerWrapper {
 
   support::TraceSink* trace_ = nullptr;
   uint32_t trace_tid_ = 0;
-
-  static constexpr size_t kMaxLoggedFailures = 64;
 };
 
 }  // namespace repro::checker

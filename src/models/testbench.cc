@@ -52,6 +52,13 @@ bool abv_enabled(const RunConfig& config) {
          !config.extra_properties.empty();
 }
 
+checker::CheckerOptions checker_options(const RunConfig& config) {
+  checker::CheckerOptions options;
+  options.compiled = config.compiled_checkers;
+  options.failure_log_cap = config.failure_log_cap;
+  return options;
+}
+
 // Applies the observability knobs shared by every TLM runner. The returned
 // sink (may be null) must stay alive until the end of the run; its
 // destructor writes the trace file.
@@ -59,6 +66,7 @@ std::unique_ptr<support::TraceSink> configure_tlm_env(abv::TlmAbvEnv& env,
                                                       const RunConfig& config) {
   env.set_batch_size(config.batch_size);
   env.set_witness_depth(config.witness_depth);
+  env.set_checker_options(checker_options(config));
   if (config.trace_path.empty()) return nullptr;
   auto sink = std::make_unique<support::TraceSink>(config.trace_path);
   env.set_trace_sink(sink.get());
@@ -126,6 +134,7 @@ RunResult run_des56_rtl(const RunConfig& config, const PropertySuite& suite) {
   duv.register_signals(bag);
   bag.add("monitor_en", monitor_en);
   abv::RtlAbvEnv env(kernel, bag);
+  env.set_checker_options(checker_options(config));
   if (abv_enabled(config)) {
     for (const psl::RtlProperty& p : pick(suite, config)) {
       env.add_property(p);
@@ -326,6 +335,7 @@ RunResult run_colorconv_rtl(const RunConfig& config, const PropertySuite& suite)
   bag.add("sof", sof);
   bag.add("monitor_en", monitor_en);
   abv::RtlAbvEnv env(kernel, bag);
+  env.set_checker_options(checker_options(config));
   if (abv_enabled(config)) {
     for (const psl::RtlProperty& p : pick(suite, config)) {
       env.add_property(p);

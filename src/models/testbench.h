@@ -44,6 +44,11 @@ struct RunConfig {
   // Failure-witness ring depth per wrapper (0 disables capture). Ignored at
   // RTL and for unabstracted replay (plain checkers carry no witnesses).
   size_t witness_depth = 8;
+  // Checker backend: compiled flat programs (default) or the tree
+  // interpreter. Verdicts and reports are identical; only speed differs.
+  bool compiled_checkers = true;
+  // Maximum failure entries retained per checker/wrapper for diagnostics.
+  size_t failure_log_cap = 64;
   // When non-empty, the TLM runners write a Chrome trace-event JSON file
   // here (engine spans, failure instants). Ignored at RTL.
   std::string trace_path;

@@ -1,0 +1,285 @@
+#include "psl/intern.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace repro::psl {
+
+namespace {
+
+// FNV-1a style mixing; good enough for hash-cons buckets.
+inline size_t mix(size_t h, uint64_t v) {
+  h ^= static_cast<size_t>(v) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+size_t hash_string(const std::string& s) {
+  return std::hash<std::string>{}(s);
+}
+
+}  // namespace
+
+size_t ExprTable::NodeKeyHash::operator()(const NodeKey& k) const {
+  size_t h = static_cast<size_t>(k.kind);
+  h = mix(h, k.strong);
+  h = mix(h, k.next_count);
+  h = mix(h, k.tau);
+  h = mix(h, k.eps);
+  h = mix(h, k.atom);
+  h = mix(h, k.lhs);
+  h = mix(h, k.rhs);
+  return h;
+}
+
+size_t ExprTable::AtomKeyHash::operator()(const AtomKey& k) const {
+  size_t h = hash_string(k.atom.lhs);
+  h = mix(h, static_cast<uint64_t>(k.atom.op));
+  h = mix(h, k.atom.rhs_is_signal);
+  h = mix(h, hash_string(k.atom.rhs_signal));
+  h = mix(h, k.atom.rhs_value);
+  return h;
+}
+
+ExprTable::ExprTable() {
+  // Slot 0 is the kNoExpr sentinel: an absent child contributes nothing to
+  // any fact and converts to nullptr.
+  nodes_.emplace_back();
+  Facts none;
+  none.is_boolean = true;  // matches is_boolean(nullptr) in ast.cc
+  facts_.push_back(none);
+  signals_.emplace_back();
+  expr_cache_.emplace_back(nullptr);
+}
+
+uint32_t ExprTable::intern_atom(const Atom& a) {
+  auto [it, inserted] =
+      atom_index_.try_emplace(AtomKey{a}, static_cast<uint32_t>(atoms_.size()));
+  if (inserted) atoms_.push_back(a);
+  return it->second;
+}
+
+ExprId ExprTable::add(NodeKey key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  const ExprId id = static_cast<ExprId>(nodes_.size());
+  index_.emplace(key, id);
+
+  Node n;
+  n.kind = key.kind;
+  n.strong = key.strong;
+  n.next_count = key.next_count;
+  n.tau = key.tau;
+  n.eps = key.eps;
+  n.atom = key.atom;
+  n.lhs = key.lhs;
+  n.rhs = key.rhs;
+  nodes_.push_back(n);
+
+  const Facts& l = facts_[key.lhs];
+  const Facts& r = facts_[key.rhs];
+  Facts f;
+  f.node_count = 1 + l.node_count + r.node_count;
+  uint32_t next_self = 0;
+  if (key.kind == ExprKind::kNext) next_self = key.next_count;
+  if (key.kind == ExprKind::kNextEps) next_self = key.tau;
+  f.max_next_depth = next_self + std::max(l.max_next_depth, r.max_next_depth);
+  const TimeNs eps_self = key.kind == ExprKind::kNextEps ? key.eps : 0;
+  f.max_eps = eps_self + std::max(l.max_eps, r.max_eps);
+  switch (key.kind) {
+    case ExprKind::kConstTrue:
+    case ExprKind::kConstFalse:
+    case ExprKind::kAtom:
+      f.is_boolean = true;
+      f.has_temporal = false;
+      break;
+    case ExprKind::kNot:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kImplies:
+      f.is_boolean = l.is_boolean && r.is_boolean;
+      f.has_temporal = l.has_temporal || r.has_temporal;
+      break;
+    default:
+      f.is_boolean = false;
+      f.has_temporal = true;
+      break;
+  }
+  facts_.push_back(f);
+
+  // Sorted-unique merge of the children's signal sets (plus the atom's own).
+  std::vector<std::string> sigs;
+  if (key.kind == ExprKind::kAtom) {
+    const Atom& a = atoms_[key.atom];
+    sigs.push_back(a.lhs);
+    if (a.rhs_is_signal) sigs.push_back(a.rhs_signal);
+    std::sort(sigs.begin(), sigs.end());
+    sigs.erase(std::unique(sigs.begin(), sigs.end()), sigs.end());
+  } else {
+    const auto& ls = signals_[key.lhs];
+    const auto& rs = signals_[key.rhs];
+    sigs.reserve(ls.size() + rs.size());
+    std::set_union(ls.begin(), ls.end(), rs.begin(), rs.end(),
+                   std::back_inserter(sigs));
+  }
+  signals_.push_back(std::move(sigs));
+  expr_cache_.emplace_back(nullptr);
+  return id;
+}
+
+ExprId ExprTable::mk_true() { return add({ExprKind::kConstTrue, false, 1, 0, 0, 0, kNoExpr, kNoExpr}); }
+ExprId ExprTable::mk_false() { return add({ExprKind::kConstFalse, false, 1, 0, 0, 0, kNoExpr, kNoExpr}); }
+
+ExprId ExprTable::mk_atom(const Atom& a) {
+  return add({ExprKind::kAtom, false, 1, 0, 0, intern_atom(a), kNoExpr, kNoExpr});
+}
+
+ExprId ExprTable::mk_not(ExprId p) {
+  assert(p != kNoExpr);
+  return add({ExprKind::kNot, false, 1, 0, 0, 0, p, kNoExpr});
+}
+
+ExprId ExprTable::mk_and(ExprId a, ExprId b) {
+  assert(a != kNoExpr && b != kNoExpr);
+  return add({ExprKind::kAnd, false, 1, 0, 0, 0, a, b});
+}
+
+ExprId ExprTable::mk_or(ExprId a, ExprId b) {
+  assert(a != kNoExpr && b != kNoExpr);
+  return add({ExprKind::kOr, false, 1, 0, 0, 0, a, b});
+}
+
+ExprId ExprTable::mk_implies(ExprId a, ExprId b) {
+  assert(a != kNoExpr && b != kNoExpr);
+  return add({ExprKind::kImplies, false, 1, 0, 0, 0, a, b});
+}
+
+ExprId ExprTable::mk_next(uint32_t n, ExprId p) {
+  assert(n >= 1 && p != kNoExpr);
+  return add({ExprKind::kNext, false, n, 0, 0, 0, p, kNoExpr});
+}
+
+ExprId ExprTable::mk_next_eps(uint32_t tau, TimeNs eps, ExprId p) {
+  assert(eps >= 1 && p != kNoExpr);
+  return add({ExprKind::kNextEps, false, 1, tau, eps, 0, p, kNoExpr});
+}
+
+ExprId ExprTable::mk_until(ExprId a, ExprId b, bool strong) {
+  assert(a != kNoExpr && b != kNoExpr);
+  return add({ExprKind::kUntil, strong, 1, 0, 0, 0, a, b});
+}
+
+ExprId ExprTable::mk_release(ExprId a, ExprId b) {
+  assert(a != kNoExpr && b != kNoExpr);
+  return add({ExprKind::kRelease, false, 1, 0, 0, 0, a, b});
+}
+
+ExprId ExprTable::mk_always(ExprId p) {
+  assert(p != kNoExpr);
+  return add({ExprKind::kAlways, false, 1, 0, 0, 0, p, kNoExpr});
+}
+
+ExprId ExprTable::mk_eventually(ExprId p) {
+  assert(p != kNoExpr);
+  return add({ExprKind::kEventually, true, 1, 0, 0, 0, p, kNoExpr});
+}
+
+ExprId ExprTable::mk_abort(ExprId p, ExprId b, bool strong) {
+  assert(p != kNoExpr && b != kNoExpr && facts_[b].is_boolean);
+  return add({ExprKind::kAbort, strong, 1, 0, 0, 0, p, b});
+}
+
+ExprId ExprTable::intern(const ExprPtr& e) {
+  if (!e) return kNoExpr;
+  switch (e->kind) {
+    case ExprKind::kConstTrue:
+      return mk_true();
+    case ExprKind::kConstFalse:
+      return mk_false();
+    case ExprKind::kAtom:
+      return mk_atom(e->atom);
+    case ExprKind::kNot:
+      return mk_not(intern(e->lhs));
+    case ExprKind::kAnd:
+      return mk_and(intern(e->lhs), intern(e->rhs));
+    case ExprKind::kOr:
+      return mk_or(intern(e->lhs), intern(e->rhs));
+    case ExprKind::kImplies:
+      return mk_implies(intern(e->lhs), intern(e->rhs));
+    case ExprKind::kNext:
+      return mk_next(e->next_count, intern(e->lhs));
+    case ExprKind::kNextEps:
+      return mk_next_eps(e->tau, e->eps, intern(e->lhs));
+    case ExprKind::kUntil:
+      return mk_until(intern(e->lhs), intern(e->rhs), e->strong);
+    case ExprKind::kRelease:
+      return mk_release(intern(e->lhs), intern(e->rhs));
+    case ExprKind::kAlways:
+      return mk_always(intern(e->lhs));
+    case ExprKind::kEventually:
+      return mk_eventually(intern(e->lhs));
+    case ExprKind::kAbort:
+      return mk_abort(intern(e->lhs), intern(e->rhs), e->strong);
+  }
+  assert(false && "unreachable");
+  return kNoExpr;
+}
+
+ExprPtr ExprTable::expr(ExprId id) const {
+  if (id == kNoExpr) return nullptr;
+  if (expr_cache_[id]) return expr_cache_[id];
+  const Node& n = nodes_[id];
+  ExprPtr out;
+  switch (n.kind) {
+    case ExprKind::kConstTrue:
+      out = const_true();
+      break;
+    case ExprKind::kConstFalse:
+      out = const_false();
+      break;
+    case ExprKind::kAtom:
+      out = atom(atoms_[n.atom]);
+      break;
+    case ExprKind::kNot:
+      out = not_(expr(n.lhs));
+      break;
+    case ExprKind::kAnd:
+      out = and_(expr(n.lhs), expr(n.rhs));
+      break;
+    case ExprKind::kOr:
+      out = or_(expr(n.lhs), expr(n.rhs));
+      break;
+    case ExprKind::kImplies:
+      out = implies(expr(n.lhs), expr(n.rhs));
+      break;
+    case ExprKind::kNext:
+      out = next(n.next_count, expr(n.lhs));
+      break;
+    case ExprKind::kNextEps:
+      out = next_eps(n.tau, n.eps, expr(n.lhs));
+      break;
+    case ExprKind::kUntil:
+      out = until(expr(n.lhs), expr(n.rhs), n.strong);
+      break;
+    case ExprKind::kRelease:
+      out = release(expr(n.lhs), expr(n.rhs));
+      break;
+    case ExprKind::kAlways:
+      out = always(expr(n.lhs));
+      break;
+    case ExprKind::kEventually:
+      out = eventually(expr(n.lhs));
+      break;
+    case ExprKind::kAbort:
+      out = abort_(expr(n.lhs), expr(n.rhs), n.strong);
+      break;
+  }
+  expr_cache_[id] = out;
+  return out;
+}
+
+}  // namespace repro::psl

@@ -1,0 +1,145 @@
+// Hash-consed expression arena: the interned IR behind the rewrite pass
+// manager and the compiled checker programs.
+//
+// ExprTable stores each structurally distinct expression exactly once and
+// names it by a dense ExprId, so
+//   - structural equality is an integer comparison (two formulas are equal
+//     iff their ids in the same table are equal),
+//   - per-node facts (node_count, max_next_depth, max_eps, referenced
+//     signals, boolean/temporal flags) are computed once at intern time from
+//     the children's cached facts, and
+//   - rewrite passes can memoize over ExprId instead of re-walking trees.
+//
+// The shared_ptr tree AST of ast.h remains the exchange format during the
+// migration: intern() folds a tree into the table and expr() rebuilds (and
+// caches) a tree for an id. A table is single-threaded by design — each pass
+// manager or compiler owns its own; the artifacts they produce (ExprPtr
+// trees, checker programs) are immutable and freely shared across threads.
+#ifndef REPRO_PSL_INTERN_H_
+#define REPRO_PSL_INTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "psl/ast.h"
+
+namespace repro::psl {
+
+// Dense handle into an ExprTable. 0 is reserved for "no expression" (the
+// absent child of a unary node, a deleted formula).
+using ExprId = uint32_t;
+inline constexpr ExprId kNoExpr = 0;
+
+class ExprTable {
+ public:
+  // One interned node. Children are ids interned earlier (lhs/rhs < own id),
+  // so the node array is already topologically ordered.
+  struct Node {
+    ExprKind kind = ExprKind::kConstTrue;
+    bool strong = false;       // until! / eventually! / abort!
+    uint32_t next_count = 1;   // kNext
+    uint32_t tau = 0;          // kNextEps
+    TimeNs eps = 0;            // kNextEps
+    uint32_t atom = 0;         // index into atoms(), kAtom only
+    ExprId lhs = kNoExpr;
+    ExprId rhs = kNoExpr;
+  };
+
+  // Facts cached per node at intern time (O(1) from the children's facts).
+  struct Facts {
+    uint32_t node_count = 0;
+    uint32_t max_next_depth = 0;
+    TimeNs max_eps = 0;
+    bool is_boolean = false;
+    bool has_temporal = false;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;    // intern calls answered by an existing node
+    uint64_t misses = 0;  // intern calls that created a node
+  };
+
+  ExprTable();
+
+  // ---- Interning -----------------------------------------------------------
+
+  // Folds a tree into the table; structurally equal trees yield equal ids.
+  ExprId intern(const ExprPtr& e);
+
+  // Node-level constructors (the factory API over ids).
+  ExprId mk_true();
+  ExprId mk_false();
+  ExprId mk_atom(const Atom& a);
+  ExprId mk_not(ExprId p);
+  ExprId mk_and(ExprId a, ExprId b);
+  ExprId mk_or(ExprId a, ExprId b);
+  ExprId mk_implies(ExprId a, ExprId b);
+  ExprId mk_next(uint32_t n, ExprId p);
+  ExprId mk_next_eps(uint32_t tau, TimeNs eps, ExprId p);
+  ExprId mk_until(ExprId a, ExprId b, bool strong);
+  ExprId mk_release(ExprId a, ExprId b);
+  ExprId mk_always(ExprId p);
+  ExprId mk_eventually(ExprId p);
+  ExprId mk_abort(ExprId p, ExprId b, bool strong);
+
+  // ---- Access --------------------------------------------------------------
+
+  const Node& node(ExprId id) const { return nodes_[id]; }
+  const Facts& facts(ExprId id) const { return facts_[id]; }
+  const Atom& atom_of(ExprId id) const { return atoms_[nodes_[id].atom]; }
+
+  // Sorted, deduplicated names of the design signals referenced below `id`.
+  const std::vector<std::string>& signals(ExprId id) const {
+    return signals_[id];
+  }
+
+  // Rebuilds (and caches) a shared tree for `id`. kNoExpr yields nullptr.
+  ExprPtr expr(ExprId id) const;
+
+  // Number of interned nodes, including the kNoExpr sentinel.
+  size_t size() const { return nodes_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  std::string to_string(ExprId id) const { return psl::to_string(expr(id)); }
+
+ private:
+  struct NodeKey {
+    ExprKind kind;
+    bool strong;
+    uint32_t next_count;
+    uint32_t tau;
+    TimeNs eps;
+    uint32_t atom;
+    ExprId lhs;
+    ExprId rhs;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey& k) const;
+  };
+  struct AtomKey {
+    Atom atom;
+    bool operator==(const AtomKey& other) const { return atom == other.atom; }
+  };
+  struct AtomKeyHash {
+    size_t operator()(const AtomKey& k) const;
+  };
+
+  ExprId add(NodeKey key);
+  uint32_t intern_atom(const Atom& a);
+
+  std::vector<Node> nodes_;
+  std::vector<Facts> facts_;
+  std::vector<std::vector<std::string>> signals_;
+  std::vector<Atom> atoms_;
+  std::unordered_map<NodeKey, ExprId, NodeKeyHash> index_;
+  std::unordered_map<AtomKey, uint32_t, AtomKeyHash> atom_index_;
+  mutable std::vector<ExprPtr> expr_cache_;
+  Stats stats_;
+};
+
+}  // namespace repro::psl
+
+#endif  // REPRO_PSL_INTERN_H_

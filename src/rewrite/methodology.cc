@@ -1,44 +1,91 @@
 #include "rewrite/methodology.h"
 
+#include "psl/intern.h"
 #include "psl/simple_subset.h"
 #include "rewrite/context_map.h"
-#include "rewrite/next_substitution.h"
 #include "rewrite/nnf.h"
-#include "rewrite/push_ahead.h"
+#include "rewrite/pass_manager.h"
+#include "rewrite/signal_abstraction.h"
 
 namespace repro::rewrite {
 
-AbstractionOutcome abstract_property(const psl::RtlProperty& p,
-                                     const AbstractionOptions& options) {
+namespace {
+
+PassTrace make_trace(const std::string& pass, const psl::ExprTable& table,
+                     psl::ExprId before, psl::ExprId after, bool cache_hit,
+                     std::vector<std::string> notes = {}) {
+  PassTrace t;
+  t.pass = pass;
+  t.before = table.to_string(before);
+  t.after = after == psl::kNoExpr ? "(deleted)" : table.to_string(after);
+  t.nodes_before = table.facts(before).node_count;
+  t.nodes_after = after == psl::kNoExpr ? 0 : table.facts(after).node_count;
+  t.changed = before != after;
+  t.cache_hit = cache_hit;
+  t.notes = std::move(notes);
+  return t;
+}
+
+}  // namespace
+
+std::string format_passes(const std::vector<PassTrace>& passes) {
+  std::string out;
+  for (size_t i = 0; i < passes.size(); ++i) {
+    const PassTrace& t = passes[i];
+    out += "  [" + std::to_string(i + 1) + "] " + t.pass + "\n";
+    out += "      in : " + t.before + "\n";
+    out += "      out: " + t.after + "\n";
+    out += "      " + std::string(t.changed ? "changed" : "unchanged") + ", " +
+           std::to_string(t.nodes_before) + " -> " +
+           std::to_string(t.nodes_after) + " node(s)" +
+           (t.cache_hit ? ", cached" : "") + "\n";
+    for (const std::string& note : t.notes) {
+      out += "      note: " + note + "\n";
+    }
+  }
+  return out;
+}
+
+AbstractionOutcome abstract_property(PassManager& pm,
+                                     const psl::RtlProperty& p) {
   AbstractionOutcome out;
+  psl::ExprTable& table = pm.table();
 
   for (const std::string& v : psl::simple_subset_violations(p.formula)) {
     out.notes.push_back("simple-subset: " + v);
   }
 
-  // Step 1: negation normal form.
-  psl::ExprPtr formula = to_nnf(p.formula);
+  const psl::ExprId original = table.intern(p.formula);
+  bool hit = false;
 
-  // Sec. III-B: delete subformulas over abstracted signals.
-  SignalAbstractionResult sig = abstract_signals(formula, options.abstracted_signals);
+  // Step 1: negation normal form.
+  const psl::ExprId nnf_id = pm.nnf(original, &hit);
+  out.passes.push_back(make_trace("nnf", table, original, nnf_id, hit));
+
+  // Sec. III-B: delete subformulas over abstracted signals (Fig. 4).
+  const PassManager::SignalAbstraction& sig =
+      pm.signal_abstraction(nnf_id, &hit);
   out.classification = sig.classification;
-  for (auto& rule : sig.applied_rules) {
+  for (const std::string& rule : sig.rules) {
     out.notes.push_back("signal-abstraction: " + rule);
   }
-  if (!sig.formula) {
+  out.passes.push_back(make_trace("signal-abstraction", table, nnf_id,
+                                  sig.formula, hit, sig.rules));
+  if (sig.formula == psl::kNoExpr) {
     out.notes.push_back("property deleted: it only constrained abstracted signals");
     return out;
   }
-  formula = sig.formula;
 
   // The clock-context guard is a boolean over DUV variables (Def. III.2);
   // abstract it the same way. A fully-deleted guard degrades to plain Tb.
   psl::ClockContext context = p.context;
+  std::vector<std::string> context_notes;
   if (context.guard) {
-    SignalAbstractionResult guard =
-        abstract_signals(to_nnf(context.guard), options.abstracted_signals);
+    SignalAbstractionResult guard = abstract_signals(
+        to_nnf(context.guard), pm.options().abstracted_signals);
     if (!guard.formula) {
       out.notes.push_back("context guard deleted; falling back to basic context");
+      context_notes.push_back("context guard deleted; falling back to basic context");
       context.guard = nullptr;
     } else {
       context.guard = guard.formula;
@@ -46,23 +93,43 @@ AbstractionOutcome abstract_property(const psl::RtlProperty& p,
   }
 
   // Step 2: push next operators onto literals, then Algorithm III.1.
-  formula = push_ahead_next(formula, options.push_mode);
-  formula = substitute_next(formula, options.clock_period_ns);
+  const psl::ExprId pushed = pm.push_ahead(sig.formula, &hit);
+  out.passes.push_back(
+      make_trace("push-ahead", table, sig.formula, pushed, hit));
+  const psl::ExprId substituted = pm.next_substitution(pushed, &hit);
+  out.passes.push_back(
+      make_trace("next-substitution", table, pushed, substituted, hit));
 
   // Step 3: clock context -> transaction context (Def. III.2).
   psl::TlmProperty tlm;
   tlm.name = p.name;
-  tlm.formula = formula;
+  tlm.formula = table.expr(substituted);
   tlm.context = map_context(context);
+  PassTrace ctx_trace;
+  ctx_trace.pass = "context-map";
+  ctx_trace.before = psl::to_string(p.context);
+  ctx_trace.after = psl::to_string(tlm.context);
+  ctx_trace.changed = ctx_trace.before != ctx_trace.after;
+  ctx_trace.notes = std::move(context_notes);
+  out.passes.push_back(std::move(ctx_trace));
   out.property = std::move(tlm);
   return out;
 }
 
+AbstractionOutcome abstract_property(const psl::RtlProperty& p,
+                                     const AbstractionOptions& options) {
+  PassManager pm(options);
+  return abstract_property(pm, p);
+}
+
 std::vector<AbstractionOutcome> abstract_suite(
     const std::vector<psl::RtlProperty>& suite, const AbstractionOptions& options) {
+  // One shared manager: suites with repeated subformulas (and repeated
+  // abstraction calls, e.g. RTL + TLM runs of the same suite) hit the memo.
+  PassManager pm(options);
   std::vector<AbstractionOutcome> out;
   out.reserve(suite.size());
-  for (const auto& p : suite) out.push_back(abstract_property(p, options));
+  for (const auto& p : suite) out.push_back(abstract_property(pm, p));
   return out;
 }
 

@@ -31,22 +31,49 @@ struct AbstractionOptions {
   PushMode push_mode = PushMode::kOpaqueFixpoints;
 };
 
+// One recorded pipeline stage applied to one property: what went in, what
+// came out, and whether the pass manager answered from its memo table.
+struct PassTrace {
+  std::string pass;        // "nnf", "signal-abstraction", ...
+  std::string before;      // printed input formula (or context)
+  std::string after;       // printed output; "(deleted)" when erased
+  size_t nodes_before = 0;
+  size_t nodes_after = 0;
+  bool changed = false;
+  bool cache_hit = false;  // served from the per-pass memo over ExprId
+  std::vector<std::string> notes;  // per-pass rule applications
+};
+
+// Human-readable rendering of a recorded pipeline (the --dump-passes view).
+std::string format_passes(const std::vector<PassTrace>& passes);
+
 struct AbstractionOutcome {
   // Empty when the property was deleted by signal abstraction.
   std::optional<psl::TlmProperty> property;
   AbstractionClass classification = AbstractionClass::kUnchanged;
   // Rule applications and simple-subset diagnostics, for reporting.
   std::vector<std::string> notes;
+  // One entry per pipeline stage, in application order.
+  std::vector<PassTrace> passes;
 
   bool deleted() const { return !property.has_value(); }
 };
 
-// Abstracts a single RTL property into a TLM property.
+class PassManager;
+
+// Abstracts a single RTL property into a TLM property. Builds a throwaway
+// PassManager; use the overload below to share one (and its memo tables)
+// across properties.
 AbstractionOutcome abstract_property(const psl::RtlProperty& p,
                                      const AbstractionOptions& options);
 
+// Same pipeline through a caller-owned PassManager (pass_manager.h): repeated
+// formulas and shared subtrees hit the per-pass memo tables.
+AbstractionOutcome abstract_property(PassManager& pm, const psl::RtlProperty& p);
+
 // Abstracts a whole suite, preserving order; deleted properties produce
-// outcomes with deleted() == true so callers can report them.
+// outcomes with deleted() == true so callers can report them. The whole
+// suite shares one PassManager.
 std::vector<AbstractionOutcome> abstract_suite(
     const std::vector<psl::RtlProperty>& suite, const AbstractionOptions& options);
 

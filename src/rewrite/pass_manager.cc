@@ -1,0 +1,69 @@
+#include "rewrite/pass_manager.h"
+
+#include "rewrite/next_substitution.h"
+#include "rewrite/nnf.h"
+#include "rewrite/push_ahead.h"
+#include "rewrite/signal_abstraction.h"
+
+namespace repro::rewrite {
+
+psl::ExprId PassManager::nnf(psl::ExprId f, bool* cache_hit) {
+  if (auto it = nnf_memo_.find(f); it != nnf_memo_.end()) {
+    ++cache_stats_.hits;
+    if (cache_hit != nullptr) *cache_hit = true;
+    return it->second;
+  }
+  ++cache_stats_.misses;
+  if (cache_hit != nullptr) *cache_hit = false;
+  const psl::ExprId out = table_.intern(to_nnf(table_.expr(f)));
+  nnf_memo_.emplace(f, out);
+  return out;
+}
+
+const PassManager::SignalAbstraction& PassManager::signal_abstraction(
+    psl::ExprId f, bool* cache_hit) {
+  if (auto it = sig_memo_.find(f); it != sig_memo_.end()) {
+    ++cache_stats_.hits;
+    if (cache_hit != nullptr) *cache_hit = true;
+    return it->second;
+  }
+  ++cache_stats_.misses;
+  if (cache_hit != nullptr) *cache_hit = false;
+  SignalAbstractionResult result =
+      abstract_signals(table_.expr(f), options_.abstracted_signals);
+  SignalAbstraction entry;
+  entry.formula = table_.intern(result.formula);  // kNoExpr when deleted
+  entry.classification = result.classification;
+  entry.rules = std::move(result.applied_rules);
+  return sig_memo_.emplace(f, std::move(entry)).first->second;
+}
+
+psl::ExprId PassManager::push_ahead(psl::ExprId f, bool* cache_hit) {
+  if (auto it = push_memo_.find(f); it != push_memo_.end()) {
+    ++cache_stats_.hits;
+    if (cache_hit != nullptr) *cache_hit = true;
+    return it->second;
+  }
+  ++cache_stats_.misses;
+  if (cache_hit != nullptr) *cache_hit = false;
+  const psl::ExprId out =
+      table_.intern(push_ahead_next(table_.expr(f), options_.push_mode));
+  push_memo_.emplace(f, out);
+  return out;
+}
+
+psl::ExprId PassManager::next_substitution(psl::ExprId f, bool* cache_hit) {
+  if (auto it = subst_memo_.find(f); it != subst_memo_.end()) {
+    ++cache_stats_.hits;
+    if (cache_hit != nullptr) *cache_hit = true;
+    return it->second;
+  }
+  ++cache_stats_.misses;
+  if (cache_hit != nullptr) *cache_hit = false;
+  const psl::ExprId out =
+      table_.intern(substitute_next(table_.expr(f), options_.clock_period_ns));
+  subst_memo_.emplace(f, out);
+  return out;
+}
+
+}  // namespace repro::rewrite

@@ -1,0 +1,73 @@
+// Pass manager for the Methodology III.1 rewrite pipeline.
+//
+// Owns a hash-consed ExprTable (psl/intern.h) and exposes the pipeline
+// stages — NNF, signal abstraction (Fig. 4), push_ahead_next, Algorithm
+// III.1 next substitution — as explicit passes over interned ExprIds, each
+// memoized per whole-formula id: abstracting the same (sub)suite twice, or
+// two properties sharing a formula, reruns no rewrite. The memo key is the
+// *whole* formula handed to the pass (next substitution's tau numbering is a
+// global left-to-right scan, so finer subtree-level reuse would be unsound
+// there; whole-formula granularity is correct for every pass).
+//
+// The passes themselves stay in their dedicated modules (nnf.h,
+// signal_abstraction.h, push_ahead.h, next_substitution.h); the manager
+// adds interning, memoization and trace recording on top. abstract_property
+// (methodology.h) drives the full pipeline through a manager and records a
+// PassTrace per stage.
+#ifndef REPRO_REWRITE_PASS_MANAGER_H_
+#define REPRO_REWRITE_PASS_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "psl/intern.h"
+#include "rewrite/methodology.h"
+
+namespace repro::rewrite {
+
+class PassManager {
+ public:
+  explicit PassManager(AbstractionOptions options)
+      : options_(std::move(options)) {}
+
+  const AbstractionOptions& options() const { return options_; }
+  psl::ExprTable& table() { return table_; }
+  const psl::ExprTable& table() const { return table_; }
+
+  struct CacheStats {
+    uint64_t hits = 0;    // pass invocations answered by the memo
+    uint64_t misses = 0;  // pass invocations that ran the rewrite
+  };
+  const CacheStats& cache_stats() const { return cache_stats_; }
+
+  // Memoized result of signal abstraction: the rewritten formula (kNoExpr
+  // when the property was deleted) plus the Fig. 4 bookkeeping.
+  struct SignalAbstraction {
+    psl::ExprId formula = psl::kNoExpr;
+    AbstractionClass classification = AbstractionClass::kUnchanged;
+    std::vector<std::string> rules;
+  };
+
+  // The pipeline stages. `cache_hit`, when non-null, reports whether the
+  // call was served from the memo.
+  psl::ExprId nnf(psl::ExprId f, bool* cache_hit = nullptr);
+  const SignalAbstraction& signal_abstraction(psl::ExprId f,
+                                              bool* cache_hit = nullptr);
+  psl::ExprId push_ahead(psl::ExprId f, bool* cache_hit = nullptr);
+  psl::ExprId next_substitution(psl::ExprId f, bool* cache_hit = nullptr);
+
+ private:
+  AbstractionOptions options_;
+  psl::ExprTable table_;
+  std::unordered_map<psl::ExprId, psl::ExprId> nnf_memo_;
+  std::unordered_map<psl::ExprId, SignalAbstraction> sig_memo_;
+  std::unordered_map<psl::ExprId, psl::ExprId> push_memo_;
+  std::unordered_map<psl::ExprId, psl::ExprId> subst_memo_;
+  CacheStats cache_stats_;
+};
+
+}  // namespace repro::rewrite
+
+#endif  // REPRO_REWRITE_PASS_MANAGER_H_
