@@ -12,10 +12,14 @@
 // Usage: colorconv_abv [--jobs N] [--batch-size N] [--witness-depth N]
 //                      [--failure-log-cap N] [--trace-out FILE]
 //                      [--report-out FILE] [--dump-passes] [--interpreter]
-//   --dump-passes  print every rewrite-pipeline pass per property before the
-//                  runs.
-//   --interpreter  evaluate checkers with the tree-walking interpreter
-//                  instead of the compiled flat programs.
+//   --dump-passes       print every rewrite-pipeline pass per property before
+//                       the runs.
+//   --interpreter       evaluate checkers with the tree-walking interpreter
+//                       instead of the compiled flat programs.
+//   --analyze           run the static property analysis before each run and
+//                       print its diagnostics.
+//   --Werror-analysis   like --analyze, but abort (exit 1) without simulating
+//                       when the analysis reports an error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -93,6 +97,7 @@ int main(int argc, char** argv) {
   std::string report_out;
   bool dump_passes = false;
   bool interpreter = false;
+  models::AnalysisMode analysis = models::AnalysisMode::kOff;
   for (int i = 1; i < argc; ++i) {
     auto size_arg = [&](size_t& out) {
       out = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -115,12 +120,19 @@ int main(int argc, char** argv) {
       dump_passes = true;
     } else if (std::strcmp(argv[i], "--interpreter") == 0) {
       interpreter = true;
+    } else if (std::strcmp(argv[i], "--analyze") == 0) {
+      if (analysis == models::AnalysisMode::kOff) {
+        analysis = models::AnalysisMode::kOn;
+      }
+    } else if (std::strcmp(argv[i], "--Werror-analysis") == 0) {
+      analysis = models::AnalysisMode::kError;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--batch-size N] [--witness-depth N]\n"
                    "          [--failure-log-cap N] [--trace-out FILE] "
                    "[--report-out FILE]\n"
-                   "          [--dump-passes] [--interpreter]\n",
+                   "          [--dump-passes] [--interpreter]\n"
+                   "          [--analyze] [--Werror-analysis]\n",
                    argv[0]);
       return 2;
     }
@@ -155,6 +167,7 @@ int main(int argc, char** argv) {
   config.witness_depth = witness_depth;
   config.failure_log_cap = failure_log_cap;
   config.compiled_checkers = !interpreter;
+  config.analysis = analysis;
 
   bool all_ok = true;
   for (Level level : {Level::kRtl, Level::kTlmCa, Level::kTlmAt}) {
@@ -162,6 +175,18 @@ int main(int argc, char** argv) {
     // Observability outputs cover the TLM-AT run (the paper's target level).
     config.trace_path = level == Level::kTlmAt ? trace_out : "";
     const models::RunResult r = models::run_simulation(config);
+    if (analysis != models::AnalysisMode::kOff &&
+        !r.analysis_diagnostics.empty()) {
+      std::printf("-- static analysis (%s) --\n", models::to_string(level));
+      for (const analysis::Diagnostic& d : r.analysis_diagnostics) {
+        std::printf("%s\n", analysis::to_string(d).c_str());
+      }
+    }
+    if (analysis == models::AnalysisMode::kError && !r.analysis_ok) {
+      std::printf("analysis errors: %s simulation skipped\n",
+                  models::to_string(level));
+      return 1;
+    }
     std::printf("%-7s: %7.3f s  functional=%s properties=%s\n",
                 models::to_string(level), r.wall_seconds,
                 r.functional_ok ? "ok" : "FAIL",

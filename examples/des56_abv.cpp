@@ -24,6 +24,10 @@
 //   --interpreter        evaluate checkers with the tree-walking interpreter
 //                        instead of the compiled flat programs.
 //   --no-witness-demo    do not inject the failing demo property.
+//   --analyze            run the static property analysis before each
+//                        simulation and print its diagnostics.
+//   --Werror-analysis    like --analyze, but abort (exit 1) without
+//                        simulating when the analysis reports an error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,8 +53,27 @@ void usage(const char* argv0) {
                "usage: %s [--jobs N] [--batch-size N] [--witness-depth N]\n"
                "          [--failure-log-cap N] [--trace-out FILE] "
                "[--report-out FILE]\n"
-               "          [--dump-passes] [--interpreter] [--no-witness-demo]\n",
+               "          [--dump-passes] [--interpreter] [--no-witness-demo]\n"
+               "          [--analyze] [--Werror-analysis]\n",
                argv0);
+}
+
+// Prints the pre-simulation analysis diagnostics of one run; returns false
+// when the analysis blocked the simulation (kError mode with errors).
+bool report_analysis(const char* label, const models::RunConfig& config,
+                     const models::RunResult& result) {
+  if (config.analysis == models::AnalysisMode::kOff) return true;
+  if (!result.analysis_diagnostics.empty()) {
+    std::printf("-- static analysis (%s) --\n", label);
+    for (const analysis::Diagnostic& d : result.analysis_diagnostics) {
+      std::printf("%s\n", analysis::to_string(d).c_str());
+    }
+  }
+  if (config.analysis == models::AnalysisMode::kError && !result.analysis_ok) {
+    std::printf("analysis errors: %s simulation skipped\n", label);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -65,6 +88,7 @@ int main(int argc, char** argv) {
   bool witness_demo = true;
   bool dump_passes = false;
   bool interpreter = false;
+  models::AnalysisMode analysis = models::AnalysisMode::kOff;
   for (int i = 1; i < argc; ++i) {
     auto size_arg = [&](size_t& out) {
       out = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -89,6 +113,12 @@ int main(int argc, char** argv) {
       interpreter = true;
     } else if (std::strcmp(argv[i], "--no-witness-demo") == 0) {
       witness_demo = false;
+    } else if (std::strcmp(argv[i], "--analyze") == 0) {
+      if (analysis == models::AnalysisMode::kOff) {
+        analysis = models::AnalysisMode::kOn;
+      }
+    } else if (std::strcmp(argv[i], "--Werror-analysis") == 0) {
+      analysis = models::AnalysisMode::kError;
     } else {
       usage(argv[0]);
       return 2;
@@ -130,9 +160,11 @@ int main(int argc, char** argv) {
   config.witness_depth = witness_depth;
   config.failure_log_cap = failure_log_cap;
   config.compiled_checkers = !interpreter;
+  config.analysis = analysis;
 
   config.level = Level::kRtl;
   const models::RunResult rtl = models::run_simulation(config);
+  if (!report_analysis("RTL", config, rtl)) return 1;
   std::printf("RTL    : %7.3f s  functional=%s properties=%s\n", rtl.wall_seconds,
               rtl.functional_ok ? "ok" : "FAIL", rtl.properties_ok ? "ok" : "FAIL");
 
@@ -152,6 +184,7 @@ int main(int argc, char** argv) {
   config.level = Level::kTlmAt;
   config.trace_path = trace_out;
   const models::RunResult at = models::run_simulation(config);
+  if (!report_analysis("TLM-AT", config, at)) return 1;
 
   // With the demo injected, "properties ok" means: every real property
   // holds, and the demo property fails (it is designed to).

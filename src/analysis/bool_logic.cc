@@ -1,0 +1,155 @@
+#include "analysis/bool_logic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace repro::analysis {
+
+namespace {
+// Terminal nodes sort after every real variable.
+constexpr uint32_t kTerminalVar = std::numeric_limits<uint32_t>::max();
+}  // namespace
+
+Bdd::Bdd() {
+  nodes_.push_back({kTerminalVar, kFalse, kFalse});  // 0: false
+  nodes_.push_back({kTerminalVar, kTrue, kTrue});    // 1: true
+}
+
+Bdd::Ref Bdd::mk(uint32_t var, Ref lo, Ref hi) {
+  if (lo == hi) return lo;
+  const Key key{var, lo, hi};
+  if (auto it = unique_.find(key); it != unique_.end()) return it->second;
+  const Ref ref = static_cast<Ref>(nodes_.size());
+  nodes_.push_back({var, lo, hi});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+Bdd::Ref Bdd::var(uint32_t v) { return mk(v, kFalse, kTrue); }
+
+Bdd::Ref Bdd::cofactor(Ref f, uint32_t var, bool positive) const {
+  const Node& n = nodes_[f];
+  if (n.var != var) return f;  // ordered: var < n.var, f independent of var
+  return positive ? n.hi : n.lo;
+}
+
+Bdd::Ref Bdd::ite(Ref f, Ref g, Ref h) {
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+  const IteKey key{f, g, h};
+  if (auto it = ite_memo_.find(key); it != ite_memo_.end()) return it->second;
+  const uint32_t v =
+      std::min({nodes_[f].var, nodes_[g].var, nodes_[h].var});
+  const Ref lo = ite(cofactor(f, v, false), cofactor(g, v, false),
+                     cofactor(h, v, false));
+  const Ref hi =
+      ite(cofactor(f, v, true), cofactor(g, v, true), cofactor(h, v, true));
+  const Ref out = mk(v, lo, hi);
+  ite_memo_.emplace(key, out);
+  return out;
+}
+
+uint32_t BoolAnalyzer::var_for_atom(uint32_t table_atom) {
+  if (auto it = atom_vars_.find(table_atom); it != atom_vars_.end()) {
+    return it->second;
+  }
+  const uint32_t v = static_cast<uint32_t>(atom_vars_.size());
+  atom_vars_.emplace(table_atom, v);
+  return v;
+}
+
+void BoolAnalyzer::collect_atoms(psl::ExprId id, std::vector<uint32_t>& atoms) {
+  if (id == psl::kNoExpr) return;
+  if (auto it = atom_memo_.find(id); it != atom_memo_.end()) {
+    atoms.insert(atoms.end(), it->second.begin(), it->second.end());
+    return;
+  }
+  std::vector<uint32_t> own;
+  const psl::ExprTable::Node& n = table_.node(id);
+  if (n.kind == psl::ExprKind::kAtom) {
+    own.push_back(n.atom);
+  } else {
+    collect_atoms(n.lhs, own);
+    collect_atoms(n.rhs, own);
+    std::sort(own.begin(), own.end());
+    own.erase(std::unique(own.begin(), own.end()), own.end());
+  }
+  atoms.insert(atoms.end(), own.begin(), own.end());
+  atom_memo_.emplace(id, std::move(own));
+}
+
+size_t BoolAnalyzer::distinct_atoms(psl::ExprId id) {
+  std::vector<uint32_t> atoms;
+  collect_atoms(id, atoms);
+  std::sort(atoms.begin(), atoms.end());
+  atoms.erase(std::unique(atoms.begin(), atoms.end()), atoms.end());
+  return atoms.size();
+}
+
+std::optional<Bdd::Ref> BoolAnalyzer::build(psl::ExprId id,
+                                            size_t* atoms_needed) {
+  const size_t atoms = distinct_atoms(id);
+  if (atoms_needed != nullptr) *atoms_needed = atoms;
+  if (atoms > atom_cap_) return std::nullopt;
+  struct Builder {
+    BoolAnalyzer& a;
+    Bdd::Ref go(psl::ExprId id) {
+      if (auto it = a.build_memo_.find(id); it != a.build_memo_.end()) {
+        return it->second;
+      }
+      const psl::ExprTable::Node& n = a.table_.node(id);
+      Bdd::Ref out = Bdd::kFalse;
+      switch (n.kind) {
+        case psl::ExprKind::kConstTrue: out = Bdd::kTrue; break;
+        case psl::ExprKind::kConstFalse: out = Bdd::kFalse; break;
+        case psl::ExprKind::kAtom:
+          out = a.bdd_.var(a.var_for_atom(n.atom));
+          break;
+        case psl::ExprKind::kNot: out = a.bdd_.not_(go(n.lhs)); break;
+        case psl::ExprKind::kAnd:
+          out = a.bdd_.and_(go(n.lhs), go(n.rhs));
+          break;
+        case psl::ExprKind::kOr: out = a.bdd_.or_(go(n.lhs), go(n.rhs)); break;
+        case psl::ExprKind::kImplies:
+          out = a.bdd_.implies(go(n.lhs), go(n.rhs));
+          break;
+        default:
+          assert(false && "build() called on a non-boolean formula");
+          break;
+      }
+      a.build_memo_.emplace(id, out);
+      return out;
+    }
+  };
+  return Builder{*this}.go(id);
+}
+
+BoolAnalyzer::Answer BoolAnalyzer::tautology(psl::ExprId id) {
+  const auto f = build(id);
+  if (!f) return Answer::kCapped;
+  return bdd_.is_true(*f) ? Answer::kYes : Answer::kNo;
+}
+
+BoolAnalyzer::Answer BoolAnalyzer::contradiction(psl::ExprId id) {
+  const auto f = build(id);
+  if (!f) return Answer::kCapped;
+  return bdd_.is_false(*f) ? Answer::kYes : Answer::kNo;
+}
+
+BoolAnalyzer::Answer BoolAnalyzer::implies(psl::ExprId a, psl::ExprId b) {
+  std::vector<uint32_t> atoms;
+  collect_atoms(a, atoms);
+  collect_atoms(b, atoms);
+  std::sort(atoms.begin(), atoms.end());
+  atoms.erase(std::unique(atoms.begin(), atoms.end()), atoms.end());
+  if (atoms.size() > atom_cap_) return Answer::kCapped;
+  const auto fa = build(a);
+  const auto fb = build(b);
+  if (!fa || !fb) return Answer::kCapped;
+  return bdd_.is_true(bdd_.implies(*fa, *fb)) ? Answer::kYes : Answer::kNo;
+}
+
+}  // namespace repro::analysis

@@ -1,0 +1,132 @@
+// Boolean-layer semantic engine for the static analysis passes.
+//
+// A small reduced ordered BDD (hash-consed nodes, memoized ite) decides
+// tautology, contradiction and implication over the boolean layer of
+// interned formulas. Atoms are deduplicated through the ExprTable's atom
+// index and treated as independent propositional variables — semantically
+// related comparisons (`y <= 235` vs `y > 235`) are NOT connected, which
+// keeps every positive answer sound: a reported tautology/contradiction/
+// implication holds for all atom valuations, hence for the real signal
+// semantics too. The converse does not hold (the analysis may miss
+// arithmetic tautologies); callers treat "no" as "unknown".
+//
+// Queries are capped at `atom_cap` distinct atoms (default 20): past the
+// cap build() declines and the caller emits an explicit "analysis skipped"
+// diagnostic instead of silently burning memory.
+#ifndef REPRO_ANALYSIS_BOOL_LOGIC_H_
+#define REPRO_ANALYSIS_BOOL_LOGIC_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "psl/intern.h"
+
+namespace repro::analysis {
+
+// Reduced ordered BDD. Refs 0/1 are the terminal false/true nodes; variable
+// order is the order variables are first created in.
+class Bdd {
+ public:
+  using Ref = uint32_t;
+  static constexpr Ref kFalse = 0;
+  static constexpr Ref kTrue = 1;
+
+  Bdd();
+
+  Ref var(uint32_t v);
+  Ref not_(Ref f) { return ite(f, kFalse, kTrue); }
+  Ref and_(Ref f, Ref g) { return ite(f, g, kFalse); }
+  Ref or_(Ref f, Ref g) { return ite(f, kTrue, g); }
+  Ref implies(Ref f, Ref g) { return ite(f, g, kTrue); }
+
+  bool is_true(Ref f) const { return f == kTrue; }
+  bool is_false(Ref f) const { return f == kFalse; }
+
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    uint32_t var = 0;  // terminals use the max var so they sort last
+    Ref lo = 0;
+    Ref hi = 0;
+  };
+  struct Key {
+    uint32_t var;
+    Ref lo;
+    Ref hi;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = (uint64_t{k.var} << 40) ^ (uint64_t{k.lo} << 20) ^ k.hi;
+      h *= 0x9E3779B97F4A7C15ull;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+  struct IteKey {
+    Ref f, g, h;
+    bool operator==(const IteKey&) const = default;
+  };
+  struct IteKeyHash {
+    size_t operator()(const IteKey& k) const {
+      uint64_t v = (uint64_t{k.f} << 42) ^ (uint64_t{k.g} << 21) ^ k.h;
+      v *= 0xC2B2AE3D27D4EB4Full;
+      return static_cast<size_t>(v ^ (v >> 29));
+    }
+  };
+
+  Ref mk(uint32_t var, Ref lo, Ref hi);
+  Ref ite(Ref f, Ref g, Ref h);
+  Ref cofactor(Ref f, uint32_t var, bool positive) const;
+
+  std::vector<Node> nodes_;
+  std::unordered_map<Key, Ref, KeyHash> unique_;
+  std::unordered_map<IteKey, Ref, IteKeyHash> ite_memo_;
+};
+
+// Builds BDDs for boolean-layer formulas of one ExprTable. Atom identity
+// comes from the table's atom interning, so `rdy` in two different formulas
+// maps to the same variable. The analyzer may outlive table growth: ids are
+// resolved lazily per query.
+class BoolAnalyzer {
+ public:
+  explicit BoolAnalyzer(const psl::ExprTable& table, size_t atom_cap = 20)
+      : table_(table), atom_cap_(atom_cap) {}
+
+  size_t atom_cap() const { return atom_cap_; }
+
+  // BDD of a boolean formula (kAtom/kNot/kAnd/kOr/kImplies/constants only —
+  // the caller guarantees facts(id).is_boolean). nullopt when building would
+  // exceed the atom cap; `atoms_needed`, when non-null, receives the number
+  // of distinct atoms the formula references.
+  std::optional<Bdd::Ref> build(psl::ExprId id, size_t* atoms_needed = nullptr);
+
+  // Tri-state query results: the cap turns "don't know" into kCapped so
+  // callers can report the skip explicitly.
+  enum class Answer { kYes, kNo, kCapped };
+
+  Answer tautology(psl::ExprId id);
+  Answer contradiction(psl::ExprId id);
+  // Does `a` propositionally entail `b`?
+  Answer implies(psl::ExprId a, psl::ExprId b);
+
+  // Distinct atoms referenced below `id` (boolean or not).
+  size_t distinct_atoms(psl::ExprId id);
+
+ private:
+  uint32_t var_for_atom(uint32_t table_atom);
+  void collect_atoms(psl::ExprId id, std::vector<uint32_t>& atoms);
+
+  const psl::ExprTable& table_;
+  size_t atom_cap_;
+  Bdd bdd_;
+  std::unordered_map<uint32_t, uint32_t> atom_vars_;  // table atom -> BDD var
+  std::unordered_map<psl::ExprId, Bdd::Ref> build_memo_;
+  std::unordered_map<psl::ExprId, std::vector<uint32_t>> atom_memo_;
+};
+
+}  // namespace repro::analysis
+
+#endif  // REPRO_ANALYSIS_BOOL_LOGIC_H_

@@ -1,0 +1,93 @@
+#include "analysis/diagnostic.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace repro::analysis {
+
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << std::hex << std::setw(2) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string to_string(const Diagnostic& d) {
+  std::string out = std::string(to_string(d.severity)) + "[" + d.code + "] ";
+  if (!d.property.empty()) out += d.property + ": ";
+  out += d.message;
+  if (d.span.valid()) {
+    out += " (at offset " + std::to_string(d.span.offset) + ")";
+  }
+  if (!d.hint.empty()) out += "\n  hint: " + d.hint;
+  return out;
+}
+
+void write_json(std::ostream& os, const Diagnostic& d) {
+  os << "{\"code\":";
+  write_escaped(os, d.code);
+  os << ",\"severity\":";
+  write_escaped(os, to_string(d.severity));
+  os << ",\"property\":";
+  write_escaped(os, d.property);
+  os << ",\"check\":";
+  write_escaped(os, d.check);
+  os << ",\"message\":";
+  write_escaped(os, d.message);
+  if (!d.hint.empty()) {
+    os << ",\"hint\":";
+    write_escaped(os, d.hint);
+  }
+  if (d.span.valid()) {
+    os << ",\"offset\":" << d.span.offset << ",\"length\":" << d.span.length;
+  }
+  os << "}";
+}
+
+DiagnosticCounts count(const std::vector<Diagnostic>& diagnostics) {
+  DiagnosticCounts c;
+  for (const Diagnostic& d : diagnostics) {
+    switch (d.severity) {
+      case Severity::kNote: ++c.notes; break;
+      case Severity::kWarning: ++c.warnings; break;
+      case Severity::kError: ++c.errors; break;
+    }
+  }
+  return c;
+}
+
+}  // namespace repro::analysis

@@ -1,0 +1,70 @@
+// Structured diagnostics emitted by the static property-analysis layer.
+//
+// Every finding carries a stable code (the catalog lives in DESIGN.md §10),
+// a severity, the property it was raised on, the check that produced it and
+// a human-readable message; optionally a fix-it hint and a source span (byte
+// offset into the property text the lexer saw). Codes are grouped by check:
+//
+//   PSL001..PSL005  simple-subset conformance (IEEE 1850 sec. 4.4.4)
+//   PSL000          parse error surfaced as a diagnostic (psl_lint)
+//   SEM001..SEM005  boolean-layer semantics (tautology / contradiction /
+//                   static vacuity / analysis cap)
+//   AUD001..AUD004  consequence audit of the abstracted formula (Thm. III.2)
+//   ENV001..ENV002  environment binding of atoms against the target
+//                   observable set
+//   SIZ001..SIZ003  pre-simulation checker sizing (next_e windows, wrapper
+//                   lifetime, instance-pool capacity)
+#ifndef REPRO_ANALYSIS_DIAGNOSTIC_H_
+#define REPRO_ANALYSIS_DIAGNOSTIC_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace repro::analysis {
+
+enum class Severity { kNote, kWarning, kError };
+
+const char* to_string(Severity s);
+
+// Byte range into the source text a property was parsed from; offset -1
+// means "no source location" (e.g. programmatically built properties).
+struct SourceSpan {
+  int offset = -1;
+  int length = 0;
+
+  bool valid() const { return offset >= 0; }
+};
+
+struct Diagnostic {
+  std::string code;      // stable catalog code, e.g. "PSL001"
+  Severity severity = Severity::kWarning;
+  std::string property;  // property name the finding is attached to
+  std::string check;     // producing pass: "simple-subset", "bool-semantics",
+                         // "consequence-audit", "env-binding", "checker-sizing"
+  std::string message;
+  std::string hint;      // optional fix-it hint; empty when absent
+  SourceSpan span;
+};
+
+// One-line compiler-style rendering:
+//   error[ENV001] p7: atom 'bogus' is not an observable of the target env
+std::string to_string(const Diagnostic& d);
+
+// Writes `d` as a JSON object (insertion-ordered keys, stable output).
+void write_json(std::ostream& os, const Diagnostic& d);
+
+// Severity histogram over a diagnostic list.
+struct DiagnosticCounts {
+  size_t notes = 0;
+  size_t warnings = 0;
+  size_t errors = 0;
+
+  size_t total() const { return notes + warnings + errors; }
+};
+
+DiagnosticCounts count(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace repro::analysis
+
+#endif  // REPRO_ANALYSIS_DIAGNOSTIC_H_

@@ -1,0 +1,144 @@
+#include "analysis/driver.h"
+
+#include <iomanip>
+#include <ostream>
+#include <utility>
+
+namespace repro::analysis {
+
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << std::hex << std::setw(2) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Driver::Driver(AnalysisOptions options)
+    : options_(std::move(options)),
+      pm_(options_.abstraction),
+      booleans_(pm_.table(), options_.atom_cap) {}
+
+const PropertyAnalysis& Driver::analyze(const psl::RtlProperty& property,
+                                        SourceSpan span) {
+  const rewrite::AbstractionOutcome outcome =
+      rewrite::abstract_property(pm_, property);
+
+  PropertyAnalysis& record = results_.emplace_back();
+  record.name = property.name;
+  record.rtl = psl::to_string(property);
+  record.tlm =
+      outcome.deleted() ? "(deleted)" : psl::to_string(*outcome.property);
+  record.classification = outcome.classification;
+
+  CheckContext ctx{property, outcome,   pm_, booleans_,
+                   options_, span,      record};
+  check_simple_subset(ctx);
+  check_bool_semantics(ctx);
+  check_consequence(ctx);
+  check_env_binding(ctx);
+  check_sizing(ctx);
+  return record;
+}
+
+void Driver::add_diagnostic(Diagnostic d) { extra_.push_back(std::move(d)); }
+
+DiagnosticCounts Driver::counts() const {
+  DiagnosticCounts total = count(extra_);
+  for (const PropertyAnalysis& r : results_) {
+    const DiagnosticCounts c = count(r.diagnostics);
+    total.notes += c.notes;
+    total.warnings += c.warnings;
+    total.errors += c.errors;
+  }
+  return total;
+}
+
+void Driver::render_text(std::ostream& os) const {
+  for (const Diagnostic& d : extra_) {
+    os << to_string(d) << "\n";
+  }
+  for (const PropertyAnalysis& r : results_) {
+    for (const Diagnostic& d : r.diagnostics) {
+      os << to_string(d) << "\n";
+    }
+  }
+  const DiagnosticCounts c = counts();
+  os << "analysis: " << results_.size() << " properties, " << c.errors
+     << " errors, " << c.warnings << " warnings, " << c.notes << " notes\n";
+}
+
+void Driver::write_json(std::ostream& os) const {
+  os << "{\"schema_version\":1,\"generator\":\"analysis\"";
+  os << ",\"clock_period_ns\":" << options_.abstraction.clock_period_ns;
+  os << ",\"abstracted_signals\":[";
+  bool first = true;
+  for (const std::string& s : options_.abstraction.abstracted_signals) {
+    if (!first) os << ",";
+    first = false;
+    write_escaped(os, s);
+  }
+  os << "],\"properties\":[";
+  for (size_t i = 0; i < results_.size(); ++i) {
+    const PropertyAnalysis& r = results_[i];
+    if (i != 0) os << ",";
+    os << "{\"name\":";
+    write_escaped(os, r.name);
+    os << ",\"rtl\":";
+    write_escaped(os, r.rtl);
+    os << ",\"tlm\":";
+    write_escaped(os, r.tlm);
+    os << ",\"classification\":";
+    write_escaped(os, rewrite::to_string(r.classification));
+    os << ",\"audit\":";
+    write_escaped(os, to_string(r.audit));
+    os << ",\"lifetime\":{\"bounded\":" << (r.lifetime.bounded ? "true" : "false")
+       << ",\"instants\":" << r.lifetime.instants
+       << ",\"max_eps_ns\":" << r.lifetime.max_eps << "}";
+    os << ",\"windows_ns\":[";
+    for (size_t w = 0; w < r.windows_ns.size(); ++w) {
+      if (w != 0) os << ",";
+      os << r.windows_ns[w];
+    }
+    os << "],\"diagnostics\":[";
+    for (size_t d = 0; d < r.diagnostics.size(); ++d) {
+      if (d != 0) os << ",";
+      analysis::write_json(os, r.diagnostics[d]);
+    }
+    os << "]}";
+  }
+  os << "],\"diagnostics\":[";
+  for (size_t d = 0; d < extra_.size(); ++d) {
+    if (d != 0) os << ",";
+    analysis::write_json(os, extra_[d]);
+  }
+  const DiagnosticCounts c = counts();
+  os << "],\"totals\":{\"notes\":" << c.notes << ",\"warnings\":" << c.warnings
+     << ",\"errors\":" << c.errors << "}}\n";
+}
+
+}  // namespace repro::analysis

@@ -1,0 +1,66 @@
+// analysis::Driver — the static property-analysis battery.
+//
+// The driver owns one rewrite::PassManager (and thus one interned ExprTable)
+// and one BoolAnalyzer, runs the Methodology III.1 pipeline on each property
+// handed to analyze(), and then runs every check of checks.h over the
+// outcome. All diagnostics accumulate in per-property records; render_text()
+// and write_json() produce the compiler-style and machine-readable reports.
+//
+// The driver never mutates the properties or the simulation configuration:
+// running it before a simulation leaves the simulation's reports
+// byte-identical (the testbench uses its own pass manager).
+#ifndef REPRO_ANALYSIS_DRIVER_H_
+#define REPRO_ANALYSIS_DRIVER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/bool_logic.h"
+#include "analysis/checks.h"
+#include "analysis/diagnostic.h"
+
+namespace repro::analysis {
+
+class Driver {
+ public:
+  explicit Driver(AnalysisOptions options);
+
+  const AnalysisOptions& options() const { return options_; }
+
+  // Runs the full check battery on one property and returns its record
+  // (valid until the next analyze() call reallocates the vector — index
+  // into results() for stable access).
+  const PropertyAnalysis& analyze(const psl::RtlProperty& property,
+                                  SourceSpan span = {});
+
+  // Attaches a diagnostic produced outside the per-property battery (e.g. a
+  // PSL000 parse error from psl_lint).
+  void add_diagnostic(Diagnostic d);
+
+  const std::vector<PropertyAnalysis>& results() const { return results_; }
+  const std::vector<Diagnostic>& extra_diagnostics() const { return extra_; }
+
+  // Severity histogram over every diagnostic seen so far.
+  DiagnosticCounts counts() const;
+  // True when no error-severity diagnostic was emitted.
+  bool ok() const { return counts().errors == 0; }
+
+  // Compiler-style text report: one line per diagnostic plus a summary line.
+  void render_text(std::ostream& os) const;
+
+  // Machine-readable report (schema_version 1): per-property records with
+  // classification, audit status, sizing and diagnostics.
+  void write_json(std::ostream& os) const;
+
+ private:
+  AnalysisOptions options_;
+  rewrite::PassManager pm_;
+  BoolAnalyzer booleans_;
+  std::vector<PropertyAnalysis> results_;
+  std::vector<Diagnostic> extra_;
+};
+
+}  // namespace repro::analysis
+
+#endif  // REPRO_ANALYSIS_DRIVER_H_

@@ -5,6 +5,43 @@
 
 namespace repro::checker {
 
+LifetimeInfo compute_lifetime(const psl::ExprPtr& formula,
+                              psl::TimeNs clock_period_ns) {
+  assert(formula);
+  assert(clock_period_ns >= 1);
+  LifetimeInfo info;
+  psl::ExprPtr body = formula;
+  while (body->kind == psl::ExprKind::kAlways) body = body->lhs;
+  // A formula is time-scheduled iff it has no fixpoint operators below the
+  // stripped always chain.
+  std::vector<const psl::Expr*> work{body.get()};
+  while (!work.empty()) {
+    const psl::Expr* e = work.back();
+    work.pop_back();
+    switch (e->kind) {
+      case psl::ExprKind::kUntil:
+      case psl::ExprKind::kRelease:
+      case psl::ExprKind::kAlways:
+      case psl::ExprKind::kEventually:
+      case psl::ExprKind::kAbort:
+        info.bounded = false;
+        break;
+      default:
+        break;
+    }
+    if (e->lhs) work.push_back(e->lhs.get());
+    if (e->rhs) work.push_back(e->rhs.get());
+  }
+  info.max_eps = psl::max_eps(body);
+  if (info.bounded) {
+    // Ceiling division: a window that is not a multiple of the clock period
+    // still needs an instant for its final partial period.
+    info.instants = static_cast<size_t>(
+        (info.max_eps + clock_period_ns - 1) / clock_period_ns);
+  }
+  return info;
+}
+
 TlmCheckerWrapper::TlmCheckerWrapper(const psl::TlmProperty& property,
                                      psl::TimeNs clock_period_ns,
                                      CheckerOptions options)
@@ -26,33 +63,11 @@ TlmCheckerWrapper::TlmCheckerWrapper(const psl::TlmProperty& property,
   if (options_.compiled) program_ = Program::compile(body_);
   // Sec. IV point 1: the pool is sized by the lifetime of an instance, i.e.
   // the number of instants in (t_fire, t_end] at which a transaction can
-  // occur. With timing equivalence those instants are multiples of the RTL
-  // clock period, so lifetime = max next_e window / clock period. A property
-  // with until/release obligations has no static bound; the pool then grows
-  // on demand.
-  // A formula is time-scheduled iff it has no fixpoint operators below the
-  // stripped always chain.
-  bool bounded = true;
-  std::vector<const psl::Expr*> work{body_.get()};
-  while (!work.empty()) {
-    const psl::Expr* e = work.back();
-    work.pop_back();
-    switch (e->kind) {
-      case psl::ExprKind::kUntil:
-      case psl::ExprKind::kRelease:
-      case psl::ExprKind::kAlways:
-      case psl::ExprKind::kEventually:
-      case psl::ExprKind::kAbort:
-        bounded = false;
-        break;
-      default:
-        break;
-    }
-    if (e->lhs) work.push_back(e->lhs.get());
-    if (e->rhs) work.push_back(e->rhs.get());
-  }
-  if (bounded) {
-    lifetime_ = static_cast<size_t>(psl::max_eps(body_) / clock_period_ns);
+  // occur (see compute_lifetime). A property with until/release obligations
+  // has no static bound; the pool then grows on demand.
+  const LifetimeInfo info = compute_lifetime(body_, clock_period_ns);
+  if (info.bounded) {
+    lifetime_ = info.instants;
     free_pool_.reserve(lifetime_);
     for (size_t i = 0; i < lifetime_; ++i) {
       free_pool_.push_back(make_instance());

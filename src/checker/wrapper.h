@@ -37,6 +37,25 @@
 
 namespace repro::checker {
 
+// Static sizing of a wrapper's checker-instance pool (Sec. IV point 1),
+// shared with the pre-simulation checker-sizing analysis pass. `bounded` is
+// false when the formula (below its top-level always chain) contains a
+// fixpoint operator (until/release/always/eventually/abort), in which case
+// the pool has no static bound and grows on demand. For bounded formulas
+// `instants` is the instance lifetime in transaction instants: with timing
+// equivalence those instants are multiples of the RTL clock period, so
+// lifetime = ceil(max next_e window / clock period) — the ceiling matters
+// when a window is not a multiple of the period, where truncation would
+// undersize the pool and the deadline horizon.
+struct LifetimeInfo {
+  bool bounded = true;
+  size_t instants = 0;       // 0 when unbounded or purely boolean
+  psl::TimeNs max_eps = 0;   // largest next_e window below the always chain
+};
+
+LifetimeInfo compute_lifetime(const psl::ExprPtr& formula,
+                              psl::TimeNs clock_period_ns);
+
 struct WrapperStats {
   uint64_t transactions = 0;   // transaction-end events observed
   uint64_t activations = 0;    // verification sessions started

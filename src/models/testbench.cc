@@ -8,6 +8,7 @@
 
 #include "abv/rtl_env.h"
 #include "abv/tlm_env.h"
+#include "analysis/driver.h"
 #include "models/colorconv/colorconv_rtl.h"
 #include "models/colorconv/colorconv_tlm_at.h"
 #include "models/colorconv/colorconv_tlm_ca.h"
@@ -527,7 +528,70 @@ RunResult run_colorconv_tlm_at(const RunConfig& config,
   return result;
 }
 
+// Runs the static analysis battery over the configured properties. Returns
+// true when the simulation may proceed (always, except kError with errors).
+bool run_analysis(const RunConfig& config, const PropertySuite& suite,
+                  RunResult& result) {
+  analysis::AnalysisOptions options;
+  options.abstraction.clock_period_ns = suite.clock_period_ns;
+  options.abstraction.abstracted_signals = suite.abstracted_signals;
+  options.abstraction.push_mode = config.push_mode;
+  if (config.level == Level::kTlmAt && !config.at_replay_unabstracted) {
+    // Normal AT flow: the original formula binds at RTL, the abstracted one
+    // against the transaction snapshots of the AT target.
+    options.rtl_observables = level_observables(config.design, Level::kRtl);
+    options.tlm_observables = level_observables(config.design, Level::kTlmAt);
+  } else {
+    // RTL, TLM-CA and the unabstracted-replay ablation all evaluate the
+    // original RTL formulas directly against this level's observables.
+    options.rtl_observables = level_observables(config.design, config.level);
+  }
+
+  analysis::Driver driver(options);
+  for (const psl::RtlProperty& p : pick(suite, config)) {
+    driver.analyze(p);
+  }
+  result.analysis_ok = driver.ok();
+  for (const analysis::PropertyAnalysis& r : driver.results()) {
+    result.analysis_diagnostics.insert(result.analysis_diagnostics.end(),
+                                       r.diagnostics.begin(),
+                                       r.diagnostics.end());
+  }
+  return result.analysis_ok || config.analysis != AnalysisMode::kError;
+}
+
 }  // namespace
+
+std::vector<std::string> level_observables(Design d, Level l) {
+  switch (d) {
+    case Design::kDes56:
+      switch (l) {
+        case Level::kRtl:
+        case Level::kTlmCa:
+          return {"ds",  "indata",        "key",
+                  "decrypt", "out",       "rdy",
+                  "rdy_next_cycle", "rdy_next_next_cycle", "monitor_en"};
+        case Level::kTlmAt:
+          return {"ds", "indata", "key", "decrypt", "out", "rdy",
+                  "monitor_en"};
+      }
+      break;
+    case Design::kColorConv:
+      switch (l) {
+        case Level::kRtl:
+          return {"ds", "r",  "g",  "b",   "y",
+                  "cb", "cr", "rdy", "rdy_next_cycle", "sof", "monitor_en"};
+        case Level::kTlmCa:
+          return {"ds", "r",  "g",  "b",   "sof", "y",
+                  "cb", "cr", "rdy", "rdy_next_cycle", "monitor_en"};
+        case Level::kTlmAt:
+          return {"ds", "r",  "g",  "b",   "sof", "y",
+                  "cb", "cr", "rdy", "monitor_en"};
+      }
+      break;
+  }
+  return {};
+}
 
 const char* to_string(Design d) {
   switch (d) {
@@ -549,24 +613,36 @@ const char* to_string(Level l) {
 RunResult run_simulation(const RunConfig& config) {
   const PropertySuite suite =
       config.design == Design::kDes56 ? des56_suite() : colorconv_suite();
+
+  // Pre-simulation static analysis. Uses its own pass manager, so it leaves
+  // the simulated configuration (and its reports) untouched.
+  RunResult analyzed;
+  if (config.analysis != AnalysisMode::kOff && abv_enabled(config)) {
+    if (!run_analysis(config, suite, analyzed)) {
+      return analyzed;  // kError: diagnostics block the simulation
+    }
+  }
+
+  RunResult result;
   switch (config.design) {
     case Design::kDes56:
       switch (config.level) {
-        case Level::kRtl: return run_des56_rtl(config, suite);
-        case Level::kTlmCa: return run_des56_tlm_ca(config, suite);
-        case Level::kTlmAt: return run_des56_tlm_at(config, suite);
+        case Level::kRtl: result = run_des56_rtl(config, suite); break;
+        case Level::kTlmCa: result = run_des56_tlm_ca(config, suite); break;
+        case Level::kTlmAt: result = run_des56_tlm_at(config, suite); break;
       }
       break;
     case Design::kColorConv:
       switch (config.level) {
-        case Level::kRtl: return run_colorconv_rtl(config, suite);
-        case Level::kTlmCa: return run_colorconv_tlm_ca(config, suite);
-        case Level::kTlmAt: return run_colorconv_tlm_at(config, suite);
+        case Level::kRtl: result = run_colorconv_rtl(config, suite); break;
+        case Level::kTlmCa: result = run_colorconv_tlm_ca(config, suite); break;
+        case Level::kTlmAt: result = run_colorconv_tlm_at(config, suite); break;
       }
       break;
   }
-  assert(false && "unreachable");
-  return {};
+  result.analysis_diagnostics = std::move(analyzed.analysis_diagnostics);
+  result.analysis_ok = analyzed.analysis_ok;
+  return result;
 }
 
 }  // namespace repro::models

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "abv/report.h"
+#include "analysis/diagnostic.h"
 #include "psl/ast.h"
 #include "rewrite/methodology.h"
 #include "sim/kernel.h"
@@ -22,6 +23,21 @@ enum class Level { kRtl, kTlmCa, kTlmAt };
 
 const char* to_string(Design d);
 const char* to_string(Level l);
+
+// Static property analysis (analysis::Driver) ahead of the simulation:
+//   kOff    skip entirely (default; legacy behavior),
+//   kOn     run and attach diagnostics to the result, always simulate,
+//   kError  run and abort before simulating when any error-severity
+//           diagnostic fires (the --Werror-analysis mode).
+// The analysis never mutates the simulated configuration: for clean
+// properties the simulation report is byte-identical with analysis on/off.
+enum class AnalysisMode { kOff, kOn, kError };
+
+// Observable names the verification environment of (design, level) exposes
+// to checkers — the binding target of the analysis env-binding pass. Matches
+// the signal bags / transaction snapshots built by run_simulation, including
+// the testbench-added statics (monitor_en, ColorConv RTL's sof).
+std::vector<std::string> level_observables(Design d, Level l);
 
 struct RunConfig {
   Design design = Design::kDes56;
@@ -62,6 +78,8 @@ struct RunConfig {
   // transactions as if they were clock events (the naive reuse the paper
   // argues against in Sec. III-A).
   bool at_replay_unabstracted = false;
+  // Pre-simulation static property analysis (see AnalysisMode).
+  AnalysisMode analysis = AnalysisMode::kOff;
 };
 
 struct RunResult {
@@ -79,6 +97,11 @@ struct RunResult {
   support::MetricsSnapshot metrics;
   bool functional_ok = false;
   bool properties_ok = false;  // true also when checkers == 0
+  // Diagnostics from the pre-simulation analysis (empty when analysis is
+  // off). analysis_ok is false iff an error-severity diagnostic fired; with
+  // AnalysisMode::kError that also means the simulation did not run.
+  std::vector<analysis::Diagnostic> analysis_diagnostics;
+  bool analysis_ok = true;
 };
 
 // Runs one configuration to completion.

@@ -348,7 +348,8 @@ Result<TlmProperty> parse_tlm_property(std::string_view input) {
   return TlmProperty{p.name, p.formula, TransactionContext{p.context.guard}};
 }
 
-Result<std::vector<RtlProperty>> parse_rtl_property_file(std::string_view input) {
+Result<std::vector<RtlProperty>> parse_rtl_property_file(
+    std::string_view input, std::vector<int>* offsets) {
   std::vector<RtlProperty> out;
   auto tokens = tokenize(input);
   if (!tokens.ok()) return tokens.error();
@@ -356,6 +357,7 @@ Result<std::vector<RtlProperty>> parse_rtl_property_file(std::string_view input)
   while (!parser.at_end()) {
     // Skip stray separators.
     if (parser.accept(TokenKind::kSemicolon)) continue;
+    const int start = static_cast<int>(parser.peek().position);
     auto parsed = parse_one(parser);
     if (!parsed.ok()) return parsed.error();
     if (parsed.value().is_tlm) {
@@ -363,6 +365,7 @@ Result<std::vector<RtlProperty>> parse_rtl_property_file(std::string_view input)
     }
     out.push_back(RtlProperty{parsed.value().name, parsed.value().formula,
                               parsed.value().context});
+    if (offsets != nullptr) offsets->push_back(start);
     if (!parser.accept(TokenKind::kSemicolon) && !parser.at_end()) {
       return Error{"expected ';' between properties", parser.peek().position};
     }

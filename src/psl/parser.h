@@ -45,7 +45,11 @@ Result<TlmProperty> parse_tlm_property(std::string_view input);
 
 // Parses a whole property file: properties separated by ';' or newlines,
 // each `name: formula @context`. Blank lines and comments are skipped.
-Result<std::vector<RtlProperty>> parse_rtl_property_file(std::string_view input);
+// `offsets`, when non-null, receives the byte offset of each property's
+// first token in `input` (parallel to the returned vector) — source spans
+// for diagnostics.
+Result<std::vector<RtlProperty>> parse_rtl_property_file(
+    std::string_view input, std::vector<int>* offsets = nullptr);
 
 }  // namespace repro::psl
 

@@ -14,45 +14,41 @@ bool is_boolean_or_next_chain(const ExprPtr& e) {
   return false;
 }
 
-void check(const ExprPtr& e, std::vector<std::string>& out) {
+void check(const ExprPtr& e, std::vector<SubsetViolation>& out) {
   if (!e) return;
   switch (e->kind) {
     case ExprKind::kNot:
       if (!is_boolean(e->lhs)) {
-        out.push_back("negation applied to non-boolean operand: " + to_string(e));
+        out.push_back({SubsetRule::kNegationNonBoolean, to_string(e)});
       }
       check(e->lhs, out);
       break;
     case ExprKind::kImplies:
       if (!is_boolean(e->lhs)) {
-        out.push_back("left operand of '->' is not boolean: " + to_string(e));
+        out.push_back({SubsetRule::kImplicationLhsNonBoolean, to_string(e)});
       }
       check(e->lhs, out);
       check(e->rhs, out);
       break;
     case ExprKind::kOr:
       if (!is_boolean(e->lhs) && !is_boolean(e->rhs)) {
-        out.push_back("both operands of '||' are non-boolean: " + to_string(e));
+        out.push_back({SubsetRule::kOrBothNonBoolean, to_string(e)});
       }
       check(e->lhs, out);
       check(e->rhs, out);
       break;
     case ExprKind::kUntil:
     case ExprKind::kRelease:
-      if (!is_boolean_or_next_chain(e->lhs)) {
-        out.push_back("left operand of until/release is not boolean: " +
-                      to_string(e));
-      }
-      if (!is_boolean_or_next_chain(e->rhs)) {
-        out.push_back("right operand of until/release is not boolean: " +
-                      to_string(e));
+      if (!is_boolean_or_next_chain(e->lhs) ||
+          !is_boolean_or_next_chain(e->rhs)) {
+        out.push_back({SubsetRule::kUntilOperandNonBoolean, to_string(e)});
       }
       check(e->lhs, out);
       check(e->rhs, out);
       break;
     case ExprKind::kAbort:
       if (!is_boolean(e->rhs)) {
-        out.push_back("abort condition is not boolean: " + to_string(e));
+        out.push_back({SubsetRule::kAbortConditionNonBoolean, to_string(e)});
       }
       check(e->lhs, out);
       break;
@@ -65,14 +61,38 @@ void check(const ExprPtr& e, std::vector<std::string>& out) {
 
 }  // namespace
 
-std::vector<std::string> simple_subset_violations(const ExprPtr& e) {
-  std::vector<std::string> out;
+const char* describe(SubsetRule rule) {
+  switch (rule) {
+    case SubsetRule::kNegationNonBoolean:
+      return "negation applied to non-boolean operand";
+    case SubsetRule::kImplicationLhsNonBoolean:
+      return "left operand of '->' is not boolean";
+    case SubsetRule::kOrBothNonBoolean:
+      return "both operands of '||' are non-boolean";
+    case SubsetRule::kUntilOperandNonBoolean:
+      return "operand of until/release is not boolean or a next chain";
+    case SubsetRule::kAbortConditionNonBoolean:
+      return "abort condition is not boolean";
+  }
+  return "?";
+}
+
+std::vector<SubsetViolation> check_simple_subset(const ExprPtr& e) {
+  std::vector<SubsetViolation> out;
   check(e, out);
   return out;
 }
 
+std::vector<std::string> simple_subset_violations(const ExprPtr& e) {
+  std::vector<std::string> out;
+  for (const SubsetViolation& v : check_simple_subset(e)) {
+    out.push_back(std::string(describe(v.rule)) + ": " + v.subformula);
+  }
+  return out;
+}
+
 bool in_simple_subset(const ExprPtr& e) {
-  return simple_subset_violations(e).empty();
+  return check_simple_subset(e).empty();
 }
 
 }  // namespace repro::psl

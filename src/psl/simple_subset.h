@@ -9,7 +9,12 @@
 //   3. at most one operand of `||` is non-boolean;
 //   4. the operands of `until`/`release` are boolean or a next/next_e chain
 //      ending in a boolean (the forms produced by push_ahead_next);
-//   5. `always`/`eventually!` bodies are themselves simple-subset.
+//   5. the abort condition of `abort` is boolean;
+//   6. `always`/`eventually!` bodies are themselves simple-subset.
+//
+// Violations are reported structurally (rule + offending subformula) so the
+// analysis layer can attach stable diagnostic codes; the string API remains
+// as a convenience for report notes.
 #ifndef REPRO_PSL_SIMPLE_SUBSET_H_
 #define REPRO_PSL_SIMPLE_SUBSET_H_
 
@@ -20,8 +25,31 @@
 
 namespace repro::psl {
 
-// Returns the list of violations (empty means the property is in the
-// simple subset). Each entry pinpoints the offending subformula.
+// One simple-subset rule per enforced restriction; the analysis layer maps
+// these 1:1 onto the PSL001..PSL005 diagnostic codes.
+enum class SubsetRule {
+  kNegationNonBoolean,        // negation applied to a non-boolean operand
+  kImplicationLhsNonBoolean,  // left operand of '->' is not boolean
+  kOrBothNonBoolean,          // both operands of '||' are non-boolean
+  kUntilOperandNonBoolean,    // until/release operand not boolean/next chain
+  kAbortConditionNonBoolean,  // abort condition is not boolean
+};
+
+// Human-readable description of the rule ("negation applied to non-boolean
+// operand", ...).
+const char* describe(SubsetRule rule);
+
+struct SubsetViolation {
+  SubsetRule rule;
+  // Printed offending subformula.
+  std::string subformula;
+};
+
+// Returns all violations, in pre-order position of the offending subformula.
+// Empty means the property is in the simple subset.
+std::vector<SubsetViolation> check_simple_subset(const ExprPtr& e);
+
+// Legacy string form: "description: subformula" per violation.
 std::vector<std::string> simple_subset_violations(const ExprPtr& e);
 
 // Convenience wrapper.

@@ -1,0 +1,280 @@
+// Tests for the static property-analysis layer: diagnostic codes on seeded
+// defective properties, the BDD boolean layer, the Thm. III.2 consequence
+// audit against the syntactic classification of both built-in suites, and
+// the no-perturbation guarantee (analysis on/off yields byte-identical
+// simulation reports).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/driver.h"
+#include "models/properties.h"
+#include "models/testbench.h"
+#include "psl/parser.h"
+#include "support/json.h"
+
+namespace repro::analysis {
+namespace {
+
+psl::RtlProperty rtl(const std::string& text) {
+  auto result = psl::parse_rtl_property(text);
+  EXPECT_TRUE(result.ok()) << text;
+  return result.value();
+}
+
+bool has_code(const std::vector<Diagnostic>& diagnostics,
+              const std::string& code) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+// Ad-hoc options: 10 ns clock, ds/rdy observable, nothing abstracted.
+AnalysisOptions adhoc() {
+  AnalysisOptions options;
+  options.abstraction.clock_period_ns = 10;
+  options.rtl_observables = {"ds", "rdy"};
+  return options;
+}
+
+// ---- Seeded defects -> exact diagnostic codes -------------------------------
+
+TEST(Analysis, FlagsNonSimpleSubsetProperty) {
+  Driver driver(adhoc());
+  const PropertyAnalysis& r =
+      driver.analyze(rtl("bad: always (!next(ds) || rdy) @clk_pos"));
+  EXPECT_TRUE(has_code(r.diagnostics, "PSL001"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(driver.ok());
+}
+
+TEST(Analysis, FlagsStaticallyVacuousImplication) {
+  Driver driver(adhoc());
+  const PropertyAnalysis& r =
+      driver.analyze(rtl("v: always (ds && !ds -> next[2](rdy)) @clk_pos"));
+  EXPECT_TRUE(has_code(r.diagnostics, "SEM003"));
+  EXPECT_TRUE(r.ok());  // warning, not error
+}
+
+TEST(Analysis, FlagsTautologyAndContradiction) {
+  Driver driver(adhoc());
+  const PropertyAnalysis& taut =
+      driver.analyze(rtl("t: always (!ds || rdy || !rdy) @clk_pos"));
+  EXPECT_TRUE(has_code(taut.diagnostics, "SEM001"));
+  const PropertyAnalysis& contra =
+      driver.analyze(rtl("c: always (!ds || next(rdy && !rdy)) @clk_pos"));
+  EXPECT_TRUE(has_code(contra.diagnostics, "SEM002"));
+}
+
+TEST(Analysis, FlagsAtomOverMissingObservable) {
+  Driver driver(adhoc());
+  const PropertyAnalysis& r =
+      driver.analyze(rtl("e: always (!ds || next[17](bogus_sig)) @clk_pos"));
+  EXPECT_TRUE(has_code(r.diagnostics, "ENV001"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Analysis, FlagsGuardOverMissingObservable) {
+  Driver driver(adhoc());
+  const PropertyAnalysis& r =
+      driver.analyze(rtl("g: always (!ds || rdy) @clk_pos && bogus_en"));
+  EXPECT_TRUE(has_code(r.diagnostics, "ENV002"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Analysis, FlagsWindowNotMultipleOfClockPeriod) {
+  Driver driver(adhoc());
+  const PropertyAnalysis& r =
+      driver.analyze(rtl("s: always (!ds || next_e[1,175](rdy)) @clk_pos"));
+  EXPECT_TRUE(has_code(r.diagnostics, "SIZ001"));
+  // The sizing record carries the rounded-up lifetime (ceil(175/10) = 18).
+  EXPECT_TRUE(r.lifetime.bounded);
+  EXPECT_EQ(r.lifetime.instants, 18u);
+  EXPECT_EQ(r.windows_ns, std::vector<psl::TimeNs>{175});
+}
+
+TEST(Analysis, AtomCapSkipsBooleanAnalysisExplicitly) {
+  AnalysisOptions options = adhoc();
+  options.atom_cap = 3;
+  Driver driver(options);
+  const PropertyAnalysis& r = driver.analyze(
+      rtl("x: always (a && b && c && d -> rdy) @clk_pos"));
+  EXPECT_TRUE(has_code(r.diagnostics, "SEM005"));
+  EXPECT_FALSE(has_code(r.diagnostics, "SEM003"));
+}
+
+// ---- Boolean layer ----------------------------------------------------------
+
+TEST(Analysis, BddAnswersTautologyContradictionImplication) {
+  psl::ExprTable table;
+  BoolAnalyzer ba(table);
+  auto id = [&](const char* text) {
+    auto parsed = psl::parse_expr(text);
+    EXPECT_TRUE(parsed.ok()) << text;
+    return table.intern(parsed.value());
+  };
+  EXPECT_EQ(ba.tautology(id("a || !a")), BoolAnalyzer::Answer::kYes);
+  EXPECT_EQ(ba.tautology(id("a || b")), BoolAnalyzer::Answer::kNo);
+  EXPECT_EQ(ba.contradiction(id("a && !a")), BoolAnalyzer::Answer::kYes);
+  EXPECT_EQ(ba.implies(id("a && b"), id("a")), BoolAnalyzer::Answer::kYes);
+  EXPECT_EQ(ba.implies(id("a"), id("a && b")), BoolAnalyzer::Answer::kNo);
+  // Same atom name interns to the same BDD variable across formulas.
+  EXPECT_EQ(ba.implies(id("a"), id("a || c")), BoolAnalyzer::Answer::kYes);
+}
+
+TEST(Analysis, BddCapsAtConfiguredAtomCount) {
+  psl::ExprTable table;
+  BoolAnalyzer ba(table, /*atom_cap=*/2);
+  auto parsed = psl::parse_expr("a && b && c");
+  ASSERT_TRUE(parsed.ok());
+  const psl::ExprId id = table.intern(parsed.value());
+  EXPECT_EQ(ba.distinct_atoms(id), 3u);
+  EXPECT_EQ(ba.tautology(id), BoolAnalyzer::Answer::kCapped);
+  EXPECT_EQ(ba.contradiction(id), BoolAnalyzer::Answer::kCapped);
+}
+
+TEST(Analysis, ProveConsequenceStructuralRules) {
+  psl::ExprTable table;
+  BoolAnalyzer ba(table);
+  auto id = [&](const char* text) {
+    auto parsed = psl::parse_expr(text);
+    EXPECT_TRUE(parsed.ok()) << text;
+    return table.intern(parsed.value());
+  };
+  // Conjunction elimination under always/next (the Fig. 4 deletion shape).
+  EXPECT_EQ(prove_consequence(table, id("always (next(a) && next(b))"),
+                              id("always (next(a))"), ba),
+            Entailment::kProved);
+  // Disjunction introduction.
+  EXPECT_EQ(prove_consequence(table, id("a"), id("a || next(b)"), ba),
+            Entailment::kProved);
+  // Strong until entails its weak form, not vice versa.
+  EXPECT_EQ(prove_consequence(table, id("a until! b"), id("a until b"), ba),
+            Entailment::kProved);
+  EXPECT_EQ(prove_consequence(table, id("a until b"), id("a until! b"), ba),
+            Entailment::kUnknown);
+  // No rule proves strengthening.
+  EXPECT_EQ(prove_consequence(table, id("a || b"), id("a"), ba),
+            Entailment::kUnknown);
+}
+
+// ---- Consequence audit over the built-in suites -----------------------------
+
+TEST(Analysis, AuditConfirmsSyntacticClassificationOnBothSuites) {
+  struct Case {
+    models::PropertySuite suite;
+    models::Design design;
+  };
+  const Case cases[] = {
+      {models::des56_suite(), models::Design::kDes56},
+      {models::colorconv_suite(), models::Design::kColorConv},
+  };
+  for (const Case& c : cases) {
+    AnalysisOptions options;
+    options.abstraction.clock_period_ns = c.suite.clock_period_ns;
+    options.abstraction.abstracted_signals = c.suite.abstracted_signals;
+    options.rtl_observables =
+        models::level_observables(c.design, models::Level::kRtl);
+    options.tlm_observables =
+        models::level_observables(c.design, models::Level::kTlmAt);
+    Driver driver(options);
+    for (const psl::RtlProperty& p : c.suite.properties) {
+      const PropertyAnalysis& r = driver.analyze(p);
+      EXPECT_EQ(r.audit, AuditStatus::kConfirmed)
+          << c.suite.design << " " << p.name;
+      EXPECT_FALSE(has_code(r.diagnostics, "AUD002")) << p.name;
+      EXPECT_TRUE(r.ok()) << p.name;
+    }
+    const DiagnosticCounts counts = driver.counts();
+    EXPECT_EQ(counts.errors, 0u) << c.suite.design;
+    EXPECT_EQ(counts.warnings, 0u) << c.suite.design;
+    EXPECT_TRUE(driver.ok());
+  }
+}
+
+// ---- Reports ----------------------------------------------------------------
+
+TEST(Analysis, DriverJsonReportParses) {
+  Driver driver(adhoc());
+  driver.analyze(rtl("bad: always (!next(ds) || bogus) @clk_pos"));
+  Diagnostic parse_error;
+  parse_error.code = "PSL000";
+  parse_error.severity = Severity::kError;
+  parse_error.check = "parse";
+  parse_error.message = "unexpected token";
+  parse_error.span = {4, 1};
+  driver.add_diagnostic(parse_error);
+
+  std::ostringstream os;
+  driver.write_json(os);
+  std::string error;
+  auto doc = support::json::parse(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("schema_version")->number, 1);
+  const support::json::Value* properties = doc->find("properties");
+  ASSERT_NE(properties, nullptr);
+  ASSERT_EQ(properties->array.size(), 1u);
+  EXPECT_EQ(properties->array[0].find("name")->string, "bad");
+  EXPECT_EQ(doc->find("diagnostics")->array.size(), 1u);
+  EXPECT_GT(doc->find("totals")->find("errors")->number, 0);
+}
+
+// ---- Testbench integration --------------------------------------------------
+
+TEST(Analysis, ErrorModeBlocksSimulation) {
+  models::RunConfig config;
+  config.design = models::Design::kDes56;
+  config.level = models::Level::kTlmAt;
+  config.workload = 20;
+  config.analysis = models::AnalysisMode::kError;
+  config.extra_properties.push_back(
+      rtl("bad: always (!ds || no_such_signal) @clk_pos"));
+  const models::RunResult result = models::run_simulation(config);
+  EXPECT_FALSE(result.analysis_ok);
+  EXPECT_TRUE(has_code(result.analysis_diagnostics, "ENV001"));
+  // The simulation never ran.
+  EXPECT_EQ(result.ops_completed, 0u);
+  EXPECT_TRUE(result.report.properties().empty());
+}
+
+TEST(Analysis, OnModeAttachesDiagnosticsAndStillSimulates) {
+  models::RunConfig config;
+  config.design = models::Design::kDes56;
+  config.level = models::Level::kTlmAt;
+  config.workload = 20;
+  config.checkers = 3;
+  config.analysis = models::AnalysisMode::kOn;
+  const models::RunResult result = models::run_simulation(config);
+  EXPECT_TRUE(result.analysis_ok);
+  EXPECT_FALSE(result.analysis_diagnostics.empty());  // AUD/SIZ notes
+  EXPECT_TRUE(result.functional_ok);
+  EXPECT_TRUE(result.properties_ok);
+}
+
+TEST(Analysis, ReportsByteIdenticalWithAnalysisOnAndOff) {
+  for (const size_t jobs : {size_t{1}, size_t{4}}) {
+    models::RunConfig config;
+    config.design = models::Design::kDes56;
+    config.level = models::Level::kTlmAt;
+    config.workload = 40;
+    config.checkers = 9;
+    config.jobs = jobs;
+
+    config.analysis = models::AnalysisMode::kOff;
+    const models::RunResult off = models::run_simulation(config);
+    config.analysis = models::AnalysisMode::kOn;
+    const models::RunResult on = models::run_simulation(config);
+
+    std::ostringstream off_json, on_json;
+    off.report.write_json(off_json);
+    on.report.write_json(on_json);
+    EXPECT_EQ(off_json.str(), on_json.str()) << "jobs=" << jobs;
+    EXPECT_TRUE(on.analysis_ok);
+  }
+}
+
+}  // namespace
+}  // namespace repro::analysis

@@ -44,6 +44,21 @@ TEST(Wrapper, LifetimeUsesLongestPath) {
   EXPECT_EQ(wrapper.lifetime(), 5u);
 }
 
+TEST(Wrapper, LifetimeRoundsUpNonMultipleWindows) {
+  // eps = 25 at a 10 ns clock: truncating division would size the pool at 2
+  // and miss the instant covering the final partial period; the lifetime
+  // must be ceil(25/10) = 3.
+  const psl::TlmProperty q = tlm("always (!ds || next_e[1,25](rdy)) @Tb");
+  TlmCheckerWrapper wrapper(q, /*clock_period_ns=*/10);
+  EXPECT_EQ(wrapper.lifetime(), 3u);
+  EXPECT_EQ(wrapper.stats().pool_capacity, 3u);
+
+  const LifetimeInfo info = compute_lifetime(q.formula, 10);
+  EXPECT_TRUE(info.bounded);
+  EXPECT_EQ(info.instants, 3u);
+  EXPECT_EQ(info.max_eps, 25u);
+}
+
 // ---- Sec. IV points 2-4: evaluation, reuse, activation ---------------------------------
 
 TEST(Wrapper, PassingScenarioQ3) {

@@ -9,7 +9,7 @@
 //
 // Usage:
 //   abstract_prop [--suite des56|colorconv] [--period NS]
-//                 [--abstract SIGNAL]... [PROPERTY_TEXT]
+//                 [--abstract SIGNAL]... [--analyze] [PROPERTY_TEXT]
 //
 //   --suite NAME      abstract the named built-in suite (default: des56
 //                     when no PROPERTY_TEXT is given). The suite supplies
@@ -18,6 +18,8 @@
 //                     (default 10; ignored with --suite).
 //   --abstract SIG    mark SIGNAL as abstracted away at TLM (repeatable;
 //                     ignored with --suite).
+//   --analyze         also run the static analysis battery (psl_lint's
+//                     checks) and print its diagnostics per property.
 //   PROPERTY_TEXT     a single RTL property, e.g.
 //                     "p: always (!ds || next[3](rdy)) @clk_pos".
 #include <cstdio>
@@ -27,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/driver.h"
 #include "checker/program.h"
 #include "models/properties.h"
 #include "psl/parser.h"
@@ -40,8 +43,16 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--suite des56|colorconv] [--period NS]\n"
-               "          [--abstract SIGNAL]... [PROPERTY_TEXT]\n",
+               "          [--abstract SIGNAL]... [--analyze] [PROPERTY_TEXT]\n",
                argv0);
+}
+
+// Runs the static analysis battery on `p` and prints its diagnostics.
+void print_analysis(analysis::Driver& driver, const psl::RtlProperty& p) {
+  const analysis::PropertyAnalysis& record = driver.analyze(p);
+  for (const analysis::Diagnostic& d : record.diagnostics) {
+    std::printf("  %s\n", analysis::to_string(d).c_str());
+  }
 }
 
 void print_outcome(const psl::RtlProperty& p,
@@ -70,6 +81,7 @@ int main(int argc, char** argv) {
   psl::TimeNs period = 10;
   std::set<std::string> abstracted;
   std::string text;
+  bool analyze = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--suite") == 0 && i + 1 < argc) {
       suite_name = argv[++i];
@@ -77,6 +89,8 @@ int main(int argc, char** argv) {
       period = static_cast<psl::TimeNs>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--abstract") == 0 && i + 1 < argc) {
       abstracted.insert(argv[++i]);
+    } else if (std::strcmp(argv[i], "--analyze") == 0) {
+      analyze = true;
     } else if (argv[i][0] == '-') {
       usage(argv[0]);
       return 2;
@@ -104,6 +118,13 @@ int main(int argc, char** argv) {
     options.abstracted_signals = abstracted;
     const psl::RtlProperty p = std::move(parsed).take();
     print_outcome(p, rewrite::abstract_property(p, options));
+    if (analyze) {
+      analysis::AnalysisOptions aopts;
+      aopts.abstraction = options;
+      analysis::Driver driver(aopts);
+      std::printf("  analysis:\n");
+      print_analysis(driver, p);
+    }
     return 0;
   }
 
@@ -124,9 +145,16 @@ int main(int argc, char** argv) {
   options.abstracted_signals = suite.abstracted_signals;
   const std::vector<rewrite::AbstractionOutcome> outcomes =
       rewrite::abstract_suite(suite.properties, options);
+  analysis::AnalysisOptions aopts;
+  aopts.abstraction = options;
+  analysis::Driver driver(aopts);
   for (size_t i = 0; i < suite.properties.size(); ++i) {
     if (i != 0) std::printf("\n");
     print_outcome(suite.properties[i], outcomes[i]);
+    if (analyze) {
+      std::printf("  analysis:\n");
+      print_analysis(driver, suite.properties[i]);
+    }
   }
   return 0;
 }

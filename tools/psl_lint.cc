@@ -1,0 +1,217 @@
+// psl_lint: static property linter over the analysis::Driver battery.
+//
+// Lints the built-in property suites, ad-hoc property text, or property
+// files through every static check — simple-subset conformance, boolean-layer
+// semantics, the Thm. III.2 consequence audit, environment binding and
+// checker sizing — and prints compiler-style diagnostics (or the
+// schema_version'd JSON report).
+//
+// Usage:
+//   psl_lint [--suite des56|colorconv]... [--period NS] [--abstract SIG]...
+//            [--observable NAME]... [--text PROPERTY]... [--json]
+//            [--Werror] [FILE...]
+//
+//   --suite NAME      lint a built-in suite with its own clock period,
+//                     abstracted signals and per-level observables
+//                     (repeatable; default when nothing else is given: both)
+//   --period NS       clock period for ad-hoc input (default 10)
+//   --abstract SIG    abstracted signal for ad-hoc input (repeatable)
+//   --observable NAME RTL observable for ad-hoc env binding (repeatable;
+//                     none given skips the env-binding pass)
+//   --text PROP       lint one property given on the command line
+//                     (repeatable), e.g. "p: always (!ds || next[3](rdy))"
+//   FILE              lint a property file (name: formula @ctx; per line)
+//   --json            machine-readable report instead of text
+//   --Werror          exit non-zero on warnings too (--Werror-analysis is
+//                     accepted as an alias, matching the example binaries)
+//
+// Exit status: 0 clean, 1 diagnostics at the failing severity, 2 usage or
+// I/O error. Parse failures are reported as PSL000 error diagnostics.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/driver.h"
+#include "models/properties.h"
+#include "models/testbench.h"
+#include "psl/parser.h"
+
+using namespace repro;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--suite des56|colorconv]... [--period NS]\n"
+      "          [--abstract SIG]... [--observable NAME]...\n"
+      "          [--text PROPERTY]... [--json] [--Werror] [FILE...]\n",
+      argv0);
+}
+
+analysis::Diagnostic parse_diagnostic(const std::string& unit,
+                                      const Error& error) {
+  analysis::Diagnostic d;
+  d.code = "PSL000";
+  d.severity = analysis::Severity::kError;
+  d.property = unit;
+  d.check = "parse";
+  d.message = error.message;
+  if (error.position >= 0) d.span = {error.position, 1};
+  return d;
+}
+
+struct LintUnit {
+  std::string name;  // suite name, file path, or "<text>"
+  analysis::AnalysisOptions options;
+  std::vector<psl::RtlProperty> properties;
+  std::vector<analysis::SourceSpan> spans;  // parallel to properties
+  std::vector<analysis::Diagnostic> parse_errors;
+};
+
+LintUnit suite_unit(const std::string& name, const models::PropertySuite& s,
+                    models::Design design) {
+  LintUnit unit;
+  unit.name = name;
+  unit.options.abstraction.clock_period_ns = s.clock_period_ns;
+  unit.options.abstraction.abstracted_signals = s.abstracted_signals;
+  unit.options.rtl_observables =
+      models::level_observables(design, models::Level::kRtl);
+  unit.options.tlm_observables =
+      models::level_observables(design, models::Level::kTlmAt);
+  unit.properties = s.properties;
+  unit.spans.resize(unit.properties.size());
+  return unit;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> suites;
+  std::vector<std::string> texts;
+  std::vector<std::string> files;
+  psl::TimeNs period = 10;
+  analysis::AnalysisOptions adhoc;
+  bool json = false;
+  bool werror = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--suite") == 0 && i + 1 < argc) {
+      suites.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--period") == 0 && i + 1 < argc) {
+      period = static_cast<psl::TimeNs>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--abstract") == 0 && i + 1 < argc) {
+      adhoc.abstraction.abstracted_signals.insert(argv[++i]);
+    } else if (std::strcmp(argv[i], "--observable") == 0 && i + 1 < argc) {
+      adhoc.rtl_observables.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--text") == 0 && i + 1 < argc) {
+      texts.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--Werror") == 0 ||
+               std::strcmp(argv[i], "--Werror-analysis") == 0) {
+      werror = true;
+    } else if (argv[i][0] == '-') {
+      usage(argv[0]);
+      return 2;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  adhoc.abstraction.clock_period_ns = period;
+  if (suites.empty() && texts.empty() && files.empty()) {
+    suites = {"des56", "colorconv"};
+  }
+
+  std::vector<LintUnit> units;
+  for (const std::string& name : suites) {
+    if (name == "des56") {
+      units.push_back(
+          suite_unit(name, models::des56_suite(), models::Design::kDes56));
+    } else if (name == "colorconv") {
+      units.push_back(suite_unit(name, models::colorconv_suite(),
+                                 models::Design::kColorConv));
+    } else {
+      std::fprintf(stderr, "unknown suite '%s' (expected des56 or colorconv)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+  for (const std::string& text : texts) {
+    LintUnit unit;
+    unit.name = "<text>";
+    unit.options = adhoc;
+    auto parsed = psl::parse_rtl_property(text);
+    if (parsed.ok()) {
+      unit.properties.push_back(std::move(parsed).take());
+      unit.spans.push_back({});
+    } else {
+      unit.parse_errors.push_back(parse_diagnostic(unit.name, parsed.error()));
+    }
+    units.push_back(std::move(unit));
+  }
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    LintUnit unit;
+    unit.name = path;
+    unit.options = adhoc;
+    std::vector<int> offsets;
+    auto parsed = psl::parse_rtl_property_file(buf.str(), &offsets);
+    if (parsed.ok()) {
+      unit.properties = std::move(parsed).take();
+      for (size_t i = 0; i < unit.properties.size(); ++i) {
+        unit.spans.push_back(
+            {i < offsets.size() ? offsets[i] : -1, 0});
+      }
+    } else {
+      unit.parse_errors.push_back(parse_diagnostic(unit.name, parsed.error()));
+    }
+    units.push_back(std::move(unit));
+  }
+
+  analysis::DiagnosticCounts totals;
+  if (json) std::cout << "{\"schema_version\":1,\"units\":[";
+  bool first_unit = true;
+  for (const LintUnit& unit : units) {
+    analysis::Driver driver(unit.options);
+    for (analysis::Diagnostic d : unit.parse_errors) {
+      driver.add_diagnostic(std::move(d));
+    }
+    for (size_t i = 0; i < unit.properties.size(); ++i) {
+      driver.analyze(unit.properties[i], unit.spans[i]);
+    }
+    if (json) {
+      if (!first_unit) std::cout << ",";
+      std::cout << "{\"unit\":\"" << unit.name << "\",\"report\":";
+      driver.write_json(std::cout);
+      std::cout << "}";
+    } else {
+      std::cout << "== " << unit.name << " ==\n";
+      driver.render_text(std::cout);
+    }
+    first_unit = false;
+    const analysis::DiagnosticCounts c = driver.counts();
+    totals.notes += c.notes;
+    totals.warnings += c.warnings;
+    totals.errors += c.errors;
+  }
+  if (json) {
+    std::cout << "],\"totals\":{\"notes\":" << totals.notes
+              << ",\"warnings\":" << totals.warnings
+              << ",\"errors\":" << totals.errors << "}}\n";
+  }
+
+  if (totals.errors > 0) return 1;
+  if (werror && totals.warnings > 0) return 1;
+  return 0;
+}
