@@ -30,8 +30,8 @@ models::RunResult run_at(const char* label, bench::BenchJson& json,
   config.level = Level::kTlmAt;
   config.workload = repro::bench::scaled(400);
   config.property_indices = std::move(indices);
-  config.push_mode = mode;
-  config.at_replay_unabstracted = naive;
+  config.abstraction.push_mode = mode;
+  config.abstraction.at_replay_unabstracted = naive;
   models::RunResult result = models::run_simulation(config);
   json.add(label, config, result.wall_seconds, result);
   return result;

@@ -47,7 +47,7 @@ RowFit fit(const std::vector<double>& secs) {
 
 std::vector<double> row(models::RunConfig config, size_t suite_size,
                         size_t jobs, bench::BenchJson& json) {
-  config.jobs = jobs;
+  config.engine.jobs = jobs;
   std::vector<double> secs;
   for (size_t n = 0; n <= suite_size; ++n) {
     config.checkers = n;

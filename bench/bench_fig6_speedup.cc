@@ -26,7 +26,7 @@ void speedups(Design design, size_t workload, size_t suite_size) {
   int row = 0;
   for (Level level : {Level::kRtl, Level::kTlmCa, Level::kTlmAt}) {
     config.level = level;
-    config.jobs = 1;
+    config.engine.jobs = 1;
     config.checkers = 0;
     const bench::Measurement base = bench::measure(config);
     json.add(std::string(models::to_string(level)) + " base", config, base);
@@ -39,7 +39,7 @@ void speedups(Design design, size_t workload, size_t suite_size) {
       secs[row][2] = with.seconds;  // the engine only runs at TLM
       ok = ok && base.functional_ok && with.functional_ok && with.properties_ok;
     } else {
-      config.jobs = jobs;
+      config.engine.jobs = jobs;
       const bench::Measurement sharded = bench::measure(config);
       json.add(std::string(models::to_string(level)) + " all C sharded", config,
                sharded);

@@ -63,11 +63,17 @@ void BenchJson::add(const std::string& label, const models::RunConfig& config,
       "\"functional_ok\": %s, \"properties_ok\": %s}",
       count_ == 0 ? "\n" : ",\n", label.c_str(),
       models::to_string(config.design), models::to_string(config.level),
-      config.checkers, config.jobs, config.workload, seconds,
+      config.checkers, config.engine.jobs, config.workload, seconds,
       static_cast<unsigned long long>(result.transactions),
       result.functional_ok ? "true" : "false",
       result.properties_ok ? "true" : "false");
   records_ += buf;
+  ++count_;
+}
+
+void BenchJson::add_raw(const std::string& json_object) {
+  if (!enabled_) return;
+  records_ += std::string(count_ == 0 ? "\n    " : ",\n    ") + json_object;
   ++count_;
 }
 

@@ -60,6 +60,10 @@ class BenchJson {
     add(label, config, m.seconds, m.result);
   }
 
+  // Appends one pre-rendered JSON object for harnesses whose records are not
+  // whole-simulation runs (micro-benchmarks measuring engine internals).
+  void add_raw(const std::string& json_object);
+
  private:
   std::string name_;
   std::string dir_;

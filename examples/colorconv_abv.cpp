@@ -9,8 +9,9 @@
 // the failure verdict carries a witness ring of the transactions leading up
 // to it.
 //
-// Usage: colorconv_abv [--jobs N] [--batch-size N] [--witness-depth N]
-//                      [--failure-log-cap N] [--trace-out FILE]
+// Usage: colorconv_abv [--jobs N] [--batch-size N] [--max-inflight N]
+//                      [--witness-depth N] [--failure-log-cap N]
+//                      [--trace-out FILE]
 //                      [--report-out FILE] [--dump-passes] [--interpreter]
 //   --dump-passes       print every rewrite-pipeline pass per property before
 //                       the runs.
@@ -91,8 +92,10 @@ bool buggy_model_is_caught() {
 int main(int argc, char** argv) {
   size_t jobs = 1;
   size_t batch_size = 64;
+  size_t max_inflight = 2;
   size_t witness_depth = 8;
   size_t failure_log_cap = 64;
+  bool batching_flags_used = false;
   std::string trace_out;
   std::string report_out;
   bool dump_passes = false;
@@ -108,6 +111,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--batch-size") == 0 && i + 1 < argc) {
       size_arg(batch_size);
       if (batch_size == 0) batch_size = 1;
+      batching_flags_used = true;
+    } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
+      size_arg(max_inflight);
+      if (max_inflight == 0) max_inflight = 1;
+      batching_flags_used = true;
     } else if (std::strcmp(argv[i], "--witness-depth") == 0 && i + 1 < argc) {
       size_arg(witness_depth);
     } else if (std::strcmp(argv[i], "--failure-log-cap") == 0 && i + 1 < argc) {
@@ -128,14 +136,21 @@ int main(int argc, char** argv) {
       analysis = models::AnalysisMode::kError;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--jobs N] [--batch-size N] [--witness-depth N]\n"
-                   "          [--failure-log-cap N] [--trace-out FILE] "
-                   "[--report-out FILE]\n"
+                   "usage: %s [--jobs N] [--batch-size N] [--max-inflight N]\n"
+                   "          [--witness-depth N] [--failure-log-cap N]\n"
+                   "          [--trace-out FILE] [--report-out FILE]\n"
                    "          [--dump-passes] [--interpreter]\n"
                    "          [--analyze] [--Werror-analysis]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (batching_flags_used && jobs == 1) {
+    // SIZ-style sizing note, mirroring the analysis layer's tone: the
+    // serial path evaluates records synchronously and never batches.
+    std::fprintf(stderr,
+                 "note: --batch-size/--max-inflight have no effect at "
+                 "--jobs 1 (serial engine path never batches)\n");
   }
 
   const models::PropertySuite suite = models::colorconv_suite();
@@ -162,10 +177,11 @@ int main(int argc, char** argv) {
   config.design = Design::kColorConv;
   config.workload = kPixels;
   config.checkers = suite.properties.size();
-  config.jobs = jobs;
-  config.batch_size = batch_size;
-  config.witness_depth = witness_depth;
-  config.failure_log_cap = failure_log_cap;
+  config.engine = {.jobs = jobs,
+                   .batch_size = batch_size,
+                   .max_inflight_batches = max_inflight};
+  config.observability.witness_depth = witness_depth;
+  config.observability.failure_log_cap = failure_log_cap;
   config.compiled_checkers = !interpreter;
   config.analysis = analysis;
 
@@ -173,7 +189,7 @@ int main(int argc, char** argv) {
   for (Level level : {Level::kRtl, Level::kTlmCa, Level::kTlmAt}) {
     config.level = level;
     // Observability outputs cover the TLM-AT run (the paper's target level).
-    config.trace_path = level == Level::kTlmAt ? trace_out : "";
+    config.observability.trace_path = level == Level::kTlmAt ? trace_out : "";
     const models::RunResult r = models::run_simulation(config);
     if (analysis != models::AnalysisMode::kOff &&
         !r.analysis_diagnostics.empty()) {

@@ -9,12 +9,17 @@
 // cycles later), to demonstrate the failure-witness ring buffer: each logged
 // violation carries the last transactions observed before the verdict.
 //
-// Usage: des56_abv [--jobs N] [--batch-size N] [--witness-depth N]
-//                  [--failure-log-cap N] [--trace-out FILE] [--report-out FILE]
+// Usage: des56_abv [--jobs N] [--batch-size N] [--max-inflight N]
+//                  [--witness-depth N] [--failure-log-cap N]
+//                  [--trace-out FILE] [--report-out FILE]
 //                  [--dump-passes] [--interpreter] [--no-witness-demo]
 //   --jobs N             shard the TLM checker suite across N worker threads
 //                        (default 1 = serial; results are identical for any N).
-//   --batch-size N       records per sharded dispatch (default 64).
+//   --batch-size N       records per sealed arena batch (default 64; ignored
+//                        at --jobs 1, which never batches).
+//   --max-inflight N     sealed-but-undrained batches before the producer
+//                        blocks (default 2 = double-buffered; 1 degenerates
+//                        to synchronous dispatch; ignored at --jobs 1).
 //   --witness-depth N    failure-witness ring depth per checker (default 8).
 //   --failure-log-cap N  max logged failures per checker (default 64).
 //   --trace-out FILE     write a Chrome trace-event JSON of the TLM-AT run
@@ -50,9 +55,9 @@ constexpr char kWitnessDemoName[] = "wdemo";
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--jobs N] [--batch-size N] [--witness-depth N]\n"
-               "          [--failure-log-cap N] [--trace-out FILE] "
-               "[--report-out FILE]\n"
+               "usage: %s [--jobs N] [--batch-size N] [--max-inflight N]\n"
+               "          [--witness-depth N] [--failure-log-cap N]\n"
+               "          [--trace-out FILE] [--report-out FILE]\n"
                "          [--dump-passes] [--interpreter] [--no-witness-demo]\n"
                "          [--analyze] [--Werror-analysis]\n",
                argv0);
@@ -81,8 +86,10 @@ bool report_analysis(const char* label, const models::RunConfig& config,
 int main(int argc, char** argv) {
   size_t jobs = 1;
   size_t batch_size = 64;
+  size_t max_inflight = 2;
   size_t witness_depth = 8;
   size_t failure_log_cap = 64;
+  bool batching_flags_used = false;
   std::string trace_out;
   std::string report_out;
   bool witness_demo = true;
@@ -99,6 +106,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--batch-size") == 0 && i + 1 < argc) {
       size_arg(batch_size);
       if (batch_size == 0) batch_size = 1;
+      batching_flags_used = true;
+    } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
+      size_arg(max_inflight);
+      if (max_inflight == 0) max_inflight = 1;
+      batching_flags_used = true;
     } else if (std::strcmp(argv[i], "--witness-depth") == 0 && i + 1 < argc) {
       size_arg(witness_depth);
     } else if (std::strcmp(argv[i], "--failure-log-cap") == 0 && i + 1 < argc) {
@@ -123,6 +135,14 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 2;
     }
+  }
+
+  if (batching_flags_used && jobs == 1) {
+    // SIZ-style sizing note, mirroring the analysis layer's tone: the
+    // serial path evaluates records synchronously and never batches.
+    std::fprintf(stderr,
+                 "note: --batch-size/--max-inflight have no effect at "
+                 "--jobs 1 (serial engine path never batches)\n");
   }
 
   const models::PropertySuite suite = models::des56_suite();
@@ -155,10 +175,11 @@ int main(int argc, char** argv) {
   config.design = Design::kDes56;
   config.workload = kOps;
   config.checkers = suite.properties.size();
-  config.jobs = jobs;
-  config.batch_size = batch_size;
-  config.witness_depth = witness_depth;
-  config.failure_log_cap = failure_log_cap;
+  config.engine = {.jobs = jobs,
+                   .batch_size = batch_size,
+                   .max_inflight_batches = max_inflight};
+  config.observability.witness_depth = witness_depth;
+  config.observability.failure_log_cap = failure_log_cap;
   config.compiled_checkers = !interpreter;
   config.analysis = analysis;
 
@@ -182,7 +203,7 @@ int main(int argc, char** argv) {
     config.extra_properties.push_back(std::move(parsed).take());
   }
   config.level = Level::kTlmAt;
-  config.trace_path = trace_out;
+  config.observability.trace_path = trace_out;
   const models::RunResult at = models::run_simulation(config);
   if (!report_analysis("TLM-AT", config, at)) return 1;
 

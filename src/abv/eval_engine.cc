@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <string>
+#include <utility>
 
-#include "abv/tlm_env.h"
+#include "abv/snapshot_context.h"
 
 namespace repro::abv {
 
@@ -18,27 +19,41 @@ uint64_t mono_ns() {
           .count());
 }
 
+EvalEngine::Options clamped(EvalEngine::Options options) {
+  options.config.jobs = std::max<size_t>(1, options.config.jobs);
+  options.config.batch_size = std::max<size_t>(1, options.config.batch_size);
+  options.config.max_inflight_batches =
+      std::max<size_t>(1, options.config.max_inflight_batches);
+  return options;
+}
+
 }  // namespace
 
 EvalEngine::EvalEngine(Options options)
-    : options_(options),
+    : options_(clamped(options)),
+      arena_(options_.config.batch_size),
       batch_ns_(support::exponential_bounds(1 << 10, 18))  // 1 us .. ~268 ms
 {
-  options_.jobs = std::max<size_t>(1, options_.jobs);
-  options_.batch_size = std::max<size_t>(1, options_.batch_size);
   if (options_.metrics != nullptr) {
     m_records_ = &options_.metrics->counter("engine.records");
     m_batches_ = &options_.metrics->counter("engine.batches");
     m_shard_records_ = &options_.metrics->counter("engine.shard_records");
     m_shard_busy_ns_ = &options_.metrics->counter("engine.shard_busy_ns");
+    m_backpressure_ns_ = &options_.metrics->counter("engine.backpressure_ns");
     m_queue_depth_ = &options_.metrics->gauge("engine.queue_depth");
+    m_inflight_peak_ = &options_.metrics->gauge("engine.inflight_peak");
+    // Arena accounting is published at finish(); registering the names up
+    // front keeps the snapshot key set identical across jobs values.
+    options_.metrics->counter("engine.arena_records");
+    options_.metrics->counter("engine.arena_segments");
+    options_.metrics->counter("engine.arena_recycled");
   }
   if (options_.trace != nullptr) {
-    options_.trace->name_thread(0, "dispatch");
+    options_.trace->name_thread(0, "producer");
   }
 }
 
-EvalEngine::~EvalEngine() = default;
+EvalEngine::~EvalEngine() { stop_workers(); }
 
 void EvalEngine::add(checker::TlmCheckerWrapper* wrapper) {
   // Serial mode evaluates on the dispatch lane; ensure_sharded() reassigns
@@ -51,12 +66,17 @@ void EvalEngine::add(checker::PropertyChecker* checker) {
   checkers_.push_back(checker);
 }
 
+uint64_t EvalEngine::tick() const {
+  return options_.trace != nullptr ? options_.trace->now_ns() : mono_ns();
+}
+
 void EvalEngine::ensure_sharded() {
   if (sharded_) return;
   sharded_ = true;
   const size_t units = wrappers_.size() + checkers_.size();
-  const size_t count = std::max<size_t>(1, std::min(options_.jobs, units));
-  shards_.resize(count);
+  const size_t count =
+      std::max<size_t>(1, std::min(options_.config.jobs, units));
+  for (size_t s = 0; s < count; ++s) shards_.emplace_back();
   // Round-robin in registration order balances heterogeneous property costs
   // across shards and is deterministic.
   for (size_t i = 0; i < wrappers_.size(); ++i) {
@@ -66,73 +86,145 @@ void EvalEngine::ensure_sharded() {
   for (size_t i = 0; i < checkers_.size(); ++i) {
     shards_[(wrappers_.size() + i) % count].checkers.push_back(checkers_[i]);
   }
-  shard_tasks_.reserve(count);
   for (size_t s = 0; s < count; ++s) {
-    Shard& shard = shards_[s];
     if (options_.trace != nullptr) {
       options_.trace->name_thread(static_cast<uint32_t>(s) + 1,
                                   "shard-" + std::to_string(s));
     }
-    shard_tasks_.push_back([this, &shard, s] {
-      const bool instrumented =
-          options_.trace != nullptr || m_shard_busy_ns_ != nullptr;
-      const uint64_t t0 = options_.trace != nullptr ? options_.trace->now_ns()
-                          : instrumented           ? mono_ns()
-                                                   : 0;
-      for (const tlm::TransactionRecord& record : batch_) {
-        const ObservablesContext ctx(record.observables);
-        for (checker::TlmCheckerWrapper* w : shard.wrappers) {
-          w->on_transaction(record.end, ctx);
-        }
-        for (checker::PropertyChecker* c : shard.checkers) {
-          c->on_event(record.end, ctx);
-        }
-      }
-      if (!instrumented) return;
-      const uint64_t t1 =
-          options_.trace != nullptr ? options_.trace->now_ns() : mono_ns();
-      const uint64_t busy = t1 > t0 ? t1 - t0 : 0;
-      if (m_shard_busy_ns_ != nullptr) m_shard_busy_ns_->add(s, busy);
-      if (m_shard_records_ != nullptr) m_shard_records_->add(s, batch_.size());
-      if (options_.trace != nullptr) {
-        options_.trace->span(static_cast<uint32_t>(s) + 1, "shard_batch", t0,
-                             busy, {{"records", batch_.size()}});
-      }
-    });
+    shards_[s].thread = std::thread([this, s] { shard_loop(s); });
   }
-  // The caller participates in every round, so jobs shards need jobs - 1
-  // pool workers.
-  pool_ = std::make_unique<support::ThreadPool>(count - 1);
-  batch_.reserve(options_.batch_size);
+  workers_running_ = true;
 }
 
-void EvalEngine::flush() {
-  if (batch_.empty()) return;
-  if (m_queue_depth_ != nullptr) m_queue_depth_->set(0, batch_.size());
+void EvalEngine::shard_loop(size_t s) {
+  Shard& shard = shards_[s];
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.cv.wait(lock, [&] { return shard.stop || !shard.queue.empty(); });
+      if (shard.queue.empty()) return;  // stop requested and fully drained
+      batch = shard.queue.front();
+      shard.queue.pop_front();
+    }
+    process_batch(shard, s, batch);
+  }
+}
+
+void EvalEngine::process_batch(Shard& shard, size_t s, Batch* batch) {
   const bool instrumented =
       options_.trace != nullptr || options_.metrics != nullptr;
-  const uint64_t t0 = options_.trace != nullptr ? options_.trace->now_ns()
-                      : instrumented           ? mono_ns()
-                                               : 0;
-  pool_->run_all(shard_tasks_);
-  if (instrumented) {
-    const uint64_t t1 =
-        options_.trace != nullptr ? options_.trace->now_ns() : mono_ns();
-    const uint64_t dur = t1 > t0 ? t1 - t0 : 0;
-    batch_ns_.record(dur);
-    if (m_batches_ != nullptr) m_batches_->add(0, 1);
-    if (options_.trace != nullptr) {
-      options_.trace->span(0, "batch_dispatch", t0, dur,
-                           {{"records", batch_.size()},
-                            {"shards", shards_.size()}});
+  const uint64_t t0 = instrumented ? tick() : 0;
+  for (const tlm::TransactionRecord& record : batch->span) {
+    const ObservablesContext ctx(record.observables);
+    for (checker::TlmCheckerWrapper* w : shard.wrappers) {
+      w->on_transaction(record.end, ctx);
+    }
+    for (checker::PropertyChecker* c : shard.checkers) {
+      c->on_event(record.end, ctx);
     }
   }
-  batch_.clear();
+  // Everything needed after release is copied out first: once this shard
+  // releases (and some shard is the last), the ticket and the arena segment
+  // may be recycled for a later batch.
+  const size_t records = batch->span.size();
+  const uint64_t seq = batch->seq;
+  const uint64_t seal_ns = batch->seal_ns;
+  if (instrumented) {
+    const uint64_t t1 = tick();
+    const uint64_t busy = t1 > t0 ? t1 - t0 : 0;
+    const size_t lane = s + 1;
+    if (m_shard_busy_ns_ != nullptr) m_shard_busy_ns_->add(lane, busy);
+    if (m_shard_records_ != nullptr) m_shard_records_->add(lane, records);
+    if (options_.trace != nullptr) {
+      options_.trace->span(static_cast<uint32_t>(s) + 1, "shard_batch", t0,
+                           busy, {{"records", records}, {"seq", seq}});
+    }
+  }
+  if (arena_.release(batch->span)) {
+    // Last reader: the batch is fully drained.
+    const uint64_t drained = instrumented ? tick() : 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (instrumented) batch_ns_.record(drained > seal_ns ? drained - seal_ns : 0);
+    free_tickets_.push_back(batch);
+    --inflight_;
+    drained_cv_.notify_all();
+  }
+}
+
+void EvalEngine::append_sharded(tlm::TransactionRecord&& record) {
+  ensure_sharded();
+  if (options_.trace != nullptr && arena_.pending() == 0) {
+    fill_start_ns_ = options_.trace->now_ns();
+  }
+  arena_.append(std::move(record));
+  if (arena_.pending() >= options_.config.batch_size) seal_and_dispatch();
+}
+
+void EvalEngine::seal_and_dispatch() {
+  const size_t records = arena_.pending();
+  if (records == 0) return;
+  // Backpressure: bound sealed-but-undrained batches.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (inflight_ >= options_.config.max_inflight_batches) {
+      const uint64_t w0 = tick();
+      drained_cv_.wait(lock, [&] {
+        return inflight_ < options_.config.max_inflight_batches;
+      });
+      if (m_backpressure_ns_ != nullptr) {
+        const uint64_t w1 = tick();
+        m_backpressure_ns_->add(0, w1 > w0 ? w1 - w0 : 0);
+      }
+    }
+  }
+  const RecordArena::Span span = arena_.seal(
+      static_cast<uint32_t>(shards_.size()));
+  Batch* batch = nullptr;
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_tickets_.empty()) {
+      batch = free_tickets_.back();
+      free_tickets_.pop_back();
+    } else {
+      tickets_.push_back(std::make_unique<Batch>());
+      batch = tickets_.back().get();
+    }
+    seq = next_seq_++;
+    ++inflight_;
+    inflight_peak_ = std::max(inflight_peak_, inflight_);
+    if (m_inflight_peak_ != nullptr) m_inflight_peak_->set(0, inflight_);
+  }
+  const uint64_t now = tick();
+  batch->span = span;
+  batch->seq = seq;
+  batch->seal_ns = now;
+  if (m_batches_ != nullptr) m_batches_->add(0, 1);
+  if (m_queue_depth_ != nullptr) m_queue_depth_->set(0, records);
+  if (options_.trace != nullptr) {
+    // One fill span per batch on the dispatch lane, first append -> seal.
+    // Fill periods are sequential on the producer, so these never overlap;
+    // a shard_batch span with the same seq always starts after the fill
+    // span ends (causality checked by tools/validate_trace.py).
+    options_.trace->span(0, "batch_fill", fill_start_ns_,
+                         now > fill_start_ns_ ? now - fill_start_ns_ : 0,
+                         {{"records", records},
+                          {"seq", seq},
+                          {"shards", shards_.size()}});
+  }
+  // The ticket fields written above happen-before every consumer via the
+  // shard queue mutexes.
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.queue.push_back(batch);
+    shard.cv.notify_one();
+  }
 }
 
 void EvalEngine::on_record(const tlm::TransactionRecord& record) {
   if (m_records_ != nullptr) m_records_->add(0, 1);
-  if (options_.jobs == 1) {
+  if (options_.config.jobs == 1) {
     // Exact historical serial path: evaluate synchronously, no buffering.
     const ObservablesContext ctx(record.observables);
     for (checker::TlmCheckerWrapper* w : wrappers_) {
@@ -141,14 +233,50 @@ void EvalEngine::on_record(const tlm::TransactionRecord& record) {
     for (checker::PropertyChecker* c : checkers_) c->on_event(record.end, ctx);
     return;
   }
-  ensure_sharded();
-  batch_.push_back(record);
-  if (batch_.size() >= options_.batch_size) flush();
+  append_sharded(tlm::TransactionRecord(record));  // the one per-record copy
+}
+
+void EvalEngine::on_record(tlm::TransactionRecord&& record) {
+  if (options_.config.jobs != 1) {
+    if (m_records_ != nullptr) m_records_->add(0, 1);
+    append_sharded(std::move(record));  // zero-copy ingest
+    return;
+  }
+  on_record(static_cast<const tlm::TransactionRecord&>(record));
+}
+
+void EvalEngine::on_records(const tlm::TransactionRecord* begin,
+                            const tlm::TransactionRecord* end) {
+  for (const tlm::TransactionRecord* r = begin; r != end; ++r) on_record(*r);
+}
+
+void EvalEngine::stop_workers() {
+  if (!workers_running_) return;
+  workers_running_ = false;
+  for (Shard& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.stop = true;
+    }
+    shard.cv.notify_all();
+  }
+  // Workers drain their queues before exiting, so joining here never
+  // abandons a sealed batch.
+  for (Shard& shard : shards_) {
+    if (shard.thread.joinable()) shard.thread.join();
+  }
 }
 
 void EvalEngine::publish_metrics() {
   if (options_.metrics == nullptr) return;
   options_.metrics->merge_histogram("engine.batch_ns", batch_ns_);
+  const RecordArena::Stats arena = arena_.stats();
+  options_.metrics->counter("engine.arena_records").add(0, arena.records);
+  options_.metrics->counter("engine.arena_segments")
+      .add(0, arena.segments_allocated);
+  options_.metrics->counter("engine.arena_recycled")
+      .add(0, arena.segments_recycled);
+  if (m_inflight_peak_ != nullptr) m_inflight_peak_->set(0, inflight_peak_);
   support::MetricsRegistry::Gauge& pool_hw =
       options_.metrics->gauge("wrapper.pool_capacity");
   support::MetricsRegistry::Gauge& table_peak =
@@ -172,7 +300,14 @@ void EvalEngine::publish_metrics() {
 }
 
 void EvalEngine::finish() {
-  if (sharded_) flush();
+  if (sharded_) {
+    seal_and_dispatch();  // partial tail; no-op when empty (0-record flush)
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      drained_cv_.wait(lock, [&] { return inflight_ == 0; });
+    }
+    stop_workers();
+  }
   const uint64_t t0 = options_.trace != nullptr ? options_.trace->now_ns() : 0;
   for (checker::TlmCheckerWrapper* w : wrappers_) w->finish();
   for (checker::PropertyChecker* c : checkers_) c->finish();

@@ -1,36 +1,55 @@
-// Sharded, batched evaluation engine for the TLM ABV runtime.
+// Sharded, pipelined evaluation engine for the TLM ABV runtime.
 //
 // The serial runtime walks every wrapper and checker at every transaction
 // end, so checking time grows linearly with the property count. The engine
 // removes that bottleneck for large suites: wrappers/checkers are
 // partitioned round-robin into per-worker shards, incoming transaction
-// records are buffered into batches, and each batch is dispatched to all
-// shards concurrently on a fixed thread pool.
+// records are appended once into a shared support::BatchArena, and sealed
+// batches are dispatched by span — every shard reads the same immutable
+// slab, eliminating the O(jobs) per-record fan-out copy.
+//
+// Dispatch is pipelined: each shard owns a worker thread with a FIFO batch
+// queue, so the producer seals a full segment and immediately starts
+// filling the next one while the shards drain the sealed one. The
+// `max_inflight_batches` knob bounds sealed-but-undrained batches; at the
+// bound the producer blocks (backpressure) until a batch fully drains.
 //
 // Correctness model:
-//   - Each wrapper/checker is owned by exactly one shard, and a shard's
-//     batch task is a single unit of work, so no locking is needed inside
-//     on_transaction/on_event.
-//   - Every shard iterates the batch in arrival order, so each property
-//     observes the exact event stream of the serial engine; per-property
-//     stats, verdicts and failure logs are therefore identical for any
-//     `jobs` value.
-//   - `jobs = 1` bypasses batching entirely and dispatches records
-//     synchronously, which is bit-identical to the historical serial path.
-//   - finish() flushes the pending batch, then retires properties serially
-//     in registration order, so the merged Report is deterministic.
+//   - Each wrapper/checker is owned by exactly one shard, and shard queues
+//     are FIFO, so every property observes the exact event stream of the
+//     serial engine in arrival order; per-property stats, verdicts and
+//     failure logs are therefore identical for any `jobs` or
+//     `max_inflight_batches` value.
+//   - Shard FIFOs also imply in-order drain completion per shard, so the
+//     undrained batches always form a contiguous suffix of the sealed
+//     sequence; recycled arena segments and batch tickets can never be
+//     observed by a stale reader.
+//   - Failure witnesses deep-copy the observables they retain (see
+//     ObservablesContext::witness_values), so they stay valid after the
+//     arena recycles a segment.
+//   - `jobs = 1` bypasses the arena and threads entirely and dispatches
+//     records synchronously, which is bit-identical to the historical
+//     serial path.
+//   - finish() seals the partial tail, waits for every batch to drain,
+//     joins the workers, then retires properties serially in registration
+//     order, so the merged Report is deterministic.
 #ifndef REPRO_ABV_EVAL_ENGINE_H_
 #define REPRO_ABV_EVAL_ENGINE_H_
 
+#include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
+#include "abv/engine_config.h"
 #include "checker/checker.h"
 #include "checker/wrapper.h"
+#include "support/batch_arena.h"
 #include "support/metrics.h"
-#include "support/thread_pool.h"
 #include "support/trace_sink.h"
 #include "tlm/transaction.h"
 
@@ -39,18 +58,16 @@ namespace repro::abv {
 class EvalEngine {
  public:
   struct Options {
-    // Worker shards. 1 = serial synchronous dispatch (the historical
-    // behavior); values < 1 are clamped to 1.
-    size_t jobs = 1;
-    // Records buffered per concurrent dispatch when jobs > 1; values < 1
-    // are clamped to 1.
-    size_t batch_size = 64;
-    // Optional metrics registry (records, batches, queue depth, per-shard
-    // busy time, dispatch latency, wrapper pool/latency at finish). Must
-    // have >= jobs lanes and outlive the engine. nullptr disables.
+    // Engine knobs; the same struct models::RunConfig::engine carries, so
+    // callers pass their config group through unchanged.
+    EngineConfig config;
+    // Optional metrics registry (records, batches, arena/backpressure
+    // accounting, per-shard busy time, wrapper pool/latency at finish).
+    // Lane 0 is the producer, lane s+1 backs shard s, so the registry must
+    // have >= jobs + 1 lanes and outlive the engine. nullptr disables.
     support::MetricsRegistry* metrics = nullptr;
-    // Optional Chrome-trace sink (batch/shard/retire spans, per-failure
-    // instants). Must outlive the engine. nullptr disables.
+    // Optional Chrome-trace sink (batch_fill/shard_batch/retire spans,
+    // per-failure instants). Must outlive the engine. nullptr disables.
     support::TraceSink* trace = nullptr;
   };
 
@@ -62,36 +79,82 @@ class EvalEngine {
   void add(checker::PropertyChecker* checker);
 
   // One completed transaction. Serial mode evaluates immediately; sharded
-  // mode buffers and dispatches full batches to all shards concurrently.
+  // mode appends the record to the arena (the one and only copy) and seals
+  // a batch for the shard workers whenever batch_size records accumulate.
   void on_record(const tlm::TransactionRecord& record);
+  // Move-ingest overload: the arena takes the record without copying.
+  void on_record(tlm::TransactionRecord&& record);
 
-  // Flushes the pending batch and retires every property (end-of-trace
-  // semantics), serially and in registration order.
+  // Narrow span-based bulk ingest: equivalent to calling on_record for
+  // each element of [begin, end) in order. Callers holding a contiguous
+  // slice of records feed it here instead of reaching into batching
+  // internals.
+  void on_records(const tlm::TransactionRecord* begin,
+                  const tlm::TransactionRecord* end);
+
+  // Seals the partial tail, drains every in-flight batch, joins the shard
+  // workers and retires every property (end-of-trace semantics), serially
+  // and in registration order.
   void finish();
 
-  size_t jobs() const { return options_.jobs; }
-  // Shards actually formed (0 before the first dispatch in sharded mode).
+  size_t jobs() const { return options_.config.jobs; }
+  // Shards actually formed (0 before the first record in sharded mode).
   size_t shard_count() const { return shards_.size(); }
 
  private:
+  using RecordArena = support::BatchArena<tlm::TransactionRecord>;
+
+  // One sealed batch in flight: a ticket shared by all shard queues.
+  // Tickets are pooled; a ticket is recycled only after its last reader
+  // released the span, and in-order drain makes reuse safe (see above).
+  struct Batch {
+    RecordArena::Span span;
+    uint64_t seq = 0;      // seal order, for trace causality
+    uint64_t seal_ns = 0;  // trace/mono clock at seal, for drain latency
+  };
+
+  // std::deque: Shard holds a mutex and is neither movable nor copyable.
   struct Shard {
     std::vector<checker::TlmCheckerWrapper*> wrappers;
     std::vector<checker::PropertyChecker*> checkers;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Batch*> queue;  // FIFO; guarded by mu
+    bool stop = false;         // guarded by mu; workers drain, then exit
+    std::thread thread;
   };
 
+  uint64_t tick() const;  // trace clock when tracing, else monotonic
   void ensure_sharded();
-  void flush();
+  void append_sharded(tlm::TransactionRecord&& record);
+  void seal_and_dispatch();
+  void shard_loop(size_t s);
+  void process_batch(Shard& shard, size_t s, Batch* batch);
+  void stop_workers();
   void publish_metrics();
 
   Options options_;
   std::vector<checker::TlmCheckerWrapper*> wrappers_;
   std::vector<checker::PropertyChecker*> checkers_;
 
-  std::vector<Shard> shards_;
-  std::vector<std::function<void()>> shard_tasks_;  // reused every flush
-  std::vector<tlm::TransactionRecord> batch_;
-  std::unique_ptr<support::ThreadPool> pool_;
+  RecordArena arena_;
+  std::deque<Shard> shards_;
   bool sharded_ = false;
+  bool workers_running_ = false;
+  uint64_t fill_start_ns_ = 0;  // first append into the open segment
+
+  // Producer/drain rendezvous: guards the ticket pool, in-flight count and
+  // the drain-latency histogram (recorded by whichever shard releases a
+  // batch last).
+  std::mutex mu_;
+  std::condition_variable drained_cv_;
+  std::vector<std::unique_ptr<Batch>> tickets_;
+  std::vector<Batch*> free_tickets_;
+  size_t inflight_ = 0;
+  size_t inflight_peak_ = 0;
+  uint64_t next_seq_ = 0;
+  // Seal-to-last-release latency; merged into the registry at finish().
+  support::Histogram batch_ns_;
 
   // Metric handles (owned by options_.metrics), resolved once up front so
   // the hot path is a relaxed atomic add into the caller's lane.
@@ -99,10 +162,9 @@ class EvalEngine {
   support::MetricsRegistry::Counter* m_batches_ = nullptr;
   support::MetricsRegistry::Counter* m_shard_records_ = nullptr;
   support::MetricsRegistry::Counter* m_shard_busy_ns_ = nullptr;
+  support::MetricsRegistry::Counter* m_backpressure_ns_ = nullptr;
   support::MetricsRegistry::Gauge* m_queue_depth_ = nullptr;
-  // Batch dispatch wall latency; recorded on the dispatch thread only and
-  // merged into the registry at finish().
-  support::Histogram batch_ns_;
+  support::MetricsRegistry::Gauge* m_inflight_peak_ = nullptr;
 };
 
 }  // namespace repro::abv

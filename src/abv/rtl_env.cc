@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "abv/snapshot_context.h"
+
 namespace repro::abv {
 
 uint64_t SignalBag::value(std::string_view name) const {
@@ -12,6 +14,23 @@ uint64_t SignalBag::value(std::string_view name) const {
 
 bool SignalBag::has(std::string_view name) const {
   return getters_.find(name) != getters_.end();
+}
+
+std::shared_ptr<const tlm::Snapshot::Keys> SignalBag::keys() const {
+  if (keys_cache_ == nullptr) {
+    auto keys = std::make_shared<tlm::Snapshot::Keys>();
+    keys->reserve(getters_.size());
+    for (const auto& [name, getter] : getters_) keys->push_back(name);
+    keys_cache_ = std::move(keys);
+  }
+  return keys_cache_;
+}
+
+void SignalBag::sample_into(tlm::Snapshot& snapshot) const {
+  // The snapshot was built over keys() (map order), so index i is the i-th
+  // getter: one pass, no name lookups.
+  size_t i = 0;
+  for (const auto& [name, getter] : getters_) snapshot.set_at(i++, getter());
 }
 
 void RtlAbvEnv::add_property(const psl::RtlProperty& property) {
@@ -35,6 +54,9 @@ void RtlAbvEnv::add_property(const psl::RtlProperty& property) {
 }
 
 void RtlAbvEnv::attach(sim::Clock& clock) {
+  // One value vector reused for every sampled edge; the key table is shared
+  // with the bag (single allocation for the whole run).
+  sample_buffer_ = tlm::Snapshot(signals_.keys());
   // Sample after the design settles: edge callbacks run in the evaluate
   // phase; signal writes commit in the update phase; watcher cascades run in
   // the following deltas. Three nested deltas cover the register-style
@@ -61,6 +83,11 @@ void RtlAbvEnv::attach(sim::Clock& clock) {
 
 void RtlAbvEnv::sample(bool rising) {
   const psl::TimeNs now = kernel_.now();
+  // Read the design once, share the snapshot with every checker selected at
+  // this edge (was: each checker pulled every signal through the bag's
+  // getters independently).
+  signals_.sample_into(sample_buffer_);
+  const ObservablesContext ctx(sample_buffer_);
   for (size_t i = 0; i < checkers_.size(); ++i) {
     const psl::ClockContext::Kind kind = kinds_[i];
     const bool wants =
@@ -68,7 +95,7 @@ void RtlAbvEnv::sample(bool rising) {
         (rising && (kind == psl::ClockContext::Kind::kClkPos ||
                     kind == psl::ClockContext::Kind::kTrue)) ||
         (!rising && kind == psl::ClockContext::Kind::kClkNeg);
-    if (wants) checkers_[i]->on_event(now, signals_);
+    if (wants) checkers_[i]->on_event(now, ctx);
   }
 }
 

@@ -5,6 +5,13 @@
 // context the environment samples the design — after its delta cycles have
 // settled, so registered outputs written at the edge are visible — and
 // feeds the evaluation event to the checker.
+//
+// Sampling follows the same arena discipline as the TLM engine: the signal
+// bag is read ONCE per event into a reusable tlm::Snapshot (one getter call
+// per signal, not one per signal per checker), and every checker selected
+// at that edge evaluates against the same read-only ObservablesContext.
+// With a single synchronous consumer the snapshot buffer is recycled in
+// place — the degenerate one-reader case of support::BatchArena.
 #ifndef REPRO_ABV_RTL_ENV_H_
 #define REPRO_ABV_RTL_ENV_H_
 
@@ -20,16 +27,19 @@
 #include "sim/clock.h"
 #include "sim/kernel.h"
 #include "sim/signal.h"
+#include "tlm/transaction.h"
 
 namespace repro::abv {
 
 // Named read accessors into the design under verification. RTL models
-// register their observable signals here; the environment evaluates atoms
-// against it.
+// register their observable signals here; the environment samples them into
+// per-event snapshots (it remains a ValueContext for direct, unsampled
+// evaluation in tests and tools).
 class SignalBag : public checker::ValueContext {
  public:
   void add(const std::string& name, std::function<uint64_t()> getter) {
     getters_[name] = std::move(getter);
+    keys_cache_.reset();
   }
   void add(const std::string& name, const sim::Signal<uint64_t>& signal) {
     add(name, [&signal] { return signal.read(); });
@@ -41,8 +51,18 @@ class SignalBag : public checker::ValueContext {
   uint64_t value(std::string_view name) const override;
   bool has(std::string_view name) const override;
 
+  // Shared key table over the registered names (map order, so the index
+  // layout is deterministic); built lazily, invalidated by add(). Feed it
+  // to tlm::Snapshot so all snapshots of this bag share one allocation.
+  std::shared_ptr<const tlm::Snapshot::Keys> keys() const;
+
+  // Reads every getter once into `snapshot`, which must have been built
+  // over this bag's keys().
+  void sample_into(tlm::Snapshot& snapshot) const;
+
  private:
   std::map<std::string, std::function<uint64_t()>, std::less<>> getters_;
+  mutable std::shared_ptr<const tlm::Snapshot::Keys> keys_cache_;
 };
 
 class RtlAbvEnv {
@@ -85,6 +105,9 @@ class RtlAbvEnv {
   checker::CheckerOptions checker_options_;
   std::vector<std::unique_ptr<checker::PropertyChecker>> checkers_;
   std::vector<psl::ClockContext::Kind> kinds_;
+  // Reusable per-event snapshot buffer, built over signals_.keys() at
+  // attach(); refilled (recycled) at every sampled edge.
+  tlm::Snapshot sample_buffer_;
   bool any_pos_ = false;
   bool any_neg_ = false;
 };

@@ -1,0 +1,42 @@
+#include "abv/snapshot_context.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace repro::abv {
+
+uint64_t ObservablesContext::value(std::string_view name) const {
+  const std::optional<uint64_t> v = values_.get(name);
+  if (!v.has_value()) {
+    // A property referenced a signal the model does not expose in its
+    // transaction records. Under NDEBUG an assert would vanish and the
+    // dereference below would be UB; fail fast with the name instead.
+    std::fprintf(stderr,
+                 "fatal: observable '%.*s' missing from transaction record\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  return *v;
+}
+
+bool ObservablesContext::has(std::string_view name) const {
+  return values_.get(name).has_value();
+}
+
+std::shared_ptr<const checker::WitnessValues> ObservablesContext::witness_values()
+    const {
+  if (witness_cache_ == nullptr && values_.keys() != nullptr) {
+    // Deep copy: names and values only, no pointers into the borrowed
+    // snapshot, so witness rings survive arena segment recycling.
+    auto snapshot = std::make_shared<checker::WitnessValues>();
+    const tlm::Snapshot::Keys& keys = *values_.keys();
+    snapshot->reserve(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      snapshot->emplace_back(keys[i], values_.at(i));
+    }
+    witness_cache_ = std::move(snapshot);
+  }
+  return witness_cache_;
+}
+
+}  // namespace repro::abv

@@ -1,41 +1,6 @@
 #include "abv/tlm_env.h"
 
-#include <cstdio>
-#include <cstdlib>
-
 namespace repro::abv {
-
-uint64_t ObservablesContext::value(std::string_view name) const {
-  const std::optional<uint64_t> v = values_.get(name);
-  if (!v.has_value()) {
-    // A property referenced a signal the model does not expose in its
-    // transaction records. Under NDEBUG an assert would vanish and the
-    // dereference below would be UB; fail fast with the name instead.
-    std::fprintf(stderr,
-                 "fatal: observable '%.*s' missing from transaction record\n",
-                 static_cast<int>(name.size()), name.data());
-    std::abort();
-  }
-  return *v;
-}
-
-bool ObservablesContext::has(std::string_view name) const {
-  return values_.get(name).has_value();
-}
-
-std::shared_ptr<const checker::WitnessValues> ObservablesContext::witness_values()
-    const {
-  if (witness_cache_ == nullptr && values_.keys() != nullptr) {
-    auto snapshot = std::make_shared<checker::WitnessValues>();
-    const tlm::Snapshot::Keys& keys = *values_.keys();
-    snapshot->reserve(keys.size());
-    for (size_t i = 0; i < keys.size(); ++i) {
-      snapshot->emplace_back(keys[i], values_.at(i));
-    }
-    witness_cache_ = std::move(snapshot);
-  }
-  return witness_cache_;
-}
 
 void TlmAbvEnv::add_property(const psl::TlmProperty& property) {
   wrappers_.push_back(std::make_unique<checker::TlmCheckerWrapper>(
@@ -49,11 +14,12 @@ void TlmAbvEnv::add_rtl_property(const psl::RtlProperty& property) {
 }
 
 void TlmAbvEnv::attach(tlm::TransactionRecorder& recorder) {
-  // Lane 0 is the dispatch thread; lanes 1..jobs-1 back the extra shards.
-  metrics_ = std::make_unique<support::MetricsRegistry>(jobs_);
+  // Lane 0 is the producer/dispatch thread; lanes 1..jobs back the shard
+  // workers, which now run concurrently with the producer.
+  metrics_ =
+      std::make_unique<support::MetricsRegistry>(engine_config_.jobs + 1);
   EvalEngine::Options options;
-  options.jobs = jobs_;
-  options.batch_size = batch_size_;
+  options.config = engine_config_;
   options.metrics = metrics_.get();
   options.trace = trace_;
   engine_ = std::make_unique<EvalEngine>(options);

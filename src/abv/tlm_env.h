@@ -14,8 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "abv/engine_config.h"
 #include "abv/eval_engine.h"
 #include "abv/report.h"
+#include "abv/snapshot_context.h"
 #include "checker/checker.h"
 #include "checker/wrapper.h"
 #include "psl/ast.h"
@@ -25,25 +27,6 @@
 
 namespace repro::abv {
 
-// Zero-copy ValueContext over a transaction's observables snapshot.
-class ObservablesContext : public checker::ValueContext {
- public:
-  explicit ObservablesContext(const tlm::Snapshot& values) : values_(values) {}
-
-  // Fails fast (with the observable's name) when the record does not carry
-  // `name`; a silent garbage read would make verdicts meaningless.
-  uint64_t value(std::string_view name) const override;
-  bool has(std::string_view name) const override;
-
-  // Materialized once per context and shared, so the wrappers of one shard
-  // remembering the same transaction all hold the same immutable snapshot.
-  std::shared_ptr<const checker::WitnessValues> witness_values() const override;
-
- private:
-  const tlm::Snapshot& values_;
-  mutable std::shared_ptr<const checker::WitnessValues> witness_cache_;
-};
-
 class TlmAbvEnv {
  public:
   // `clock_period_ns` is the reference RTL clock period, used to size the
@@ -52,18 +35,30 @@ class TlmAbvEnv {
   // registered properties across N concurrent workers with identical
   // per-property results (see EvalEngine).
   explicit TlmAbvEnv(psl::TimeNs clock_period_ns = 10, size_t jobs = 1)
-      : clock_period_ns_(clock_period_ns), jobs_(jobs == 0 ? 1 : jobs) {}
-
-  // Reconfigures the worker count; must be called before attach().
-  void set_jobs(size_t jobs) { jobs_ = jobs == 0 ? 1 : jobs; }
-  size_t jobs() const { return jobs_; }
-
-  // Records buffered per sharded dispatch (ignored at jobs = 1); must be
-  // called before attach(). 0 is clamped to 1.
-  void set_batch_size(size_t batch_size) {
-    batch_size_ = batch_size == 0 ? 1 : batch_size;
+      : clock_period_ns_(clock_period_ns) {
+    engine_config_.jobs = jobs == 0 ? 1 : jobs;
   }
-  size_t batch_size() const { return batch_size_; }
+
+  // Replaces the full engine knob group (jobs, batch size, in-flight
+  // bound); must be called before attach(). The struct is handed to the
+  // EvalEngine verbatim.
+  void set_engine_config(const EngineConfig& config) {
+    engine_config_ = config;
+    if (engine_config_.jobs == 0) engine_config_.jobs = 1;
+    if (engine_config_.batch_size == 0) engine_config_.batch_size = 1;
+    if (engine_config_.max_inflight_batches == 0) {
+      engine_config_.max_inflight_batches = 1;
+    }
+  }
+  const EngineConfig& engine_config() const { return engine_config_; }
+
+  // Field-wise conveniences over set_engine_config.
+  void set_jobs(size_t jobs) { engine_config_.jobs = jobs == 0 ? 1 : jobs; }
+  size_t jobs() const { return engine_config_.jobs; }
+  void set_batch_size(size_t batch_size) {
+    engine_config_.batch_size = batch_size == 0 ? 1 : batch_size;
+  }
+  size_t batch_size() const { return engine_config_.batch_size; }
 
   // Failure-witness ring depth applied to every wrapper at attach() (0
   // disables witness capture).
@@ -92,7 +87,7 @@ class TlmAbvEnv {
   void add_rtl_property(const psl::RtlProperty& property);
 
   // Builds the evaluation engine over the registered properties and
-  // subscribes to the recorder. Call after all add_* and set_jobs calls.
+  // subscribes to the recorder. Call after all add_* and config calls.
   void attach(tlm::TransactionRecorder& recorder);
 
   void finish();
@@ -115,8 +110,7 @@ class TlmAbvEnv {
   void on_record(const tlm::TransactionRecord& record);
 
   psl::TimeNs clock_period_ns_;
-  size_t jobs_ = 1;
-  size_t batch_size_ = 64;
+  EngineConfig engine_config_;
   size_t witness_depth_ = 8;
   checker::CheckerOptions checker_options_;
   support::TraceSink* trace_ = nullptr;

@@ -56,20 +56,20 @@ bool abv_enabled(const RunConfig& config) {
 checker::CheckerOptions checker_options(const RunConfig& config) {
   checker::CheckerOptions options;
   options.compiled = config.compiled_checkers;
-  options.failure_log_cap = config.failure_log_cap;
+  options.failure_log_cap = config.observability.failure_log_cap;
   return options;
 }
 
-// Applies the observability knobs shared by every TLM runner. The returned
-// sink (may be null) must stay alive until the end of the run; its
-// destructor writes the trace file.
+// Applies the engine and observability knob groups shared by every TLM
+// runner. The returned sink (may be null) must stay alive until the end of
+// the run; its destructor writes the trace file.
 std::unique_ptr<support::TraceSink> configure_tlm_env(abv::TlmAbvEnv& env,
                                                       const RunConfig& config) {
-  env.set_batch_size(config.batch_size);
-  env.set_witness_depth(config.witness_depth);
+  env.set_engine_config(config.engine);
+  env.set_witness_depth(config.observability.witness_depth);
   env.set_checker_options(checker_options(config));
-  if (config.trace_path.empty()) return nullptr;
-  auto sink = std::make_unique<support::TraceSink>(config.trace_path);
+  if (config.observability.trace_path.empty()) return nullptr;
+  auto sink = std::make_unique<support::TraceSink>(config.observability.trace_path);
   env.set_trace_sink(sink.get());
   return sink;
 }
@@ -93,7 +93,7 @@ std::vector<psl::TlmProperty> abstract_for_at(const RunConfig& config,
   rewrite::AbstractionOptions options;
   options.clock_period_ns = suite.clock_period_ns;
   options.abstracted_signals = suite.abstracted_signals;
-  options.push_mode = config.push_mode;
+  options.push_mode = config.abstraction.push_mode;
   std::vector<psl::TlmProperty> out;
   deleted = 0;
   for (const psl::RtlProperty& p : pick(suite, config)) {
@@ -172,7 +172,7 @@ RunResult run_des56_tlm_ca(const RunConfig& config, const PropertySuite& suite) 
   const std::vector<DesOp> ops = make_des_ops(config.workload, config.seed);
   Des56DriverModel driver(ops);
 
-  abv::TlmAbvEnv env(suite.clock_period_ns, config.jobs);
+  abv::TlmAbvEnv env(suite.clock_period_ns);
   const auto trace = configure_tlm_env(env, config);
   if (abv_enabled(config)) {
     // TLM-CA rows of Table I: the original RTL properties, unabstracted,
@@ -242,10 +242,10 @@ RunResult run_des56_tlm_at(const RunConfig& config, const PropertySuite& suite) 
 
   RunResult result;
   size_t deleted = 0;
-  abv::TlmAbvEnv env(suite.clock_period_ns, config.jobs);
+  abv::TlmAbvEnv env(suite.clock_period_ns);
   const auto trace = configure_tlm_env(env, config);
   if (abv_enabled(config)) {
-    if (config.at_replay_unabstracted) {
+    if (config.abstraction.at_replay_unabstracted) {
       for (const psl::RtlProperty& p : pick(suite, config)) {
         env.add_rtl_property(p);
       }
@@ -376,7 +376,7 @@ RunResult run_colorconv_tlm_ca(const RunConfig& config,
   for (const CcBurst& b : bursts) total_pixels += b.pixels.size();
   ColorConvDriverModel driver(bursts);
 
-  abv::TlmAbvEnv env(suite.clock_period_ns, config.jobs);
+  abv::TlmAbvEnv env(suite.clock_period_ns);
   const auto trace = configure_tlm_env(env, config);
   if (abv_enabled(config)) {
     for (const psl::RtlProperty& p : pick(suite, config)) {
@@ -442,10 +442,10 @@ RunResult run_colorconv_tlm_at(const RunConfig& config,
 
   RunResult result;
   size_t deleted = 0;
-  abv::TlmAbvEnv env(suite.clock_period_ns, config.jobs);
+  abv::TlmAbvEnv env(suite.clock_period_ns);
   const auto trace = configure_tlm_env(env, config);
   if (abv_enabled(config)) {
-    if (config.at_replay_unabstracted) {
+    if (config.abstraction.at_replay_unabstracted) {
       for (const psl::RtlProperty& p : pick(suite, config)) {
         env.add_rtl_property(p);
       }
@@ -535,8 +535,8 @@ bool run_analysis(const RunConfig& config, const PropertySuite& suite,
   analysis::AnalysisOptions options;
   options.abstraction.clock_period_ns = suite.clock_period_ns;
   options.abstraction.abstracted_signals = suite.abstracted_signals;
-  options.abstraction.push_mode = config.push_mode;
-  if (config.level == Level::kTlmAt && !config.at_replay_unabstracted) {
+  options.abstraction.push_mode = config.abstraction.push_mode;
+  if (config.level == Level::kTlmAt && !config.abstraction.at_replay_unabstracted) {
     // Normal AT flow: the original formula binds at RTL, the abstracted one
     // against the transaction snapshots of the AT target.
     options.rtl_observables = level_observables(config.design, Level::kRtl);
@@ -610,7 +610,44 @@ const char* to_string(Level l) {
   return "?";
 }
 
-RunResult run_simulation(const RunConfig& config) {
+RunConfig RunConfig::resolved() const {
+  RunConfig out = *this;
+  // Deliberate deprecated-member access: this is the one-release shim that
+  // folds set flat fields into the nested groups.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  if (out.jobs != kUnsetSize) out.engine.jobs = out.jobs;
+  if (out.batch_size != kUnsetSize) out.engine.batch_size = out.batch_size;
+  if (out.witness_depth != kUnsetSize) {
+    out.observability.witness_depth = out.witness_depth;
+  }
+  if (out.failure_log_cap != kUnsetSize) {
+    out.observability.failure_log_cap = out.failure_log_cap;
+  }
+  if (!out.trace_path.empty()) out.observability.trace_path = out.trace_path;
+  if (out.push_mode.has_value()) out.abstraction.push_mode = *out.push_mode;
+  if (out.at_replay_unabstracted.has_value()) {
+    out.abstraction.at_replay_unabstracted = *out.at_replay_unabstracted;
+  }
+  out.jobs = kUnsetSize;
+  out.batch_size = kUnsetSize;
+  out.witness_depth = kUnsetSize;
+  out.failure_log_cap = kUnsetSize;
+  out.trace_path.clear();
+  out.push_mode.reset();
+  out.at_replay_unabstracted.reset();
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  return out;
+}
+
+RunResult run_simulation(const RunConfig& raw) {
+  // Fold any deprecated flat-field assignments into the nested groups, so
+  // the runners below only ever consult the nested form.
+  const RunConfig config = raw.resolved();
   const PropertySuite suite =
       config.design == Design::kDes56 ? des56_suite() : colorconv_suite();
 

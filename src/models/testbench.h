@@ -6,9 +6,11 @@
 #define REPRO_MODELS_TESTBENCH_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "abv/engine_config.h"
 #include "abv/report.h"
 #include "analysis/diagnostic.h"
 #include "psl/ast.h"
@@ -39,7 +41,68 @@ enum class AnalysisMode { kOff, kOn, kError };
 // the testbench-added statics (monitor_en, ColorConv RTL's sof).
 std::vector<std::string> level_observables(Design d, Level l);
 
+// Observability knobs shared by the TLM runners (ignored at RTL except for
+// failure_log_cap, which applies to every checker backend).
+struct ObservabilityConfig {
+  // When non-empty, the TLM runners write a Chrome trace-event JSON file
+  // here (engine spans, failure instants).
+  std::string trace_path;
+  // Failure-witness ring depth per wrapper (0 disables capture). Ignored
+  // for unabstracted replay (plain checkers carry no witnesses).
+  size_t witness_depth = 8;
+  // Maximum failure entries retained per checker/wrapper for diagnostics.
+  size_t failure_log_cap = 64;
+};
+
+// Property-abstraction knobs for the TLM-AT flow.
+struct AbstractionConfig {
+  // Push mode used when abstracting properties for TLM-AT.
+  rewrite::PushMode push_mode = rewrite::PushMode::kOpaqueFixpoints;
+  // Ablation: replay the *unabstracted* RTL properties at TLM-AT, counting
+  // transactions as if they were clock events (the naive reuse the paper
+  // argues against in Sec. III-A).
+  bool at_replay_unabstracted = false;
+};
+
+// Pre-simulation static analysis knobs. Implicitly convertible from/to
+// AnalysisMode, so `config.analysis = AnalysisMode::kOn` and
+// `config.analysis == AnalysisMode::kOff` keep working.
+struct AnalysisConfig {
+  AnalysisMode mode = AnalysisMode::kOff;
+
+  AnalysisConfig() = default;
+  AnalysisConfig(AnalysisMode m) : mode(m) {}  // NOLINT: intentional implicit
+  operator AnalysisMode() const { return mode; }
+};
+
+// Layered run configuration: the identity of the run (design, level,
+// property selection, workload) stays flat; tuning knobs live in nested
+// option groups designed for designated initializers, e.g.
+//   RunConfig config;
+//   config.engine = {.jobs = 4, .max_inflight_batches = 3};
+//   config.observability = {.trace_path = "at.trace.json"};
+// The flat fields of the pre-split RunConfig survive one release as
+// [[deprecated]] shims; run_simulation folds any that were set into the
+// nested groups (see resolved()).
 struct RunConfig {
+  // The deprecated shim members below would make every implicitly-defined
+  // special member warn; default them under a suppression instead. (This
+  // makes RunConfig a non-aggregate; the nested groups stay aggregates and
+  // take designated initializers.)
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  RunConfig() = default;
+  RunConfig(const RunConfig&) = default;
+  RunConfig(RunConfig&&) = default;
+  RunConfig& operator=(const RunConfig&) = default;
+  RunConfig& operator=(RunConfig&&) = default;
+  ~RunConfig() = default;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
   Design design = Design::kDes56;
   Level level = Level::kRtl;
   // Number of properties to check, in suite order; 0 disables ABV.
@@ -51,35 +114,41 @@ struct RunConfig {
   size_t workload = 500;
   uint64_t seed = 42;
   psl::TimeNs clock_period_ns = 10;
-  // Worker count of the TLM evaluation engine: 1 = serial (exact legacy
-  // behavior), N > 1 shards the property suite across N threads with
-  // identical per-property results. Ignored at RTL.
-  size_t jobs = 1;
-  // Records buffered per sharded dispatch (TLM engine, jobs > 1 only).
-  size_t batch_size = 64;
-  // Failure-witness ring depth per wrapper (0 disables capture). Ignored at
-  // RTL and for unabstracted replay (plain checkers carry no witnesses).
-  size_t witness_depth = 8;
   // Checker backend: compiled flat programs (default) or the tree
   // interpreter. Verdicts and reports are identical; only speed differs.
   bool compiled_checkers = true;
-  // Maximum failure entries retained per checker/wrapper for diagnostics.
-  size_t failure_log_cap = 64;
-  // When non-empty, the TLM runners write a Chrome trace-event JSON file
-  // here (engine spans, failure instants). Ignored at RTL.
-  std::string trace_path;
   // Extra properties appended after the suite selection; abstracted for
   // TLM-AT like any suite entry. Lets callers inject ad-hoc properties
   // (e.g. a deliberately failing witness demo) without editing the suite.
   std::vector<psl::RtlProperty> extra_properties;
-  // Push mode used when abstracting properties for TLM-AT.
-  rewrite::PushMode push_mode = rewrite::PushMode::kOpaqueFixpoints;
-  // Ablation: replay the *unabstracted* RTL properties at TLM-AT, counting
-  // transactions as if they were clock events (the naive reuse the paper
-  // argues against in Sec. III-A).
-  bool at_replay_unabstracted = false;
-  // Pre-simulation static property analysis (see AnalysisMode).
-  AnalysisMode analysis = AnalysisMode::kOff;
+
+  // Evaluation-engine knobs (jobs, batch_size, max_inflight_batches),
+  // passed to abv::EvalEngine verbatim. Ignored at RTL; batch_size and
+  // max_inflight_batches are ignored at jobs == 1 (serial path).
+  abv::EngineConfig engine;
+  ObservabilityConfig observability;
+  AbstractionConfig abstraction;
+  AnalysisConfig analysis;
+
+  // ---- deprecated flat-field shims (one release; see resolved()) --------
+  // Sentinel meaning "not set": the nested field wins.
+  static constexpr size_t kUnsetSize = ~size_t{0};
+  [[deprecated("use engine.jobs")]] size_t jobs = kUnsetSize;
+  [[deprecated("use engine.batch_size")]] size_t batch_size = kUnsetSize;
+  [[deprecated("use observability.witness_depth")]] size_t witness_depth =
+      kUnsetSize;
+  [[deprecated("use observability.failure_log_cap")]] size_t failure_log_cap =
+      kUnsetSize;
+  [[deprecated("use observability.trace_path")]] std::string trace_path;
+  [[deprecated("use abstraction.push_mode")]] std::optional<rewrite::PushMode>
+      push_mode;
+  [[deprecated("use abstraction.at_replay_unabstracted")]] std::optional<bool>
+      at_replay_unabstracted;
+
+  // Copy with every set deprecated shim folded into its nested group (the
+  // shims themselves are reset to unset). run_simulation calls this first,
+  // so legacy flat-field callers behave exactly as before the split.
+  RunConfig resolved() const;
 };
 
 struct RunResult {

@@ -1,11 +1,16 @@
-// Fixed-size worker pool used by the sharded ABV evaluation engine.
+// Fixed-size fork/join worker pool.
 //
 // The pool is deliberately minimal: it only supports fork/join rounds
-// (`run_all`), which is the exact shape of the engine's batch dispatch —
-// one task per shard, then a barrier before the next batch is buffered.
+// (`run_all`) — submit a task list, then a barrier until every task ran.
 // The calling thread participates in draining the round's queue, so a pool
 // with W workers executes a round with up to W+1 threads and `workers = 0`
 // degenerates to plain serial execution on the caller.
+//
+// Note: the sharded ABV evaluation engine no longer dispatches through
+// this pool; it owns long-lived per-shard workers fed by a batch arena
+// (abv::EvalEngine, DESIGN.md §11), which removed the per-batch barrier
+// this pool imposes. The pool stays as general support machinery for
+// fork/join-shaped work.
 #ifndef REPRO_SUPPORT_THREAD_POOL_H_
 #define REPRO_SUPPORT_THREAD_POOL_H_
 

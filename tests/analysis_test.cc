@@ -261,7 +261,7 @@ TEST(Analysis, ReportsByteIdenticalWithAnalysisOnAndOff) {
     config.level = models::Level::kTlmAt;
     config.workload = 40;
     config.checkers = 9;
-    config.jobs = jobs;
+    config.engine.jobs = jobs;
 
     config.analysis = models::AnalysisMode::kOff;
     const models::RunResult off = models::run_simulation(config);

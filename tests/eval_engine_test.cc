@@ -123,8 +123,8 @@ struct SuiteRun {
 SuiteRun run_suite(size_t jobs, size_t records) {
   SuiteRun run;
   abv::EvalEngine::Options options;
-  options.jobs = jobs;
-  options.batch_size = 16;  // force several flushes plus a finish() tail
+  options.config.jobs = jobs;
+  options.config.batch_size = 16;  // force several seals plus a finish() tail
   abv::EvalEngine engine(options);
   for (const psl::TlmProperty& p : mixed_suite()) {
     run.wrappers.push_back(std::make_unique<checker::TlmCheckerWrapper>(p, 10));
@@ -193,7 +193,7 @@ TEST(EvalEngine, FinishFlushesAPartialBatch) {
 
 TEST(EvalEngine, FinishWithoutRecordsRetiresNothing) {
   abv::EvalEngine::Options options;
-  options.jobs = 4;
+  options.config.jobs = 4;
   abv::EvalEngine engine(options);
   auto p = tlm_prop("q: always (!ds || next_e[1,40](rdy)) @Tb");
   checker::TlmCheckerWrapper wrapper(p, 10);
@@ -224,10 +224,10 @@ void expect_jobs_equivalent(models::Design design, models::Level level,
   config.level = level;
   config.workload = workload;
   config.checkers = 99;  // whole suite (clamped)
-  config.jobs = 1;
+  config.engine.jobs = 1;
   const models::RunResult serial = models::run_simulation(config);
   EXPECT_TRUE(serial.functional_ok);
-  config.jobs = 4;
+  config.engine.jobs = 4;
   const models::RunResult sharded = models::run_simulation(config);
   expect_reports_identical(serial, sharded);
 }

@@ -18,7 +18,7 @@ RunResult run(Design design, Level level, size_t checkers, size_t workload,
   config.level = level;
   config.checkers = checkers;
   config.workload = workload;
-  config.push_mode = mode;
+  config.abstraction.push_mode = mode;
   return run_simulation(config);
 }
 
@@ -125,7 +125,7 @@ TEST(Ablation, NaiveEventCountingFailsSpuriouslyAtTlmAt) {
   config.level = Level::kTlmAt;
   config.workload = 60;
   config.property_indices = {6};  // p7
-  config.at_replay_unabstracted = true;
+  config.abstraction.at_replay_unabstracted = true;
   const RunResult r = run_simulation(config);
   EXPECT_TRUE(r.functional_ok);      // the model is correct...
   EXPECT_FALSE(r.properties_ok);     // ...yet the naive checker fails

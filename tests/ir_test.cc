@@ -547,7 +547,7 @@ void expect_backends_equivalent(models::Design design, size_t workload,
   config.level = models::Level::kTlmAt;
   config.workload = workload;
   config.checkers = 99;  // whole suite (clamped)
-  config.jobs = jobs;
+  config.engine.jobs = jobs;
 
   config.compiled_checkers = true;
   const models::RunResult compiled = models::run_simulation(config);

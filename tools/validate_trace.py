@@ -2,9 +2,11 @@
 """Validate a Chrome trace-event JSON file emitted by --trace-out.
 
 Checks that the file parses, that every event carries the keys its phase
-requires, that spans within one lane (tid) never overlap, that shard-lane
-spans nest inside dispatch-lane spans, and (optionally) that a --report-out
-JSON produced by the same run parses and matches the expected schema.
+requires, that spans within one lane (tid) never overlap, that pipelined
+dispatch is causal (a shard_batch span for batch seq k never starts before
+the producer's batch_fill span for seq k ended), and (optionally) that a
+--report-out JSON produced by the same run parses and matches the expected
+schema.
 
 Exit status: 0 on success, 1 on any violation (each is printed).
 
@@ -34,6 +36,8 @@ def check_events(doc, errors, min_spans):
 
     spans_by_tid = {}
     names_by_tid = {}
+    fill_end_by_seq = {}  # producer-lane batch_fill spans, keyed by args.seq
+    shard_spans = []      # (seq, ts, tid) of every shard_batch span
     instants = 0
     for i, event in enumerate(events):
         where = "event %d" % i
@@ -49,9 +53,24 @@ def check_events(doc, errors, min_spans):
             if "ts" not in event or "dur" not in event:
                 fail(errors, "%s: complete span without ts/dur" % where)
                 continue
-            spans_by_tid.setdefault(tid, []).append(
-                (float(event["ts"]), float(event["dur"]), event.get("name"))
-            )
+            ts, dur = float(event["ts"]), float(event["dur"])
+            name = event.get("name")
+            spans_by_tid.setdefault(tid, []).append((ts, dur, name))
+            seq = event.get("args", {}).get("seq")
+            if name == "batch_fill":
+                if tid != 0:
+                    fail(errors, "%s: batch_fill on lane %s, want 0" % (where, tid))
+                if seq is None:
+                    fail(errors, "%s: batch_fill without args.seq" % where)
+                else:
+                    fill_end_by_seq[seq] = ts + dur
+            elif name == "shard_batch":
+                if tid == 0:
+                    fail(errors, "%s: shard_batch on the producer lane" % where)
+                if seq is None:
+                    fail(errors, "%s: shard_batch without args.seq" % where)
+                else:
+                    shard_spans.append((seq, ts, tid))
         elif phase == "i":
             instants += 1
             if event.get("s") != "t":
@@ -86,17 +105,21 @@ def check_events(doc, errors, min_spans):
                 fail(errors, "lane tid=%s: span %r at %f overlaps %r ending %f"
                      % (tid, b_name, b_ts, a_name, a_ts + a_dur))
 
-    # Shard-lane spans (tid >= 1) nest inside a dispatch-lane span (tid 0).
-    dispatch = spans_by_tid.get(0, [])
-    for tid, spans in sorted(spans_by_tid.items()):
-        if tid == 0:
-            continue
-        for ts, dur, name in spans:
-            nested = any(ts >= d_ts - EPS and ts + dur <= d_ts + d_dur + EPS
-                         for d_ts, d_dur, _ in dispatch)
-            if not nested:
-                fail(errors, "lane tid=%s: span %r at %f not nested in any "
-                     "dispatch span" % (tid, name, ts))
+    # Pipelined-dispatch causality: shard work on batch seq k cannot start
+    # before the producer sealed it (= the end of its batch_fill span).
+    # Under pipelining the shard spans of batch k legitimately overlap the
+    # *fill* of batch k+1, so span nesting is not required — only this
+    # per-seq ordering.
+    for seq, ts, tid in shard_spans:
+        if seq not in fill_end_by_seq:
+            fail(errors, "lane tid=%s: shard_batch seq=%s has no batch_fill"
+                 % (tid, seq))
+        elif ts < fill_end_by_seq[seq] - EPS:
+            fail(errors, "lane tid=%s: shard_batch seq=%s starts at %f before "
+                 "its fill ended at %f"
+                 % (tid, seq, ts, fill_end_by_seq[seq]))
+    if shard_spans and not fill_end_by_seq:
+        fail(errors, "shard_batch spans present but no batch_fill spans")
 
     lanes = ", ".join("%s=%s(%d spans)" % (t, names_by_tid.get(t, "?"),
                                            len(spans_by_tid.get(t, [])))
