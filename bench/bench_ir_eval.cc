@@ -8,14 +8,22 @@
 // step throughput including verdict resolution and reuse. Also reports the
 // hash-consing hit rate of the expression intern table over the suite.
 //
+// The all-checkers columns step a full 64-instance battery per property —
+// the wrapper's many-instances-one-formula shape — once through 64 scalar
+// compiled instances and once through the 64-wide lockstep kernel
+// (checker/batch.h), with reset-on-resolve recycling on both sides and a
+// resolution-count parity check between them.
+//
 // With REPRO_BENCH_JSON set, records land in BENCH_ir_eval.json.
 #include <chrono>
 #include <cstdio>
 #include <cmath>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_table_common.h"
+#include "checker/batch.h"
 #include "checker/instance.h"
 #include "checker/program.h"
 #include "checker/trace.h"
@@ -98,6 +106,75 @@ void run_pair(checker::Instance& interp, checker::Instance& compiled,
   }
 }
 
+// ---- All-checkers battery: 64 instances of one property ------------------------
+
+constexpr uint32_t kWidth = checker::BatchState::kLanes;
+
+// 64 scalar compiled instances stepped one at a time per event.
+Throughput time_scalar_battery(
+    std::vector<std::unique_ptr<checker::Instance>>& battery,
+    const checker::Trace& trace, size_t iters) {
+  for (auto& instance : battery) instance->reset();
+  Throughput t;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t it = 0; it < iters; ++it) {
+    for (const checker::Observation& ob : trace) {
+      const checker::Event ev{ob.time, &ob.values};
+      for (auto& instance : battery) {
+        if (instance->step(ev) != checker::Verdict::kPending) {
+          ++t.resolutions;
+          instance->reset();
+        }
+      }
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  t.steps_per_second =
+      static_cast<double>(iters * trace.size() * battery.size()) /
+      elapsed.count();
+  return t;
+}
+
+// The same 64 instances as lockstep lanes: one prime() per event advances
+// the whole word, then each lane's verdict is read off (and recycled).
+Throughput time_vector_battery(checker::BatchState& block,
+                               const checker::Trace& trace, size_t iters) {
+  for (uint32_t lane = 0; lane < kWidth; ++lane) block.reset_lane(lane);
+  Throughput t;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t it = 0; it < iters; ++it) {
+    for (const checker::Observation& ob : trace) {
+      const checker::Event ev{ob.time, &ob.values};
+      block.prime(ev, ~uint64_t{0});
+      for (uint32_t lane = 0; lane < kWidth; ++lane) {
+        if (block.step_lane(ev, lane) != checker::Verdict::kPending) {
+          ++t.resolutions;
+          block.reset_lane(lane);
+        }
+      }
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  t.steps_per_second =
+      static_cast<double>(iters * trace.size() * kWidth) / elapsed.count();
+  return t;
+}
+
+void run_battery_pair(std::vector<std::unique_ptr<checker::Instance>>& battery,
+                      checker::BatchState& block, const checker::Trace& trace,
+                      size_t iters, Throughput& ts, Throughput& tv) {
+  time_scalar_battery(battery, trace, iters);  // warm-up
+  time_vector_battery(block, trace, iters);    // warm-up
+  for (int rep = 0; rep < 5; ++rep) {
+    const Throughput a = time_scalar_battery(battery, trace, iters);
+    const Throughput b = time_vector_battery(block, trace, iters);
+    if (a.steps_per_second > ts.steps_per_second) ts = a;
+    if (b.steps_per_second > tv.steps_per_second) tv = b;
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -119,14 +196,22 @@ int main() {
   meta.workload = kTraceLen * kIters;
   meta.checkers = 1;
 
+  // The battery columns amortise one prime() over 64 lanes; fewer passes
+  // keep the 64x-larger step count per pass in budget.
+  const size_t kBatteryIters = kIters / 8;
+
   std::printf("=== Instance step throughput: interpreter vs compiled ===\n");
-  std::printf("%zu-event stream x %zu passes per property\n\n", kTraceLen,
-              kIters);
-  std::printf("%-6s %14s %14s %9s %8s\n", "prop", "interp steps/s",
-              "compiled st/s", "speedup", "program");
+  std::printf("%zu-event stream x %zu passes per property; all-checkers "
+              "columns step %u instances x %zu passes\n\n",
+              kTraceLen, kIters, kWidth, kBatteryIters);
+  std::printf("%-6s %14s %14s %9s %14s %14s %9s %8s\n", "prop",
+              "interp steps/s", "compiled st/s", "speedup", "scalar64 st/s",
+              "vector64 st/s", "vspeedup", "program");
 
   double log_speedup_sum = 0;
   size_t measured = 0;
+  double log_vector_sum = 0;
+  size_t vector_measured = 0;
   for (size_t i = 0; i < suite.properties.size(); ++i) {
     if (outcomes[i].deleted()) continue;
     const psl::ExprPtr& formula = outcomes[i].property->formula;
@@ -149,9 +234,41 @@ int main() {
     const double speedup = tc.steps_per_second / ti.steps_per_second;
     log_speedup_sum += std::log(speedup);
     ++measured;
-    std::printf("%-6s %14.3e %14.3e %8.2fx %5zu op\n", name.c_str(),
-                ti.steps_per_second, tc.steps_per_second, speedup,
-                program->size());
+
+    // All-checkers battery over the wrapper's program: the body below the
+    // top-level always chain, exactly what instances of this property run.
+    psl::ExprPtr body = formula;
+    while (body->kind == psl::ExprKind::kAlways) body = body->lhs;
+    const auto body_program = checker::Program::compile(body);
+    Throughput ts, tv;
+    const bool vectorizable = checker::ProgramBatch::supported(*body_program);
+    if (vectorizable) {
+      std::vector<std::unique_ptr<checker::Instance>> battery;
+      for (uint32_t lane = 0; lane < kWidth; ++lane) {
+        battery.push_back(std::make_unique<checker::Instance>(body_program));
+      }
+      auto layout = std::make_shared<const checker::ProgramBatch>(body_program);
+      checker::BatchState block(layout);
+      for (uint32_t lane = 0; lane < kWidth; ++lane) block.allocate_lane();
+      run_battery_pair(battery, block, trace, kBatteryIters, ts, tv);
+      if (ts.resolutions != tv.resolutions) {
+        std::printf("%-6s VECTOR MISMATCH: %llu vs %llu resolutions\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(ts.resolutions),
+                    static_cast<unsigned long long>(tv.resolutions));
+        return 1;
+      }
+      log_vector_sum += std::log(tv.steps_per_second / ts.steps_per_second);
+      ++vector_measured;
+      std::printf("%-6s %14.3e %14.3e %8.2fx %14.3e %14.3e %8.2fx %5zu op\n",
+                  name.c_str(), ti.steps_per_second, tc.steps_per_second,
+                  speedup, ts.steps_per_second, tv.steps_per_second,
+                  tv.steps_per_second / ts.steps_per_second, program->size());
+    } else {
+      std::printf("%-6s %14.3e %14.3e %8.2fx %14s %14s %9s %5zu op\n",
+                  name.c_str(), ti.steps_per_second, tc.steps_per_second,
+                  speedup, "-", "-", "-", program->size());
+    }
 
     const double steps = static_cast<double>(kTraceLen * kIters);
     models::RunResult r;
@@ -162,12 +279,33 @@ int main() {
     json.add(name + " interp", meta, r.wall_seconds, r);
     r.wall_seconds = steps / tc.steps_per_second;
     json.add(name + " compiled", meta, r.wall_seconds, r);
+    if (vectorizable) {
+      models::RunConfig meta64 = meta;  // the 64-instance battery records
+      meta64.checkers = kWidth;
+      const double battery_steps =
+          static_cast<double>(kTraceLen * kBatteryIters * kWidth);
+      models::RunResult rb;
+      rb.transactions = kTraceLen * kBatteryIters;
+      rb.functional_ok = true;
+      rb.properties_ok = true;
+      meta64.engine.vectorized = false;
+      rb.wall_seconds = battery_steps / ts.steps_per_second;
+      json.add(name + " scalar64", meta64, rb.wall_seconds, rb);
+      meta64.engine.vectorized = true;
+      rb.wall_seconds = battery_steps / tv.steps_per_second;
+      json.add(name + " vector64", meta64, rb.wall_seconds, rb);
+    }
   }
 
   const double geomean =
       measured == 0 ? 0 : std::exp(log_speedup_sum / measured);
   std::printf("\ngeometric-mean compiled speedup: %.2fx over %zu properties\n",
               geomean, measured);
+  const double vector_geomean =
+      vector_measured == 0 ? 0 : std::exp(log_vector_sum / vector_measured);
+  std::printf("geometric-mean lockstep speedup over the scalar battery: "
+              "%.2fx over %zu properties\n",
+              vector_geomean, vector_measured);
 
   // Hash-consing effectiveness: intern the whole abstracted suite twice.
   psl::ExprTable table;
@@ -186,5 +324,9 @@ int main() {
               static_cast<unsigned long long>(stats.misses),
               100.0 * hit_rate);
 
-  return geomean >= 1.0 ? 0 : 1;
+  // Gate: the compiled backend must not regress below the interpreter, and
+  // the lockstep kernel must hold its >= 3x headline on the battery columns.
+  if (geomean < 1.0) return 1;
+  if (vector_measured > 0 && vector_geomean < 3.0) return 1;
+  return 0;
 }

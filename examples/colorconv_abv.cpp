@@ -11,12 +11,15 @@
 //
 // Usage: colorconv_abv [--jobs N] [--batch-size N] [--max-inflight N]
 //                      [--witness-depth N] [--failure-log-cap N]
-//                      [--trace-out FILE]
-//                      [--report-out FILE] [--dump-passes] [--interpreter]
+//                      [--trace-out FILE] [--report-out FILE]
+//                      [--dump-passes] [--interpreter] [--no-vectorize]
 //   --dump-passes       print every rewrite-pipeline pass per property before
 //                       the runs.
 //   --interpreter       evaluate checkers with the tree-walking interpreter
 //                       instead of the compiled flat programs.
+//   --no-vectorize      keep the compiled backend scalar: disable the 64-wide
+//                       lockstep kernel (reports are byte-identical either
+//                       way; only speed differs).
 //   --analyze           run the static property analysis before each run and
 //                       print its diagnostics.
 //   --Werror-analysis   like --analyze, but abort (exit 1) without simulating
@@ -26,6 +29,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "checker/wrapper.h"
@@ -33,6 +37,7 @@
 #include "models/properties.h"
 #include "models/testbench.h"
 #include "rewrite/methodology.h"
+#include "support/strutil.h"
 
 using namespace repro;
 using models::Design;
@@ -100,14 +105,33 @@ int main(int argc, char** argv) {
   std::string report_out;
   bool dump_passes = false;
   bool interpreter = false;
+  bool vectorized = true;
   models::AnalysisMode analysis = models::AnalysisMode::kOff;
+  auto usage = [&] {
+    std::fprintf(stderr,
+                 "usage: %s [--jobs N] [--batch-size N] [--max-inflight N]\n"
+                 "          [--witness-depth N] [--failure-log-cap N]\n"
+                 "          [--trace-out FILE] [--report-out FILE]\n"
+                 "          [--dump-passes] [--interpreter] [--no-vectorize]\n"
+                 "          [--analyze] [--Werror-analysis]\n",
+                 argv[0]);
+  };
   for (int i = 1; i < argc; ++i) {
+    // Strict numeric arguments: garbage ("abc", "64k", "-1") is a usage
+    // error, not a silent 0.
     auto size_arg = [&](size_t& out) {
-      out = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+      const std::optional<size_t> parsed = repro::parse_size(argv[++i]);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "%s: bad numeric value '%s' for %s\n", argv[0],
+                     argv[i], argv[i - 1]);
+        usage();
+        std::exit(2);
+      }
+      out = *parsed;
     };
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       size_arg(jobs);
-      if (jobs == 0) jobs = 1;  // non-numeric or 0: serial
+      if (jobs == 0) jobs = 1;  // 0: serial
     } else if (std::strcmp(argv[i], "--batch-size") == 0 && i + 1 < argc) {
       size_arg(batch_size);
       if (batch_size == 0) batch_size = 1;
@@ -128,6 +152,8 @@ int main(int argc, char** argv) {
       dump_passes = true;
     } else if (std::strcmp(argv[i], "--interpreter") == 0) {
       interpreter = true;
+    } else if (std::strcmp(argv[i], "--no-vectorize") == 0) {
+      vectorized = false;
     } else if (std::strcmp(argv[i], "--analyze") == 0) {
       if (analysis == models::AnalysisMode::kOff) {
         analysis = models::AnalysisMode::kOn;
@@ -135,13 +161,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--Werror-analysis") == 0) {
       analysis = models::AnalysisMode::kError;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--jobs N] [--batch-size N] [--max-inflight N]\n"
-                   "          [--witness-depth N] [--failure-log-cap N]\n"
-                   "          [--trace-out FILE] [--report-out FILE]\n"
-                   "          [--dump-passes] [--interpreter]\n"
-                   "          [--analyze] [--Werror-analysis]\n",
-                   argv[0]);
+      usage();
       return 2;
     }
   }
@@ -179,7 +199,8 @@ int main(int argc, char** argv) {
   config.checkers = suite.properties.size();
   config.engine = {.jobs = jobs,
                    .batch_size = batch_size,
-                   .max_inflight_batches = max_inflight};
+                   .max_inflight_batches = max_inflight,
+                   .vectorized = vectorized};
   config.observability.witness_depth = witness_depth;
   config.observability.failure_log_cap = failure_log_cap;
   config.compiled_checkers = !interpreter;

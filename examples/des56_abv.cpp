@@ -12,7 +12,8 @@
 // Usage: des56_abv [--jobs N] [--batch-size N] [--max-inflight N]
 //                  [--witness-depth N] [--failure-log-cap N]
 //                  [--trace-out FILE] [--report-out FILE]
-//                  [--dump-passes] [--interpreter] [--no-witness-demo]
+//                  [--dump-passes] [--interpreter] [--no-vectorize]
+//                  [--no-witness-demo]
 //   --jobs N             shard the TLM checker suite across N worker threads
 //                        (default 1 = serial; results are identical for any N).
 //   --batch-size N       records per sealed arena batch (default 64; ignored
@@ -28,6 +29,9 @@
 //   --dump-passes        print every rewrite-pipeline pass per property.
 //   --interpreter        evaluate checkers with the tree-walking interpreter
 //                        instead of the compiled flat programs.
+//   --no-vectorize       keep the compiled backend scalar: disable the
+//                        64-wide lockstep kernel (reports are byte-identical
+//                        either way; only speed differs).
 //   --no-witness-demo    do not inject the failing demo property.
 //   --analyze            run the static property analysis before each
 //                        simulation and print its diagnostics.
@@ -38,12 +42,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "models/properties.h"
 #include "models/testbench.h"
 #include "psl/parser.h"
 #include "rewrite/methodology.h"
+#include "support/strutil.h"
 
 using namespace repro;
 using models::Design;
@@ -58,8 +64,8 @@ void usage(const char* argv0) {
                "usage: %s [--jobs N] [--batch-size N] [--max-inflight N]\n"
                "          [--witness-depth N] [--failure-log-cap N]\n"
                "          [--trace-out FILE] [--report-out FILE]\n"
-               "          [--dump-passes] [--interpreter] [--no-witness-demo]\n"
-               "          [--analyze] [--Werror-analysis]\n",
+               "          [--dump-passes] [--interpreter] [--no-vectorize]\n"
+               "          [--no-witness-demo] [--analyze] [--Werror-analysis]\n",
                argv0);
 }
 
@@ -95,14 +101,24 @@ int main(int argc, char** argv) {
   bool witness_demo = true;
   bool dump_passes = false;
   bool interpreter = false;
+  bool vectorized = true;
   models::AnalysisMode analysis = models::AnalysisMode::kOff;
   for (int i = 1; i < argc; ++i) {
+    // Strict numeric arguments: garbage ("abc", "64k", "-1") is a usage
+    // error, not a silent 0.
     auto size_arg = [&](size_t& out) {
-      out = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+      const std::optional<size_t> parsed = repro::parse_size(argv[++i]);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "%s: bad numeric value '%s' for %s\n", argv[0],
+                     argv[i], argv[i - 1]);
+        usage(argv[0]);
+        std::exit(2);
+      }
+      out = *parsed;
     };
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       size_arg(jobs);
-      if (jobs == 0) jobs = 1;  // non-numeric or 0: serial
+      if (jobs == 0) jobs = 1;  // 0: serial
     } else if (std::strcmp(argv[i], "--batch-size") == 0 && i + 1 < argc) {
       size_arg(batch_size);
       if (batch_size == 0) batch_size = 1;
@@ -123,6 +139,8 @@ int main(int argc, char** argv) {
       dump_passes = true;
     } else if (std::strcmp(argv[i], "--interpreter") == 0) {
       interpreter = true;
+    } else if (std::strcmp(argv[i], "--no-vectorize") == 0) {
+      vectorized = false;
     } else if (std::strcmp(argv[i], "--no-witness-demo") == 0) {
       witness_demo = false;
     } else if (std::strcmp(argv[i], "--analyze") == 0) {
@@ -177,7 +195,8 @@ int main(int argc, char** argv) {
   config.checkers = suite.properties.size();
   config.engine = {.jobs = jobs,
                    .batch_size = batch_size,
-                   .max_inflight_batches = max_inflight};
+                   .max_inflight_batches = max_inflight,
+                   .vectorized = vectorized};
   config.observability.witness_depth = witness_depth;
   config.observability.failure_log_cap = failure_log_cap;
   config.compiled_checkers = !interpreter;

@@ -25,6 +25,11 @@ struct EngineConfig {
   // while the shards drain batch k. Ignored at jobs == 1; values < 1 are
   // clamped to 1.
   size_t max_inflight_batches = 2;
+  // Evaluate frame-free compiled checker programs through the 64-wide
+  // lockstep kernel (checker/batch.h). Reports are byte-identical either
+  // way; only throughput differs. Kept last so existing designated
+  // initializers stay valid.
+  bool vectorized = true;
 };
 
 }  // namespace repro::abv

@@ -42,11 +42,14 @@ EvalEngine::EvalEngine(Options options)
     m_backpressure_ns_ = &options_.metrics->counter("engine.backpressure_ns");
     m_queue_depth_ = &options_.metrics->gauge("engine.queue_depth");
     m_inflight_peak_ = &options_.metrics->gauge("engine.inflight_peak");
-    // Arena accounting is published at finish(); registering the names up
-    // front keeps the snapshot key set identical across jobs values.
+    // Arena and lockstep accounting are published at finish(); registering
+    // the names up front keeps the snapshot key set identical across jobs
+    // and vectorization settings.
     options_.metrics->counter("engine.arena_records");
     options_.metrics->counter("engine.arena_segments");
     options_.metrics->counter("engine.arena_recycled");
+    options_.metrics->counter("engine.vector_batches");
+    options_.metrics->counter("engine.vector_lanes_filled");
   }
   if (options_.trace != nullptr) {
     options_.trace->name_thread(0, "producer");
@@ -283,6 +286,8 @@ void EvalEngine::publish_metrics() {
       options_.metrics->gauge("wrapper.table_peak");
   uint64_t program_nodes = 0;
   uint64_t compiled = 0;
+  uint64_t vector_batches = 0;
+  uint64_t vector_lanes = 0;
   for (checker::TlmCheckerWrapper* w : wrappers_) {
     // Serial, in registration order: the merged histogram and the gauge
     // high-water marks are deterministic for a given transaction stream.
@@ -294,9 +299,18 @@ void EvalEngine::publish_metrics() {
       ++compiled;
       program_nodes += w->program()->size();
     }
+    vector_batches += w->stats().vector_batches;
+    vector_lanes += w->stats().vector_lanes_filled;
+  }
+  for (checker::PropertyChecker* c : checkers_) {
+    vector_batches += c->stats().vector_batches;
+    vector_lanes += c->stats().vector_lanes_filled;
   }
   options_.metrics->gauge("checker.compiled_wrappers").set(0, compiled);
   options_.metrics->gauge("checker.program_nodes").set(0, program_nodes);
+  options_.metrics->counter("engine.vector_batches").add(0, vector_batches);
+  options_.metrics->counter("engine.vector_lanes_filled")
+      .add(0, vector_lanes);
 }
 
 void EvalEngine::finish() {

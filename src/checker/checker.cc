@@ -1,5 +1,6 @@
 #include "checker/checker.h"
 
+#include <bit>
 #include <cassert>
 
 namespace repro::checker {
@@ -18,11 +19,56 @@ PropertyChecker::PropertyChecker(std::string name, psl::ExprPtr formula,
   }
   // Compile once; every instance (across all activations) shares the program.
   if (options_.compiled) program_ = Program::compile(body_);
+  // Frame-free programs share a lockstep layout (see wrapper.cc for the
+  // Sec. IV wrapper counterpart of this backend selection).
+  if (program_ != nullptr && options_.vectorized &&
+      ProgramBatch::supported(*program_)) {
+    batch_layout_ = std::make_shared<const ProgramBatch>(program_);
+  }
 }
 
-std::unique_ptr<Instance> PropertyChecker::make_instance() const {
+std::unique_ptr<Instance> PropertyChecker::make_instance() {
+  if (batch_layout_ != nullptr) {
+    for (const auto& block : blocks_) {
+      if (block->has_free_lane()) {
+        return std::make_unique<Instance>(block, block->allocate_lane());
+      }
+    }
+    blocks_.push_back(std::make_shared<BatchState>(batch_layout_));
+    return std::make_unique<Instance>(blocks_.back(),
+                                      blocks_.back()->allocate_lane());
+  }
   if (program_) return std::make_unique<Instance>(program_);
   return std::make_unique<Instance>(body_);
+}
+
+// Lockstep pre-pass over the active list; see TlmCheckerWrapper::prime_cohorts
+// for the invariants (the scalar loop below then consumes the primed verdicts
+// lane by lane, so stats and failure-log order are unchanged).
+void PropertyChecker::prime_cohorts(const Event& ev) {
+  prime_masks_.clear();
+  for (const auto& instance : active_) {
+    BatchState* block = instance->batch_block();
+    if (block == nullptr) continue;
+    const uint64_t bit = uint64_t{1} << instance->batch_lane();
+    bool found = false;
+    for (auto& [b, mask] : prime_masks_) {
+      if (b == block) {
+        mask |= bit;
+        found = true;
+        break;
+      }
+    }
+    if (!found) prime_masks_.emplace_back(block, bit);
+  }
+  for (auto& [block, mask] : prime_masks_) {
+    const int lanes = std::popcount(mask);
+    block->prime(ev, mask);
+    if (lanes > 1) {
+      ++stats_.vector_batches;
+      stats_.vector_lanes_filled += static_cast<uint64_t>(lanes);
+    }
+  }
 }
 
 void PropertyChecker::retire(std::unique_ptr<Instance> instance, Verdict v,
@@ -48,6 +94,7 @@ void PropertyChecker::retire(std::unique_ptr<Instance> instance, Verdict v,
 void PropertyChecker::on_event(psl::TimeNs time, const ValueContext& values) {
   ++stats_.events;
   const Event ev{time, &values};
+  if (!blocks_.empty()) prime_cohorts(ev);
 
   // Feed the event to every active instance; retire the resolved ones.
   size_t keep = 0;

@@ -13,10 +13,13 @@
 #ifndef REPRO_CHECKER_CHECKER_H_
 #define REPRO_CHECKER_CHECKER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "checker/batch.h"
 #include "checker/instance.h"
 #include "checker/program.h"
 #include "checker/trace.h"
@@ -31,6 +34,11 @@ namespace repro::checker {
 // semantics (cross-validated in the ir test suite).
 struct CheckerOptions {
   bool compiled = true;
+  // On the compiled backend, evaluate instances of frame-free programs
+  // (ProgramBatch::supported) through the 64-wide lockstep kernel (batch.h).
+  // Reports are byte-identical either way; only speed differs. Programs with
+  // dynamic operators fall back to scalar compiled evaluation per property.
+  bool vectorized = true;
   // Maximum number of Failure entries retained for diagnostics; verdicts and
   // stats are unaffected.
   size_t failure_log_cap = 64;
@@ -56,6 +64,10 @@ struct CheckerStats {
                               // antecedent, the paper's "trivially true")
   uint64_t uncompleted = 0;   // instances still pending at finish()
   uint64_t steps = 0;         // instance step() calls (work measure)
+  // Lockstep accounting (vectorized backend only; absent from reports, so
+  // the JSON stays byte-identical with vectorization on or off).
+  uint64_t vector_batches = 0;       // multi-lane prime() calls
+  uint64_t vector_lanes_filled = 0;  // lanes advanced by those calls
 };
 
 class PropertyChecker {
@@ -85,7 +97,8 @@ class PropertyChecker {
 
  private:
   void retire(std::unique_ptr<Instance> instance, Verdict v, psl::TimeNs time);
-  std::unique_ptr<Instance> make_instance() const;
+  std::unique_ptr<Instance> make_instance();
+  void prime_cohorts(const Event& ev);
 
   std::string name_;
   psl::ExprPtr formula_;       // keeps the AST alive for node back-references
@@ -93,6 +106,12 @@ class PropertyChecker {
   psl::ExprPtr guard_;         // may be nullptr
   CheckerOptions options_;
   std::shared_ptr<const Program> program_;  // compiled backend only
+  // Vectorized backend: shared lockstep layout and the lane blocks the
+  // instances live in (see wrapper.h for the wrapper-side counterpart).
+  std::shared_ptr<const ProgramBatch> batch_layout_;
+  std::vector<std::shared_ptr<BatchState>> blocks_;
+  // Reused per-event scratch of the prime pre-pass (block -> lanes).
+  std::vector<std::pair<BatchState*, uint64_t>> prime_masks_;
   bool repeating_ = false;     // had a top-level always
   bool started_ = false;       // non-repeating: first activation done
   std::vector<std::unique_ptr<Instance>> active_;

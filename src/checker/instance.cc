@@ -444,23 +444,38 @@ Instance::Instance(psl::ExprPtr formula) : formula_(std::move(formula)) {
 Instance::Instance(std::shared_ptr<const Program> program)
     : state_(std::in_place, std::move(program)) {}
 
+Instance::Instance(std::shared_ptr<BatchState> block, uint32_t lane)
+    : block_(std::move(block)), lane_(lane) {
+  assert(block_ != nullptr);
+  assert(block_->allocated() & (uint64_t{1} << lane_));
+}
+
+Instance::~Instance() {
+  if (block_ != nullptr) block_->release_lane(lane_);
+}
+
 Verdict Instance::step(const Event& ev) {
   if (verdict_ != Verdict::kPending) return verdict_;
-  verdict_ = state_ ? state_->step(ev) : root_->step(ev);
+  verdict_ = block_   ? block_->step_lane(ev, lane_)
+             : state_ ? state_->step(ev)
+                      : root_->step(ev);
   return verdict_;
 }
 
 Verdict Instance::finish() {
   if (verdict_ != Verdict::kPending) return verdict_;
-  verdict_ = state_ ? state_->finish() : root_->finish();
+  verdict_ = block_   ? block_->finish_lane(lane_)
+             : state_ ? state_->finish()
+                      : root_->finish();
   return verdict_;
 }
 
 std::optional<psl::TimeNs> Instance::next_deadline() const {
   if (verdict_ != Verdict::kPending) return std::nullopt;
   std::vector<psl::TimeNs> deadlines;
-  const bool scheduled = state_ ? state_->collect_deadlines(deadlines)
-                                : root_->collect_deadlines(deadlines);
+  const bool scheduled = block_   ? block_->collect_deadlines(lane_, deadlines)
+                         : state_ ? state_->collect_deadlines(deadlines)
+                                  : root_->collect_deadlines(deadlines);
   if (!scheduled || deadlines.empty()) {
     return std::nullopt;
   }
@@ -470,7 +485,9 @@ std::optional<psl::TimeNs> Instance::next_deadline() const {
 }
 
 void Instance::reset() {
-  if (state_) {
+  if (block_) {
+    block_->reset_lane(lane_);
+  } else if (state_) {
     state_->reset();
   } else {
     root_->reset();

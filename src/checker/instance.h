@@ -14,10 +14,12 @@
 #ifndef REPRO_CHECKER_INSTANCE_H_
 #define REPRO_CHECKER_INSTANCE_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "checker/batch.h"
 #include "checker/program.h"
 #include "checker/trace.h"
 #include "psl/ast.h"
@@ -54,6 +56,14 @@ class Instance {
   explicit Instance(psl::ExprPtr formula);
   // Compiled backend: flat state over a shared immutable Program.
   explicit Instance(std::shared_ptr<const Program> program);
+  // Vectorized backend: one lane of a shared 64-wide lockstep block. The
+  // lane must already be allocated; the instance owns it and returns it to
+  // the block on destruction.
+  Instance(std::shared_ptr<BatchState> block, uint32_t lane);
+  ~Instance();
+
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
 
   // Feeds the next event; the first call anchors the instance. Returns the
   // verdict after consuming the event.
@@ -78,13 +88,22 @@ class Instance {
   void set_activated_at(psl::TimeNs t) { activated_at_ = t; }
   psl::TimeNs activated_at() const { return activated_at_; }
 
-  // True when this instance runs on the compiled backend.
-  bool compiled() const { return state_.has_value(); }
+  // True when this instance runs on a compiled backend (flat program state
+  // or a lockstep lane).
+  bool compiled() const { return state_.has_value() || block_ != nullptr; }
+
+  // Lockstep block backing this instance (nullptr on the scalar backends)
+  // and the lane it occupies; the owner uses these to group instances into
+  // prime() cohorts.
+  BatchState* batch_block() const { return block_.get(); }
+  uint32_t batch_lane() const { return lane_; }
 
  private:
   psl::ExprPtr formula_;
   std::unique_ptr<detail::Node> root_;   // interpreter backend
   std::optional<ProgramState> state_;    // compiled backend
+  std::shared_ptr<BatchState> block_;    // vectorized backend
+  uint32_t lane_ = 0;                    // lane within block_
   Verdict verdict_ = Verdict::kPending;
   psl::TimeNs activated_at_ = 0;
 };

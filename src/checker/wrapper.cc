@@ -1,6 +1,7 @@
 #include "checker/wrapper.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace repro::checker {
@@ -61,6 +62,12 @@ TlmCheckerWrapper::TlmCheckerWrapper(const psl::TlmProperty& property,
   }
   // Compile once; every instance in the pool shares the immutable program.
   if (options_.compiled) program_ = Program::compile(body_);
+  // Frame-free programs additionally share a lockstep layout: instances then
+  // occupy lanes of 64-wide blocks and due cohorts advance in one pass.
+  if (program_ != nullptr && options_.vectorized &&
+      ProgramBatch::supported(*program_)) {
+    batch_layout_ = std::make_shared<const ProgramBatch>(program_);
+  }
   // Sec. IV point 1: the pool is sized by the lifetime of an instance, i.e.
   // the number of instants in (t_fire, t_end] at which a transaction can
   // occur (see compute_lifetime). A property with until/release obligations
@@ -163,9 +170,65 @@ std::unique_ptr<Instance> TlmCheckerWrapper::acquire() {
   return make_instance();
 }
 
-std::unique_ptr<Instance> TlmCheckerWrapper::make_instance() const {
+std::unique_ptr<Instance> TlmCheckerWrapper::make_instance() {
+  if (batch_layout_ != nullptr) {
+    for (const auto& block : blocks_) {
+      if (block->has_free_lane()) {
+        return std::make_unique<Instance>(block, block->allocate_lane());
+      }
+    }
+    blocks_.push_back(std::make_shared<BatchState>(batch_layout_));
+    return std::make_unique<Instance>(blocks_.back(),
+                                      blocks_.back()->allocate_lane());
+  }
   if (program_) return std::make_unique<Instance>(program_);
   return std::make_unique<Instance>(body_);
+}
+
+// Lockstep pre-pass: collect the instances this transaction is about to step
+// — scheduled entries whose deadline has arrived plus every dense instance —
+// group them by lane block, and advance each block once through the 64-wide
+// kernel. The bookkeeping loops in on_transaction then consume the primed
+// verdicts lane by lane, so stats ordering, table evolution, failure logs
+// and the free-pool LIFO are identical to the scalar path by construction.
+// Instances that get re-stepped within the same transaction (re-dued
+// eps == 0 entries, table instances migrating to the dense list) have
+// consumed their primed bit by then and self-prime, preserving the scalar
+// double-step.
+void TlmCheckerWrapper::prime_cohorts(psl::TimeNs time, const Event& ev) {
+  prime_masks_.clear();
+  const auto add = [&](const Instance& instance) {
+    BatchState* block = instance.batch_block();
+    if (block == nullptr) return;
+    const uint64_t bit = uint64_t{1} << instance.batch_lane();
+    for (auto& [b, mask] : prime_masks_) {
+      if (b == block) {
+        mask |= bit;
+        return;
+      }
+    }
+    prime_masks_.emplace_back(block, bit);
+  };
+  for (auto it = table_.begin(); it != table_.end() && it->first <= time;
+       ++it) {
+    add(*it->second);
+  }
+  for (const auto& instance : dense_) add(*instance);
+  for (auto& [block, mask] : prime_masks_) {
+    const int lanes = std::popcount(mask);
+    const uint64_t t0 =
+        trace_ != nullptr && lanes > 1 ? trace_->now_ns() : 0;
+    block->prime(ev, mask);
+    if (lanes > 1) {
+      ++stats_.vector_batches;
+      stats_.vector_lanes_filled += static_cast<uint64_t>(lanes);
+      if (trace_ != nullptr) {
+        const uint64_t t1 = trace_->now_ns();
+        trace_->span(trace_tid_, "vector_batch", t0, t1 > t0 ? t1 - t0 : 0,
+                     {{"lanes", static_cast<uint64_t>(lanes)}});
+      }
+    }
+  }
 }
 
 void TlmCheckerWrapper::on_transaction(psl::TimeNs time, const ValueContext& values) {
@@ -173,6 +236,7 @@ void TlmCheckerWrapper::on_transaction(psl::TimeNs time, const ValueContext& val
   last_time_ = time;
   if (witness_depth_ > 0) capture_witness(time, values);
   const Event ev{time, &values};
+  if (!blocks_.empty()) prime_cohorts(time, ev);
 
   // Sec. IV point 2: evaluate every scheduled instance whose deadline is at
   // or before `time`. An instance due strictly earlier missed its evaluation

@@ -29,6 +29,9 @@
 #include <string>
 #include <vector>
 
+#include <utility>
+
+#include "checker/batch.h"
 #include "checker/checker.h"
 #include "checker/instance.h"
 #include "psl/ast.h"
@@ -68,6 +71,10 @@ struct WrapperStats {
   size_t pool_capacity = 0;    // live instances (active + pooled)
   size_t pool_dropped = 0;     // instances freed by the free-pool cap
   size_t table_peak = 0;       // peak size of the evaluation table
+  // Lockstep accounting (vectorized backend only; absent from reports, so
+  // the JSON stays byte-identical with vectorization on or off).
+  uint64_t vector_batches = 0;       // multi-lane prime() calls
+  uint64_t vector_lanes_filled = 0;  // lanes advanced by those calls
 };
 
 class TlmCheckerWrapper {
@@ -122,7 +129,8 @@ class TlmCheckerWrapper {
   void retire(std::unique_ptr<Instance> instance, Verdict v, psl::TimeNs time);
   void place(std::unique_ptr<Instance> instance);
   std::unique_ptr<Instance> acquire();
-  std::unique_ptr<Instance> make_instance() const;
+  std::unique_ptr<Instance> make_instance();
+  void prime_cohorts(psl::TimeNs time, const Event& ev);
   void capture_witness(psl::TimeNs time, const ValueContext& values);
   std::vector<WitnessEntry> witness_snapshot() const;
 
@@ -132,6 +140,13 @@ class TlmCheckerWrapper {
   psl::ExprPtr guard_;     // transaction-context guard, may be nullptr
   CheckerOptions options_;
   std::shared_ptr<const Program> program_;  // compiled backend only
+  // Vectorized backend: the shared lockstep layout and the lane blocks the
+  // instances live in (one block per 64 concurrent instances). Empty when
+  // the program is unsupported or vectorization is off.
+  std::shared_ptr<const ProgramBatch> batch_layout_;
+  std::vector<std::shared_ptr<BatchState>> blocks_;
+  // Reused per-transaction scratch of the prime pre-pass (block -> lanes).
+  std::vector<std::pair<BatchState*, uint64_t>> prime_masks_;
   bool repeating_ = false;
   bool started_ = false;
   size_t lifetime_ = 0;

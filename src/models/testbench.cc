@@ -56,6 +56,7 @@ bool abv_enabled(const RunConfig& config) {
 checker::CheckerOptions checker_options(const RunConfig& config) {
   checker::CheckerOptions options;
   options.compiled = config.compiled_checkers;
+  options.vectorized = config.engine.vectorized;
   options.failure_log_cap = config.observability.failure_log_cap;
   return options;
 }
@@ -610,44 +611,7 @@ const char* to_string(Level l) {
   return "?";
 }
 
-RunConfig RunConfig::resolved() const {
-  RunConfig out = *this;
-  // Deliberate deprecated-member access: this is the one-release shim that
-  // folds set flat fields into the nested groups.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  if (out.jobs != kUnsetSize) out.engine.jobs = out.jobs;
-  if (out.batch_size != kUnsetSize) out.engine.batch_size = out.batch_size;
-  if (out.witness_depth != kUnsetSize) {
-    out.observability.witness_depth = out.witness_depth;
-  }
-  if (out.failure_log_cap != kUnsetSize) {
-    out.observability.failure_log_cap = out.failure_log_cap;
-  }
-  if (!out.trace_path.empty()) out.observability.trace_path = out.trace_path;
-  if (out.push_mode.has_value()) out.abstraction.push_mode = *out.push_mode;
-  if (out.at_replay_unabstracted.has_value()) {
-    out.abstraction.at_replay_unabstracted = *out.at_replay_unabstracted;
-  }
-  out.jobs = kUnsetSize;
-  out.batch_size = kUnsetSize;
-  out.witness_depth = kUnsetSize;
-  out.failure_log_cap = kUnsetSize;
-  out.trace_path.clear();
-  out.push_mode.reset();
-  out.at_replay_unabstracted.reset();
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-  return out;
-}
-
-RunResult run_simulation(const RunConfig& raw) {
-  // Fold any deprecated flat-field assignments into the nested groups, so
-  // the runners below only ever consult the nested form.
-  const RunConfig config = raw.resolved();
+RunResult run_simulation(const RunConfig& config) {
   const PropertySuite suite =
       config.design == Design::kDes56 ? des56_suite() : colorconv_suite();
 

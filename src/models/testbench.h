@@ -6,7 +6,6 @@
 #define REPRO_MODELS_TESTBENCH_H_
 
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -81,28 +80,7 @@ struct AnalysisConfig {
 //   RunConfig config;
 //   config.engine = {.jobs = 4, .max_inflight_batches = 3};
 //   config.observability = {.trace_path = "at.trace.json"};
-// The flat fields of the pre-split RunConfig survive one release as
-// [[deprecated]] shims; run_simulation folds any that were set into the
-// nested groups (see resolved()).
 struct RunConfig {
-  // The deprecated shim members below would make every implicitly-defined
-  // special member warn; default them under a suppression instead. (This
-  // makes RunConfig a non-aggregate; the nested groups stay aggregates and
-  // take designated initializers.)
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  RunConfig() = default;
-  RunConfig(const RunConfig&) = default;
-  RunConfig(RunConfig&&) = default;
-  RunConfig& operator=(const RunConfig&) = default;
-  RunConfig& operator=(RunConfig&&) = default;
-  ~RunConfig() = default;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
   Design design = Design::kDes56;
   Level level = Level::kRtl;
   // Number of properties to check, in suite order; 0 disables ABV.
@@ -129,26 +107,6 @@ struct RunConfig {
   ObservabilityConfig observability;
   AbstractionConfig abstraction;
   AnalysisConfig analysis;
-
-  // ---- deprecated flat-field shims (one release; see resolved()) --------
-  // Sentinel meaning "not set": the nested field wins.
-  static constexpr size_t kUnsetSize = ~size_t{0};
-  [[deprecated("use engine.jobs")]] size_t jobs = kUnsetSize;
-  [[deprecated("use engine.batch_size")]] size_t batch_size = kUnsetSize;
-  [[deprecated("use observability.witness_depth")]] size_t witness_depth =
-      kUnsetSize;
-  [[deprecated("use observability.failure_log_cap")]] size_t failure_log_cap =
-      kUnsetSize;
-  [[deprecated("use observability.trace_path")]] std::string trace_path;
-  [[deprecated("use abstraction.push_mode")]] std::optional<rewrite::PushMode>
-      push_mode;
-  [[deprecated("use abstraction.at_replay_unabstracted")]] std::optional<bool>
-      at_replay_unabstracted;
-
-  // Copy with every set deprecated shim folded into its nested group (the
-  // shims themselves are reset to unset). run_simulation calls this first,
-  // so legacy flat-field callers behave exactly as before the split.
-  RunConfig resolved() const;
 };
 
 struct RunResult {

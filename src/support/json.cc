@@ -1,6 +1,7 @@
 #include "support/json.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
 
 namespace repro::support::json {
@@ -143,6 +144,34 @@ class Parser {
     }
   }
 
+  // Reads exactly 4 hex digits at pos_ into `cp`; any non-hex character
+  // fails the parse (strtoul would silently stop early and decode garbage
+  // like \uZZZZ to 0, i.e. an embedded NUL).
+  bool parse_hex4(uint32_t& cp) {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+      return false;
+    }
+    cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_ + i];
+      uint32_t digit = 0;
+      if (h >= '0' && h <= '9') {
+        digit = static_cast<uint32_t>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        digit = static_cast<uint32_t>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        digit = static_cast<uint32_t>(h - 'A' + 10);
+      } else {
+        fail("bad hex digit in \\u escape");
+        return false;
+      }
+      cp = (cp << 4) | digit;
+    }
+    pos_ += 4;
+    return true;
+  }
+
   bool parse_string(std::string& out) {
     ++pos_;  // '"'
     out.clear();
@@ -165,21 +194,41 @@ class Parser {
         case 'r': out.push_back('\r'); break;
         case 't': out.push_back('\t'); break;
         case 'u': {
-          // Non-surrogate BMP escapes only; emitted as UTF-8.
-          if (pos_ + 4 > text_.size()) {
-            fail("truncated \\u escape");
+          uint32_t cp = 0;
+          if (!parse_hex4(cp)) return false;
+          // Surrogate pair: a high surrogate must be followed by a \uXXXX
+          // low surrogate; the pair combines into one supplementary-plane
+          // code point (4-byte UTF-8).
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("unpaired high surrogate in \\u escape");
+              return false;
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            if (!parse_hex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("invalid low surrogate in \\u escape");
+              return false;
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired low surrogate in \\u escape");
             return false;
           }
-          const std::string hex(text_.substr(pos_, 4));
-          pos_ += 4;
-          const unsigned long cp = std::strtoul(hex.c_str(), nullptr, 16);
           if (cp < 0x80) {
             out.push_back(static_cast<char>(cp));
           } else if (cp < 0x800) {
             out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
             out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-          } else {
+          } else if (cp < 0x10000) {
             out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
           }

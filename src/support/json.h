@@ -2,10 +2,11 @@
 //
 // Just enough of RFC 8259 to round-trip the observability outputs this
 // library emits (trace files, metric snapshots, run reports) in tests and
-// validation tools: objects, arrays, strings with the common escapes,
-// numbers (parsed as double), booleans and null. Not a general-purpose
-// library — no streaming, no \uXXXX surrogate pairs, inputs are trusted
-// build artifacts.
+// validation tools: objects, arrays, strings with the common escapes
+// (\uXXXX escapes are validated digit-by-digit and surrogate pairs decode
+// to 4-byte UTF-8; lone surrogates are a parse error), numbers (parsed as
+// double), booleans and null. Not a general-purpose library — no streaming,
+// inputs are trusted build artifacts.
 #ifndef REPRO_SUPPORT_JSON_H_
 #define REPRO_SUPPORT_JSON_H_
 

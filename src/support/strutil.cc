@@ -1,6 +1,7 @@
 #include "support/strutil.h"
 
 #include <cctype>
+#include <cstdint>
 
 namespace repro {
 
@@ -36,6 +37,27 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
     out += parts[i];
   }
   return out;
+}
+
+std::optional<uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;  // overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<size_t> parse_size(std::string_view text) {
+  const std::optional<uint64_t> value = parse_u64(text);
+  if (!value.has_value()) return std::nullopt;
+  if constexpr (sizeof(size_t) < sizeof(uint64_t)) {
+    if (*value > static_cast<uint64_t>(SIZE_MAX)) return std::nullopt;
+  }
+  return static_cast<size_t>(*value);
 }
 
 }  // namespace repro

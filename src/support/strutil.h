@@ -2,6 +2,8 @@
 #ifndef REPRO_SUPPORT_STRUTIL_H_
 #define REPRO_SUPPORT_STRUTIL_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,6 +22,14 @@ bool starts_with(std::string_view text, std::string_view prefix);
 
 // Joins `parts` with `sep`.
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Strict decimal parsers for CLI arguments. Unlike bare strtoull — which
+// accepts leading whitespace/signs, silently stops at the first non-digit
+// ("64k" -> 64, "abc" -> 0) and wraps on overflow — these accept only a
+// non-empty all-digit string that fits the result type, and return nullopt
+// otherwise. Callers turn nullopt into a usage error.
+std::optional<uint64_t> parse_u64(std::string_view text);
+std::optional<size_t> parse_size(std::string_view text);
 
 }  // namespace repro
 

@@ -4,12 +4,14 @@
 // and the parser/printer round-trip over the full property suites.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "abv/report.h"
+#include "checker/batch.h"
 #include "checker/instance.h"
 #include "checker/program.h"
 #include "checker/reference_eval.h"
@@ -266,13 +268,24 @@ Trace random_trace(Rng& rng, size_t max_len) {
 
 class IrBackendParity : public ::testing::TestWithParam<int> {};
 
+// Three-way parity: interpreter vs scalar compiled vs (for frame-free
+// programs) a lockstep lane of the vectorized backend. The lane instance is
+// absent when the random formula drew a dynamic operator — exactly the
+// per-property fallback the wrapper applies.
 TEST_P(IrBackendParity, CompiledMatchesInterpreterAndReference) {
   Rng rng(static_cast<uint64_t>(GetParam()) * 6271 + 5);
   const ExprPtr formula = random_formula(rng, 3);
   const Trace trace = random_trace(rng, 12);
 
+  const auto program = Program::compile(formula);
   Instance interpreted(formula);
-  Instance compiled(Program::compile(formula));
+  Instance compiled(program);
+  std::unique_ptr<Instance> lane;
+  if (ProgramBatch::supported(*program)) {
+    auto block = std::make_shared<BatchState>(
+        std::make_shared<const ProgramBatch>(program));
+    lane = std::make_unique<Instance>(block, block->allocate_lane());
+  }
   for (size_t k = 0; k < trace.size(); ++k) {
     const Event ev{trace[k].time, &trace[k].values};
     const Verdict vi = interpreted.step(ev);
@@ -281,6 +294,14 @@ TEST_P(IrBackendParity, CompiledMatchesInterpreterAndReference) {
                       << "\nprefix length: " << k + 1;
     ASSERT_EQ(compiled.next_deadline(), interpreted.next_deadline())
         << "formula: " << psl::to_string(formula) << "\nprefix length: " << k + 1;
+    if (lane != nullptr) {
+      ASSERT_EQ(lane->step(ev), vc)
+          << "vector lane diverged: " << psl::to_string(formula)
+          << "\nprefix length: " << k + 1;
+      ASSERT_EQ(lane->next_deadline(), compiled.next_deadline())
+          << "formula: " << psl::to_string(formula)
+          << "\nprefix length: " << k + 1;
+    }
     const Trace prefix(trace.begin(), trace.begin() + k + 1);
     ASSERT_EQ(vc, reference_eval(formula, prefix, 0, /*complete=*/false))
         << "formula: " << psl::to_string(formula);
@@ -288,6 +309,10 @@ TEST_P(IrBackendParity, CompiledMatchesInterpreterAndReference) {
   }
   ASSERT_EQ(compiled.finish(), interpreted.finish())
       << "formula: " << psl::to_string(formula);
+  if (lane != nullptr) {
+    ASSERT_EQ(lane->finish(), compiled.verdict())
+        << "formula: " << psl::to_string(formula);
+  }
   ASSERT_EQ(compiled.verdict(), reference_eval(formula, trace, 0, true))
       << "formula: " << psl::to_string(formula);
 }

@@ -566,5 +566,38 @@ TEST(Json, FindOnNonObjectReturnsNull) {
   EXPECT_EQ(doc->find("x"), nullptr);
 }
 
+TEST(Json, DecodesUnicodeEscapes) {
+  const auto doc = support::json::parse(R"({"s": "A\u0041\u00e9\u20ac"})");
+  ASSERT_TRUE(doc.has_value());
+  // A, A, e-acute (2-byte UTF-8), euro sign (3-byte UTF-8).
+  EXPECT_EQ(doc->find("s")->string, "AA\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(Json, RejectsNonHexUnicodeEscape) {
+  // Regression: strtoul used to stop at the first non-hex digit and decode
+  // \uZZZZ to 0, i.e. an embedded NUL in the parsed string.
+  std::string error;
+  EXPECT_FALSE(support::json::parse(R"({"s": "\uZZZZ"})", &error).has_value());
+  EXPECT_NE(error.find("hex"), std::string::npos) << error;
+  EXPECT_FALSE(support::json::parse(R"({"s": "\u12G4"})").has_value());
+  EXPECT_FALSE(support::json::parse(R"({"s": "\u123"})").has_value());
+}
+
+TEST(Json, DecodesSurrogatePairsToUtf8) {
+  // The escaped pair D83D/DE00 is U+1F600, which is 4-byte UTF-8.
+  const auto doc = support::json::parse(R"({"s": "\uD83D\uDE00"})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("s")->string, "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, RejectsLoneSurrogates) {
+  std::string error;
+  EXPECT_FALSE(support::json::parse(R"({"s": "\uD83D"})", &error).has_value());
+  EXPECT_NE(error.find("surrogate"), std::string::npos) << error;
+  EXPECT_FALSE(support::json::parse(R"({"s": "\uD83Dx"})").has_value());
+  EXPECT_FALSE(support::json::parse(R"({"s": "\uDE00"})").has_value());
+  EXPECT_FALSE(support::json::parse(R"({"s": "\uD83DA"})").has_value());
+}
+
 }  // namespace
 }  // namespace repro

@@ -22,9 +22,11 @@
 //                     checks) and print its diagnostics per property.
 //   PROPERTY_TEXT     a single RTL property, e.g.
 //                     "p: always (!ds || next[3](rdy)) @clk_pos".
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -35,6 +37,7 @@
 #include "psl/parser.h"
 #include "rewrite/methodology.h"
 #include "rewrite/pass_manager.h"
+#include "support/strutil.h"
 
 using namespace repro;
 
@@ -86,7 +89,14 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--suite") == 0 && i + 1 < argc) {
       suite_name = argv[++i];
     } else if (std::strcmp(argv[i], "--period") == 0 && i + 1 < argc) {
-      period = static_cast<psl::TimeNs>(std::strtoull(argv[++i], nullptr, 10));
+      const std::optional<uint64_t> parsed = repro::parse_u64(argv[++i]);
+      if (!parsed.has_value() || *parsed == 0) {
+        std::fprintf(stderr, "bad --period value '%s' (want a positive integer)\n",
+                     argv[i]);
+        usage(argv[0]);
+        return 2;
+      }
+      period = static_cast<psl::TimeNs>(*parsed);
     } else if (std::strcmp(argv[i], "--abstract") == 0 && i + 1 < argc) {
       abstracted.insert(argv[++i]);
     } else if (std::strcmp(argv[i], "--analyze") == 0) {

@@ -27,10 +27,12 @@
 //
 // Exit status: 0 clean, 1 diagnostics at the failing severity, 2 usage or
 // I/O error. Parse failures are reported as PSL000 error diagnostics.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -39,6 +41,7 @@
 #include "models/properties.h"
 #include "models/testbench.h"
 #include "psl/parser.h"
+#include "support/strutil.h"
 
 using namespace repro;
 
@@ -103,7 +106,14 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--suite") == 0 && i + 1 < argc) {
       suites.emplace_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--period") == 0 && i + 1 < argc) {
-      period = static_cast<psl::TimeNs>(std::strtoull(argv[++i], nullptr, 10));
+      const std::optional<uint64_t> parsed = repro::parse_u64(argv[++i]);
+      if (!parsed.has_value() || *parsed == 0) {
+        std::fprintf(stderr, "bad --period value '%s' (want a positive integer)\n",
+                     argv[i]);
+        usage(argv[0]);
+        return 2;
+      }
+      period = static_cast<psl::TimeNs>(*parsed);
     } else if (std::strcmp(argv[i], "--abstract") == 0 && i + 1 < argc) {
       adhoc.abstraction.abstracted_signals.insert(argv[++i]);
     } else if (std::strcmp(argv[i], "--observable") == 0 && i + 1 < argc) {

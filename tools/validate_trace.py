@@ -2,11 +2,13 @@
 """Validate a Chrome trace-event JSON file emitted by --trace-out.
 
 Checks that the file parses, that every event carries the keys its phase
-requires, that spans within one lane (tid) never overlap, that pipelined
-dispatch is causal (a shard_batch span for batch seq k never starts before
-the producer's batch_fill span for seq k ended), and (optionally) that a
---report-out JSON produced by the same run parses and matches the expected
-schema.
+requires, that spans within one lane (tid) never overlap (vector_batch
+prime spans are exempt: they nest inside the evaluation span on the same
+lane, and instead must carry args.lanes >= 2 and be sequential among
+themselves), that pipelined dispatch is causal (a shard_batch span for
+batch seq k never starts before the producer's batch_fill span for seq k
+ended), and (optionally) that a --report-out JSON produced by the same run
+parses and matches the expected schema.
 
 Exit status: 0 on success, 1 on any violation (each is printed).
 
@@ -38,6 +40,7 @@ def check_events(doc, errors, min_spans):
     names_by_tid = {}
     fill_end_by_seq = {}  # producer-lane batch_fill spans, keyed by args.seq
     shard_spans = []      # (seq, ts, tid) of every shard_batch span
+    vector_spans = {}     # tid -> [(ts, dur)] of vector_batch prime spans
     instants = 0
     for i, event in enumerate(events):
         where = "event %d" % i
@@ -55,6 +58,17 @@ def check_events(doc, errors, min_spans):
                 continue
             ts, dur = float(event["ts"]), float(event["dur"])
             name = event.get("name")
+            if name == "vector_batch":
+                # Lockstep prime of a multi-lane deadline cohort. These nest
+                # *inside* the evaluation span on the same lane (shard_batch
+                # under the engine), so they are exempt from the sequential
+                # same-lane check and validated separately below.
+                lanes = event.get("args", {}).get("lanes")
+                if not isinstance(lanes, int) or lanes < 2:
+                    fail(errors, "%s: vector_batch with args.lanes %r, want "
+                         "an int >= 2" % (where, lanes))
+                vector_spans.setdefault(tid, []).append((ts, dur))
+                continue
             spans_by_tid.setdefault(tid, []).append((ts, dur, name))
             seq = event.get("args", {}).get("seq")
             if name == "batch_fill":
@@ -105,6 +119,15 @@ def check_events(doc, errors, min_spans):
                 fail(errors, "lane tid=%s: span %r at %f overlaps %r ending %f"
                      % (tid, b_name, b_ts, a_name, a_ts + a_dur))
 
+    # vector_batch spans share their lane with the enclosing evaluation span
+    # but must still be sequential among themselves (one cohort per prime).
+    for tid, spans in sorted(vector_spans.items()):
+        spans.sort()
+        for (a_ts, a_dur), (b_ts, _) in zip(spans, spans[1:]):
+            if b_ts < a_ts + a_dur - EPS:
+                fail(errors, "lane tid=%s: vector_batch at %f overlaps one "
+                     "ending %f" % (tid, b_ts, a_ts + a_dur))
+
     # Pipelined-dispatch causality: shard work on batch seq k cannot start
     # before the producer sealed it (= the end of its batch_fill span).
     # Under pipelining the shard spans of batch k legitimately overlap the
@@ -124,8 +147,9 @@ def check_events(doc, errors, min_spans):
     lanes = ", ".join("%s=%s(%d spans)" % (t, names_by_tid.get(t, "?"),
                                            len(spans_by_tid.get(t, [])))
                       for t in sorted(spans_by_tid))
-    print("trace ok: %d events, %d instants, lanes: %s"
-          % (len(events), instants, lanes))
+    vector_total = sum(len(v) for v in vector_spans.values())
+    print("trace ok: %d events, %d instants, %d vector_batch spans, lanes: %s"
+          % (len(events), instants, vector_total, lanes))
 
 
 def check_report(doc, errors):
