@@ -9,6 +9,7 @@
 // scaling of the parallel checker engine is visible next to the serial
 // baseline it must match verdict-for-verdict.
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 
@@ -45,6 +46,45 @@ RowFit fit(const std::vector<double>& secs) {
   return f;
 }
 
+// Aggregate coverage summary for one measured run: suite-wide vacuity split
+// from the schema-v2 coverage counters, emitted as a raw JSON record next
+// to the timing record it annotates.
+void add_coverage_record(bench::BenchJson& json, const char* label,
+                         const models::RunConfig& config,
+                         const bench::Measurement& m) {
+  if (!json.enabled() || m.result.report.properties().empty()) return;
+  uint64_t activations = 0, holds = 0, failures = 0;
+  uint64_t real = 0, vacuous = 0, dyn_vacuous = 0;
+  for (const abv::PropertyReport& p : m.result.report.properties()) {
+    activations += p.activations;
+    holds += p.holds;
+    failures += p.failures;
+    real += p.real_passes;
+    vacuous += p.vacuous_passes;
+    if (p.dynamically_vacuous()) ++dyn_vacuous;
+  }
+  const double rate =
+      holds == 0 ? 0.0
+                 : static_cast<double>(vacuous) / static_cast<double>(holds);
+  char record[512];
+  std::snprintf(
+      record, sizeof record,
+      "{\"label\": \"%s coverage\", \"design\": \"%s\", \"level\": \"%s\", "
+      "\"checkers\": %zu, \"jobs\": %zu, \"activations\": %llu, "
+      "\"holds\": %llu, \"failures\": %llu, \"real_passes\": %llu, "
+      "\"vacuous_passes\": %llu, \"vacuous_pass_rate\": %.6f, "
+      "\"dynamically_vacuous_properties\": %llu}",
+      label, models::to_string(config.design),
+      models::to_string(config.level), config.checkers, config.engine.jobs,
+      static_cast<unsigned long long>(activations),
+      static_cast<unsigned long long>(holds),
+      static_cast<unsigned long long>(failures),
+      static_cast<unsigned long long>(real),
+      static_cast<unsigned long long>(vacuous), rate,
+      static_cast<unsigned long long>(dyn_vacuous));
+  json.add_raw(record);
+}
+
 std::vector<double> row(models::RunConfig config, size_t suite_size,
                         size_t jobs, bench::BenchJson& json,
                         const char* suffix = "") {
@@ -57,6 +97,7 @@ std::vector<double> row(models::RunConfig config, size_t suite_size,
     std::snprintf(label, sizeof label, "%s x%zu %zuC%s",
                   models::to_string(config.level), jobs, n, suffix);
     json.add(label, config, m);
+    add_coverage_record(json, label, config, m);
     secs.push_back(m.seconds);
   }
   return secs;

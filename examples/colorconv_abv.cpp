@@ -12,7 +12,13 @@
 // Usage: colorconv_abv [--jobs N] [--batch-size N] [--max-inflight N]
 //                      [--witness-depth N] [--failure-log-cap N]
 //                      [--trace-out FILE] [--report-out FILE]
+//                      [--metrics-out FILE] [--metrics-interval N]
 //                      [--dump-passes] [--interpreter] [--no-vectorize]
+//   --metrics-out FILE  stream JSONL metrics/coverage snapshots of the TLM-AT
+//                       run (validate with tools/validate_metrics.py).
+//   --metrics-interval N
+//                       records between two mid-run snapshot lines (default
+//                       256; 0 = only the final line).
 //   --dump-passes       print every rewrite-pipeline pass per property before
 //                       the runs.
 //   --interpreter       evaluate checkers with the tree-walking interpreter
@@ -103,6 +109,8 @@ int main(int argc, char** argv) {
   bool batching_flags_used = false;
   std::string trace_out;
   std::string report_out;
+  std::string metrics_out;
+  size_t metrics_interval = 256;
   bool dump_passes = false;
   bool interpreter = false;
   bool vectorized = true;
@@ -112,6 +120,7 @@ int main(int argc, char** argv) {
                  "usage: %s [--jobs N] [--batch-size N] [--max-inflight N]\n"
                  "          [--witness-depth N] [--failure-log-cap N]\n"
                  "          [--trace-out FILE] [--report-out FILE]\n"
+                 "          [--metrics-out FILE] [--metrics-interval N]\n"
                  "          [--dump-passes] [--interpreter] [--no-vectorize]\n"
                  "          [--analyze] [--Werror-analysis]\n",
                  argv[0]);
@@ -148,6 +157,10 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--report-out") == 0 && i + 1 < argc) {
       report_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-interval") == 0 && i + 1 < argc) {
+      size_arg(metrics_interval);
     } else if (std::strcmp(argv[i], "--dump-passes") == 0) {
       dump_passes = true;
     } else if (std::strcmp(argv[i], "--interpreter") == 0) {
@@ -211,6 +224,9 @@ int main(int argc, char** argv) {
     config.level = level;
     // Observability outputs cover the TLM-AT run (the paper's target level).
     config.observability.trace_path = level == Level::kTlmAt ? trace_out : "";
+    config.observability.metrics_path =
+        level == Level::kTlmAt ? metrics_out : "";
+    config.observability.metrics_interval = metrics_interval;
     const models::RunResult r = models::run_simulation(config);
     if (analysis != models::AnalysisMode::kOff &&
         !r.analysis_diagnostics.empty()) {
@@ -248,6 +264,10 @@ int main(int argc, char** argv) {
       }
       if (!trace_out.empty()) {
         std::printf("Chrome trace written to %s\n", trace_out.c_str());
+      }
+      if (!metrics_out.empty()) {
+        std::printf("JSONL metrics snapshots written to %s\n",
+                    metrics_out.c_str());
       }
     }
   }

@@ -12,6 +12,7 @@
 // Usage: des56_abv [--jobs N] [--batch-size N] [--max-inflight N]
 //                  [--witness-depth N] [--failure-log-cap N]
 //                  [--trace-out FILE] [--report-out FILE]
+//                  [--metrics-out FILE] [--metrics-interval N]
 //                  [--dump-passes] [--interpreter] [--no-vectorize]
 //                  [--no-witness-demo]
 //   --jobs N             shard the TLM checker suite across N worker threads
@@ -26,6 +27,11 @@
 //   --trace-out FILE     write a Chrome trace-event JSON of the TLM-AT run
 //                        (open in Perfetto / chrome://tracing).
 //   --report-out FILE    write the TLM-AT verification report as JSON.
+//   --metrics-out FILE   stream JSONL metrics/coverage snapshots of the
+//                        TLM-AT run (one compact object per line, final line
+//                        exact; validate with tools/validate_metrics.py).
+//   --metrics-interval N records between two mid-run snapshot lines
+//                        (default 256; 0 = only the final line).
 //   --dump-passes        print every rewrite-pipeline pass per property.
 //   --interpreter        evaluate checkers with the tree-walking interpreter
 //                        instead of the compiled flat programs.
@@ -64,6 +70,7 @@ void usage(const char* argv0) {
                "usage: %s [--jobs N] [--batch-size N] [--max-inflight N]\n"
                "          [--witness-depth N] [--failure-log-cap N]\n"
                "          [--trace-out FILE] [--report-out FILE]\n"
+               "          [--metrics-out FILE] [--metrics-interval N]\n"
                "          [--dump-passes] [--interpreter] [--no-vectorize]\n"
                "          [--no-witness-demo] [--analyze] [--Werror-analysis]\n",
                argv0);
@@ -98,6 +105,8 @@ int main(int argc, char** argv) {
   bool batching_flags_used = false;
   std::string trace_out;
   std::string report_out;
+  std::string metrics_out;
+  size_t metrics_interval = 256;
   bool witness_demo = true;
   bool dump_passes = false;
   bool interpreter = false;
@@ -135,6 +144,10 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--report-out") == 0 && i + 1 < argc) {
       report_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-interval") == 0 && i + 1 < argc) {
+      size_arg(metrics_interval);
     } else if (std::strcmp(argv[i], "--dump-passes") == 0) {
       dump_passes = true;
     } else if (std::strcmp(argv[i], "--interpreter") == 0) {
@@ -223,6 +236,8 @@ int main(int argc, char** argv) {
   }
   config.level = Level::kTlmAt;
   config.observability.trace_path = trace_out;
+  config.observability.metrics_path = metrics_out;
+  config.observability.metrics_interval = metrics_interval;
   const models::RunResult at = models::run_simulation(config);
   if (!report_analysis("TLM-AT", config, at)) return 1;
 
@@ -294,6 +309,9 @@ int main(int argc, char** argv) {
   }
   if (!trace_out.empty()) {
     std::printf("Chrome trace written to %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::printf("JSONL metrics snapshots written to %s\n", metrics_out.c_str());
   }
 
   return (rtl.functional_ok && rtl.properties_ok && at.functional_ok &&

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <ostream>
 #include <string>
 #include <utility>
 
@@ -234,15 +235,20 @@ void EvalEngine::on_record(const tlm::TransactionRecord& record) {
       w->on_transaction(record.end, ctx);
     }
     for (checker::PropertyChecker* c : checkers_) c->on_event(record.end, ctx);
+    count_record(record.end);
     return;
   }
+  const uint64_t end = record.end;
   append_sharded(tlm::TransactionRecord(record));  // the one per-record copy
+  count_record(end);
 }
 
 void EvalEngine::on_record(tlm::TransactionRecord&& record) {
   if (options_.config.jobs != 1) {
     if (m_records_ != nullptr) m_records_->add(0, 1);
+    const uint64_t end = record.end;
     append_sharded(std::move(record));  // zero-copy ingest
+    count_record(end);
     return;
   }
   on_record(static_cast<const tlm::TransactionRecord&>(record));
@@ -331,6 +337,40 @@ void EvalEngine::finish() {
                               {"checkers", checkers_.size()}});
   }
   publish_metrics();
+  // Final snapshot line: every shard has joined and every property retired,
+  // so this one is exact (identical across jobs and backends).
+  if (options_.metrics_out != nullptr) {
+    write_sample(last_record_time_, /*final=*/true);
+  }
+}
+
+void EvalEngine::count_record(uint64_t sim_time_ns) {
+  ++records_seen_;
+  last_record_time_ = sim_time_ns;
+  if (options_.metrics_out == nullptr || options_.metrics_interval == 0) {
+    return;
+  }
+  if (records_seen_ % options_.metrics_interval == 0) {
+    write_sample(sim_time_ns, /*final=*/false);
+  }
+}
+
+void EvalEngine::write_sample(uint64_t sim_time_ns, bool final) {
+  std::ostream& os = *options_.metrics_out;
+  os << "{\"schema_version\":1,\"seq\":" << sample_seq_++
+     << ",\"final\":" << (final ? "true" : "false")
+     << ",\"records\":" << records_seen_
+     << ",\"sim_time_ns\":" << sim_time_ns << ",\"metrics\":";
+  support::MetricsSnapshot snap;
+  if (options_.metrics != nullptr) snap = options_.metrics->snapshot();
+  snap.write_json(os);
+  os << ",\"coverage\":";
+  if (options_.coverage != nullptr) {
+    options_.coverage->write_json(os);
+  } else {
+    os << "[]";
+  }
+  os << "}\n";
 }
 
 }  // namespace repro::abv

@@ -40,6 +40,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -49,6 +50,7 @@
 #include "checker/checker.h"
 #include "checker/wrapper.h"
 #include "support/batch_arena.h"
+#include "support/coverage.h"
 #include "support/metrics.h"
 #include "support/trace_sink.h"
 #include "tlm/transaction.h"
@@ -69,6 +71,22 @@ class EvalEngine {
     // Optional Chrome-trace sink (batch_fill/shard_batch/retire spans,
     // per-failure instants). Must outlive the engine. nullptr disables.
     support::TraceSink* trace = nullptr;
+    // Optional JSONL snapshot stream (--metrics-out): one compact object per
+    // line every `metrics_interval` ingested records, plus one exact line
+    // with "final":true at finish(). Each line carries the merged metrics
+    // snapshot and the coverage table (schema in tools/validate_metrics.py).
+    // Mid-run lines in sharded mode are approximate — shards may not have
+    // drained up to the sampled record yet (relaxed reads of the live
+    // coverage rows); the final line is taken after every shard joined and
+    // is exact. Must outlive the engine. nullptr disables.
+    std::ostream* metrics_out = nullptr;
+    // Records between two mid-run snapshot lines; 0 emits only the final
+    // line (when metrics_out is set).
+    size_t metrics_interval = 0;
+    // Live per-property coverage table serialized into each snapshot line;
+    // the caller attaches the table's rows to its wrappers/checkers. Must
+    // outlive the engine. nullptr serializes an empty coverage array.
+    support::CoverageTable* coverage = nullptr;
   };
 
   explicit EvalEngine(Options options);
@@ -132,6 +150,10 @@ class EvalEngine {
   void process_batch(Shard& shard, size_t s, Batch* batch);
   void stop_workers();
   void publish_metrics();
+  // Bumps the ingest counter and emits a mid-run snapshot line every
+  // metrics_interval records; called after each record is ingested.
+  void count_record(uint64_t sim_time_ns);
+  void write_sample(uint64_t sim_time_ns, bool final);
 
   Options options_;
   std::vector<checker::TlmCheckerWrapper*> wrappers_;
@@ -155,6 +177,11 @@ class EvalEngine {
   uint64_t next_seq_ = 0;
   // Seal-to-last-release latency; merged into the registry at finish().
   support::Histogram batch_ns_;
+
+  // Snapshot-sampler state (producer thread only).
+  uint64_t records_seen_ = 0;
+  uint64_t sample_seq_ = 0;
+  uint64_t last_record_time_ = 0;  // sim time of the last ingested record
 
   // Metric handles (owned by options_.metrics), resolved once up front so
   // the hot path is a relaxed atomic add into the caller's lane.

@@ -65,22 +65,50 @@ std::string PropertyDelta::to_string() const {
   append_delta(fields, "failures", failures);
   append_delta(fields, "uncompleted", uncompleted);
   append_delta(fields, "steps", steps);
+  append_delta(fields, "real_passes", real_passes);
+  append_delta(fields, "vacuous_passes", vacuous_passes);
+  append_delta(fields, "missed_deadlines", missed_deadlines);
   if (fields.empty()) fields = "no change";
   return name + ": " + fields;
 }
 
 void Report::add(const checker::PropertyChecker& checker) {
   const checker::CheckerStats& s = checker.stats();
-  properties_.push_back({checker.name(), s.events, s.activations, s.holds,
-                         s.failures, s.uncompleted, s.steps,
-                         checker.failures()});
+  PropertyReport p;
+  p.name = checker.name();
+  p.events = s.events;
+  p.activations = s.activations;
+  p.holds = s.holds;
+  p.failures = s.failures;
+  p.uncompleted = s.uncompleted;
+  p.steps = s.steps;
+  p.trivial = s.trivial;
+  p.real_passes = s.real_passes;
+  p.vacuous_passes = s.vacuous_passes;
+  p.node_visits = s.node_visits;
+  p.latency_ns = checker.latency_histogram();
+  p.failure_log = checker.failures();
+  properties_.push_back(std::move(p));
 }
 
 void Report::add(const checker::TlmCheckerWrapper& wrapper) {
   const checker::WrapperStats& s = wrapper.stats();
-  properties_.push_back({wrapper.name(), s.transactions, s.activations, s.holds,
-                         s.failures, s.uncompleted, s.steps,
-                         wrapper.failures()});
+  PropertyReport p;
+  p.name = wrapper.name();
+  p.events = s.transactions;
+  p.activations = s.activations;
+  p.holds = s.holds;
+  p.failures = s.failures;
+  p.uncompleted = s.uncompleted;
+  p.steps = s.steps;
+  p.trivial = s.trivial;
+  p.real_passes = s.real_passes;
+  p.vacuous_passes = s.vacuous_passes;
+  p.missed_deadlines = s.missed_deadlines;
+  p.node_visits = s.node_visits;
+  p.latency_ns = wrapper.latency_histogram();
+  p.failure_log = wrapper.failures();
+  properties_.push_back(std::move(p));
 }
 
 void Report::sort_by_name() {
@@ -109,6 +137,10 @@ std::vector<PropertyDelta> Report::diff(const Report& other) const {
     d.failures = signed_delta(p.failures, base.failures);
     d.uncompleted = signed_delta(p.uncompleted, base.uncompleted);
     d.steps = signed_delta(p.steps, base.steps);
+    d.real_passes = signed_delta(p.real_passes, base.real_passes);
+    d.vacuous_passes = signed_delta(p.vacuous_passes, base.vacuous_passes);
+    d.missed_deadlines =
+        signed_delta(p.missed_deadlines, base.missed_deadlines);
     if (!d.zero()) deltas.push_back(std::move(d));
   }
   // Properties present here but absent from `other` show up as the negated
@@ -122,6 +154,9 @@ std::vector<PropertyDelta> Report::diff(const Report& other) const {
     d.failures = -static_cast<int64_t>(p->failures);
     d.uncompleted = -static_cast<int64_t>(p->uncompleted);
     d.steps = -static_cast<int64_t>(p->steps);
+    d.real_passes = -static_cast<int64_t>(p->real_passes);
+    d.vacuous_passes = -static_cast<int64_t>(p->vacuous_passes);
+    d.missed_deadlines = -static_cast<int64_t>(p->missed_deadlines);
     if (!d.zero()) deltas.push_back(std::move(d));
   }
   return deltas;
@@ -157,6 +192,8 @@ void Report::print(std::ostream& os) const {
     totals.holds += p.holds;
     totals.failures += p.failures;
     totals.uncompleted += p.uncompleted;
+    totals.real_passes += p.real_passes;
+    totals.vacuous_passes += p.vacuous_passes;
   }
   struct Column {
     const char* header;
@@ -166,16 +203,17 @@ void Report::print(std::ostream& os) const {
   Column columns[] = {{"events", &PropertyReport::events, 0},
                       {"activated", &PropertyReport::activations, 0},
                       {"holds", &PropertyReport::holds, 0},
+                      {"real", &PropertyReport::real_passes, 0},
+                      {"vacuous", &PropertyReport::vacuous_passes, 0},
                       {"fails", &PropertyReport::failures, 0},
                       {"pending", &PropertyReport::uncompleted, 0}};
+  size_t rule_width = name_width + 8;
   for (Column& c : columns) {
     // Totals bound every row's value, so sizing to header vs. total suffices.
     c.width = std::max(std::string_view(c.header).size(), digits(totals.*c.field)) + 2;
+    rule_width += c.width;
   }
-  const std::string rule((name_width + 8) +
-                             columns[0].width + columns[1].width + columns[2].width +
-                             columns[3].width + columns[4].width,
-                         '-');
+  const std::string rule(rule_width, '-');
   os << std::left << std::setw(static_cast<int>(name_width + 8)) << "property"
      << std::right;
   for (const Column& c : columns) os << std::setw(static_cast<int>(c.width)) << c.header;
@@ -194,8 +232,11 @@ void Report::print(std::ostream& os) const {
 }
 
 void Report::write_json(std::ostream& os, const ReportTiming* timing) const {
+  // schema_version history:
+  //   1  all_ok/totals/properties(+failure_log)/timing
+  //   2  adds the "coverage" array; v1 keys are unchanged (additive bump).
   os << "{\n";
-  os << "  \"schema_version\": 1,\n";
+  os << "  \"schema_version\": 2,\n";
   os << "  \"all_ok\": " << (all_ok() ? "true" : "false") << ",\n";
   os << "  \"totals\": {\"activations\": " << total_activations()
      << ", \"failures\": " << total_failures() << "},\n";
@@ -229,6 +270,35 @@ void Report::write_json(std::ostream& os, const ReportTiming* timing) const {
       os << (failure.witness.empty() ? "]}" : "\n       ]}");
     }
     os << (p.failure_log.empty() ? "]}" : "\n     ]}");
+  }
+  os << (properties_.empty() ? "]" : "\n  ]");
+  os << ",\n  \"coverage\": [";
+  for (size_t i = 0; i < properties_.size(); ++i) {
+    const PropertyReport& p = properties_[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"name\": ";
+    write_escaped(os, p.name);
+    os << ", \"activations\": " << p.activations << ", \"holds\": " << p.holds
+       << ", \"failures\": " << p.failures << ", \"trivial\": " << p.trivial
+       << ", \"real_passes\": " << p.real_passes
+       << ", \"vacuous_passes\": " << p.vacuous_passes
+       << ", \"missed_deadlines\": " << p.missed_deadlines
+       << ", \"node_visits\": " << p.node_visits
+       << ", \"dynamically_vacuous\": "
+       << (p.dynamically_vacuous() ? "true" : "false")
+       << ",\n     \"latency_ns\": {\"bounds\": [";
+    for (size_t b = 0; b < p.latency_ns.bounds().size(); ++b) {
+      if (b != 0) os << ", ";
+      os << p.latency_ns.bounds()[b];
+    }
+    os << "], \"counts\": [";
+    for (size_t c = 0; c < p.latency_ns.counts().size(); ++c) {
+      if (c != 0) os << ", ";
+      os << p.latency_ns.counts()[c];
+    }
+    os << "], \"total\": " << p.latency_ns.total()
+       << ", \"sum\": " << p.latency_ns.sum()
+       << ", \"max\": " << p.latency_ns.max() << "}}";
   }
   os << (properties_.empty() ? "]" : "\n  ]");
   if (timing != nullptr) {

@@ -21,11 +21,25 @@ struct PropertyReport {
   uint64_t failures = 0;
   uint64_t uncompleted = 0;
   uint64_t steps = 0;
+  // Coverage & vacuity telemetry (the schema_version 2 "coverage" section;
+  // see support/coverage.h for the counter semantics).
+  uint64_t trivial = 0;
+  uint64_t real_passes = 0;
+  uint64_t vacuous_passes = 0;
+  uint64_t missed_deadlines = 0;
+  uint64_t node_visits = 0;
+  // Activation-to-verdict sim-time latency, one sample per retirement.
+  support::Histogram latency_ns;
   // Logged violations (capped at the checker), with the failure-witness ring
   // captured at verdict time for wrapper-checked properties.
   std::vector<checker::Failure> failure_log;
 
   bool ok() const { return failures == 0; }
+  // The run produced no real evidence about this property: it never failed
+  // and never passed with its antecedent fired.
+  bool dynamically_vacuous() const {
+    return failures == 0 && real_passes == 0;
+  }
 };
 
 // Per-property difference between two reports (other minus this). Only
@@ -39,10 +53,14 @@ struct PropertyDelta {
   int64_t failures = 0;
   int64_t uncompleted = 0;
   int64_t steps = 0;
+  int64_t real_passes = 0;
+  int64_t vacuous_passes = 0;
+  int64_t missed_deadlines = 0;
 
   bool zero() const {
     return events == 0 && activations == 0 && holds == 0 && failures == 0 &&
-           uncompleted == 0 && steps == 0;
+           uncompleted == 0 && steps == 0 && real_passes == 0 &&
+           vacuous_passes == 0 && missed_deadlines == 0;
   }
   // e.g. "p1: holds -2, failures +2".
   std::string to_string() const;
@@ -84,9 +102,12 @@ class Report {
   // are sized to the longest value so long property names stay aligned.
   void print(std::ostream& os) const;
 
-  // Machine-readable report (stable schema, schema_version 1). With
-  // `timing == nullptr` the output depends only on the verification results,
-  // not on worker count or wall time.
+  // Machine-readable report (stable schema, schema_version 2). Version 2
+  // adds a top-level "coverage" array (per-property vacuity split, missed
+  // deadlines, evaluation cost, latency histogram); every schema_version 1
+  // key is unchanged, so v1 consumers that ignore unknown keys keep
+  // working. With `timing == nullptr` the output depends only on the
+  // verification results, not on worker count or wall time.
   void write_json(std::ostream& os, const ReportTiming* timing = nullptr) const;
 
  private:

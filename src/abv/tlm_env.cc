@@ -22,12 +22,19 @@ void TlmAbvEnv::attach(tlm::TransactionRecorder& recorder) {
   options.config = engine_config_;
   options.metrics = metrics_.get();
   options.trace = trace_;
+  options.metrics_out = metrics_out_;
+  options.metrics_interval = metrics_interval_;
+  options.coverage = &coverage_;
   engine_ = std::make_unique<EvalEngine>(options);
   for (auto& wrapper : wrappers_) {
     wrapper->set_witness_depth(witness_depth_);
+    wrapper->set_coverage(&coverage_.row(wrapper->name()));
     engine_->add(wrapper.get());
   }
-  for (auto& checker : checkers_) engine_->add(checker.get());
+  for (auto& checker : checkers_) {
+    checker->set_coverage(&coverage_.row(checker->name()));
+    engine_->add(checker.get());
+  }
   recorder.subscribe(
       [this](const tlm::TransactionRecord& record) { on_record(record); });
 }

@@ -10,6 +10,7 @@
 #ifndef REPRO_ABV_TLM_ENV_H_
 #define REPRO_ABV_TLM_ENV_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "checker/checker.h"
 #include "checker/wrapper.h"
 #include "psl/ast.h"
+#include "support/coverage.h"
 #include "support/metrics.h"
 #include "support/trace_sink.h"
 #include "tlm/recorder.h"
@@ -78,6 +80,20 @@ class TlmAbvEnv {
   // the environment. nullptr (default) disables tracing.
   void set_trace_sink(support::TraceSink* sink) { trace_ = sink; }
 
+  // JSONL metrics/coverage snapshot stream (--metrics-out): one compact line
+  // every `interval_records` records plus an exact final line at finish().
+  // Must outlive the environment; nullptr (default) disables streaming.
+  // Call before attach().
+  void set_metrics_output(std::ostream* os, size_t interval_records) {
+    metrics_out_ = os;
+    metrics_interval_ = interval_records;
+  }
+
+  // Live per-property coverage table: attach() wires one row per registered
+  // property into its wrapper/checker, so the table tracks the run as it
+  // happens (exact after finish()).
+  const support::CoverageTable& coverage() const { return coverage_; }
+
   // Registers an abstracted TLM property (checked through the wrapper).
   void add_property(const psl::TlmProperty& property);
 
@@ -114,6 +130,9 @@ class TlmAbvEnv {
   size_t witness_depth_ = 8;
   checker::CheckerOptions checker_options_;
   support::TraceSink* trace_ = nullptr;
+  std::ostream* metrics_out_ = nullptr;
+  size_t metrics_interval_ = 0;
+  support::CoverageTable coverage_;
   std::vector<std::unique_ptr<checker::TlmCheckerWrapper>> wrappers_;
   std::vector<std::unique_ptr<checker::PropertyChecker>> checkers_;
   std::unique_ptr<support::MetricsRegistry> metrics_;  // built by attach()

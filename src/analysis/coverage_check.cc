@@ -1,0 +1,71 @@
+#include "analysis/coverage_check.h"
+
+#include <unordered_set>
+
+namespace repro::analysis {
+namespace {
+
+// Static-vacuity predictions come from the boolean-semantics pass only:
+// SEM003 (antecedent statically false) and SEM004 (consequent/guard
+// statically true). Other codes (tautologies elsewhere, sizing, binding)
+// say nothing about whether passes are real.
+bool is_static_vacuity(const Diagnostic& d) {
+  return d.code == "SEM003" || d.code == "SEM004";
+}
+
+}  // namespace
+
+std::vector<Diagnostic> cross_check_coverage(
+    const std::vector<Diagnostic>& statics,
+    const std::vector<DynamicCoverage>& observed) {
+  std::unordered_set<std::string> statically_vacuous;
+  for (const Diagnostic& d : statics) {
+    if (is_static_vacuity(d)) statically_vacuous.insert(d.property);
+  }
+
+  std::vector<Diagnostic> out;
+  for (const DynamicCoverage& c : observed) {
+    const bool predicted = statically_vacuous.count(c.property) != 0;
+    if (!predicted && c.dynamically_vacuous()) {
+      Diagnostic d;
+      d.code = "COV001";
+      d.severity = Severity::kWarning;
+      d.property = c.property;
+      d.check = "coverage-cross-check";
+      if (c.activations == 0) {
+        d.message =
+            "statically non-vacuous property was never activated by the run";
+        d.hint =
+            "the stimulus never reached the property's anchor condition; "
+            "extend the workload or check the activation guard";
+      } else {
+        d.message =
+            "statically non-vacuous property passed only vacuously (" +
+            std::to_string(c.vacuous_passes) + " of " +
+            std::to_string(c.activations) +
+            " activations never fired the antecedent)";
+        d.hint =
+            "every pass was decided by the antecedent/guard alone; the "
+            "consequent is untested by this stimulus";
+      }
+      out.push_back(std::move(d));
+    } else if (predicted && c.dynamically_exercised()) {
+      Diagnostic d;
+      d.code = "COV002";
+      d.severity = Severity::kWarning;
+      d.property = c.property;
+      d.check = "coverage-cross-check";
+      d.message =
+          "statically vacuous property was dynamically exercised (" +
+          std::to_string(c.real_passes) + " real passes, " +
+          std::to_string(c.failures) + " failures)";
+      d.hint =
+          "the static verdict was too conservative for this environment; "
+          "re-examine the flagged antecedent/guard";
+      out.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+}  // namespace repro::analysis

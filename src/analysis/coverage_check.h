@@ -1,0 +1,59 @@
+// Static-vs-dynamic coverage cross-check (COV001..COV002).
+//
+// The static analysis layer predicts vacuity from the formula alone
+// (SEM003/SEM004: antecedent statically false, consequent or guard
+// statically true). The runtime coverage table observes vacuity as it
+// actually happened: a property is *dynamically vacuous* when a run produced
+// no failure and no real (antecedent-exercised) pass. This check reconciles
+// the two views after a run:
+//
+//   COV001  the analysis called the property non-vacuous, but the run never
+//           exercised its consequent — the stimulus never fired the
+//           antecedent (or never activated the property at all), so every
+//           reported pass proves nothing about the consequent.
+//   COV002  the analysis called the property statically vacuous, yet the
+//           run observed real passes or failures — the static verdict was
+//           too conservative for this environment (e.g. an env-specific
+//           binding makes the "constant" guard vary).
+//
+// The inputs are plain value structs, so the simulation harness can bridge
+// abv::Report rows here without this library depending on repro_abv.
+#ifndef REPRO_ANALYSIS_COVERAGE_CHECK_H_
+#define REPRO_ANALYSIS_COVERAGE_CHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+
+namespace repro::analysis {
+
+// Per-property dynamic coverage observed by one run; mirrors the counters
+// of support::CoverageTable::RowSnapshot that the cross-check needs.
+struct DynamicCoverage {
+  std::string property;
+  uint64_t activations = 0;
+  uint64_t failures = 0;
+  uint64_t real_passes = 0;
+  uint64_t vacuous_passes = 0;
+
+  // A run proved nothing about the consequent: no failure, no real pass.
+  bool dynamically_vacuous() const {
+    return failures == 0 && real_passes == 0;
+  }
+  // The run exercised the consequent at least once.
+  bool dynamically_exercised() const { return !dynamically_vacuous(); }
+};
+
+// Cross-checks the static diagnostics of a run against its observed
+// coverage and returns COV001/COV002 warnings (empty when the two views
+// agree). `statics` is the full diagnostic list of the pre-simulation
+// analysis; only SEM003/SEM004 entries (static vacuity) participate.
+std::vector<Diagnostic> cross_check_coverage(
+    const std::vector<Diagnostic>& statics,
+    const std::vector<DynamicCoverage>& observed);
+
+}  // namespace repro::analysis
+
+#endif  // REPRO_ANALYSIS_COVERAGE_CHECK_H_

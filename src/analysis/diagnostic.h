@@ -14,6 +14,8 @@
 //                   observable set
 //   SIZ001..SIZ003  pre-simulation checker sizing (next_e windows, wrapper
 //                   lifetime, instance-pool capacity)
+//   COV001..COV002  post-run static-vs-dynamic vacuity cross-check
+//                   (coverage_check.h; emitted after the simulation)
 #ifndef REPRO_ANALYSIS_DIAGNOSTIC_H_
 #define REPRO_ANALYSIS_DIAGNOSTIC_H_
 

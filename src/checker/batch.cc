@@ -104,6 +104,7 @@ void BatchState::reset_lane(uint32_t lane) {
     targets_[w * kLanes + lane] = 0;
   }
   primed_ &= keep;
+  exercised_ &= keep;
 }
 
 bool BatchState::atom_value(uint32_t k) {

@@ -10,13 +10,17 @@ PropertyChecker::PropertyChecker(std::string name, psl::ExprPtr formula,
     : name_(std::move(name)),
       formula_(std::move(formula)),
       guard_(std::move(guard)),
-      options_(options) {
+      options_(options),
+      // Sim-time latency from ns-scale (RTL edge-to-edge) up to ~8M ns.
+      latency_ns_(support::exponential_bounds(1, 24)) {
   assert(formula_);
   body_ = formula_;
   while (body_->kind == psl::ExprKind::kAlways) {
     repeating_ = true;
     body_ = body_->lhs;
   }
+  antecedent_ = derive_antecedent(body_);
+  node_cost_ = psl::node_count(body_);
   // Compile once; every instance (across all activations) shares the program.
   if (options_.compiled) program_ = Program::compile(body_);
   // Frame-free programs share a lockstep layout (see wrapper.cc for the
@@ -73,9 +77,18 @@ void PropertyChecker::prime_cohorts(const Event& ev) {
 
 void PropertyChecker::retire(std::unique_ptr<Instance> instance, Verdict v,
                              psl::TimeNs time) {
+  const psl::TimeNs activated = instance->activated_at();
+  latency_ns_.record(time >= activated ? time - activated : 0);
   switch (v) {
     case Verdict::kTrue:
       ++stats_.holds;
+      // The vacuity split: a hold whose antecedent never fired at the
+      // anchor proves nothing about the consequent.
+      if (instance->exercised()) {
+        ++stats_.real_passes;
+      } else {
+        ++stats_.vacuous_passes;
+      }
       break;
     case Verdict::kFalse:
       ++stats_.failures;
@@ -100,6 +113,7 @@ void PropertyChecker::on_event(psl::TimeNs time, const ValueContext& values) {
   size_t keep = 0;
   for (size_t i = 0; i < active_.size(); ++i) {
     ++stats_.steps;
+    stats_.node_visits += node_cost_;
     const Verdict v = active_[i]->step(ev);
     if (v == Verdict::kPending) {
       active_[keep++] = std::move(active_[i]);
@@ -111,8 +125,14 @@ void PropertyChecker::on_event(psl::TimeNs time, const ValueContext& values) {
 
   // Activation: a new verification session starts at each evaluation point
   // matching the context (for always-properties), or once (otherwise).
-  if (!repeating_ && started_) return;
-  if (guard_ && !eval_boolean(guard_, values)) return;
+  if (!repeating_ && started_) {
+    if (coverage_ != nullptr) sync_coverage();
+    return;
+  }
+  if (guard_ && !eval_boolean(guard_, values)) {
+    if (coverage_ != nullptr) sync_coverage();
+    return;
+  }
   started_ = true;
 
   std::unique_ptr<Instance> instance;
@@ -122,8 +142,12 @@ void PropertyChecker::on_event(psl::TimeNs time, const ValueContext& values) {
   } else {
     instance = make_instance();
   }
+  instance->set_activated_at(time);
+  instance->set_exercised(antecedent_ == nullptr ||
+                          eval_boolean(antecedent_, values));
   ++stats_.activations;
   ++stats_.steps;
+  stats_.node_visits += node_cost_;
   const Verdict v = instance->step(ev);
   if (v == Verdict::kPending) {
     active_.push_back(std::move(instance));
@@ -131,6 +155,7 @@ void PropertyChecker::on_event(psl::TimeNs time, const ValueContext& values) {
     ++stats_.trivial;
     retire(std::move(instance), v, time);
   }
+  if (coverage_ != nullptr) sync_coverage();
 }
 
 void PropertyChecker::finish() {
@@ -139,6 +164,28 @@ void PropertyChecker::finish() {
     retire(std::move(instance), v, /*time=*/0);
   }
   active_.clear();
+  if (coverage_ != nullptr) sync_coverage();
+}
+
+void PropertyChecker::set_coverage(support::CoverageTable::Row* row) {
+  coverage_ = row;
+  if (coverage_ != nullptr) sync_coverage();
+}
+
+void PropertyChecker::sync_coverage() {
+  // Single-writer mirror: this checker is the only writer of its row, so
+  // relaxed stores of the current totals are enough for a reader to observe
+  // a recent, internally-plausible state (exact after finish()).
+  auto& row = *coverage_;
+  const auto relaxed = std::memory_order_relaxed;
+  row.activations.store(stats_.activations, relaxed);
+  row.holds.store(stats_.holds, relaxed);
+  row.failures.store(stats_.failures, relaxed);
+  row.uncompleted.store(stats_.uncompleted, relaxed);
+  row.trivial.store(stats_.trivial, relaxed);
+  row.real_passes.store(stats_.real_passes, relaxed);
+  row.vacuous_passes.store(stats_.vacuous_passes, relaxed);
+  row.node_visits.store(stats_.node_visits, relaxed);
 }
 
 }  // namespace repro::checker

@@ -24,6 +24,8 @@
 #include "checker/program.h"
 #include "checker/trace.h"
 #include "psl/ast.h"
+#include "support/coverage.h"
+#include "support/metrics.h"
 
 namespace repro::checker {
 
@@ -64,6 +66,16 @@ struct CheckerStats {
                               // antecedent, the paper's "trivially true")
   uint64_t uncompleted = 0;   // instances still pending at finish()
   uint64_t steps = 0;         // instance step() calls (work measure)
+  // Vacuity split of `holds` (holds == real_passes + vacuous_passes): a
+  // pass is real when the property's derived antecedent/guard fired at the
+  // instance's anchor event, vacuous otherwise. Properties without a guard
+  // shape count every hold as real. See DESIGN.md §13.
+  uint64_t real_passes = 0;
+  uint64_t vacuous_passes = 0;
+  // steps x formula node count: a deterministic evaluation-cost proxy that
+  // is identical across the interpreter/compiled/lockstep backends (actual
+  // per-backend node visits differ and would break report byte-identity).
+  uint64_t node_visits = 0;
   // Lockstep accounting (vectorized backend only; absent from reports, so
   // the JSON stays byte-identical with vectorization on or off).
   uint64_t vector_batches = 0;       // multi-lane prime() calls
@@ -95,7 +107,23 @@ class PropertyChecker {
   // interpreter backend.
   const std::shared_ptr<const Program>& program() const { return program_; }
 
+  // --- Observability -------------------------------------------------------
+
+  // The derived antecedent/guard (derive_antecedent on the stripped body);
+  // nullptr when the body has no guard shape (every pass is then real).
+  const psl::ExprPtr& antecedent() const { return antecedent_; }
+
+  // Activation-to-verdict latency in simulation nanoseconds, one sample per
+  // retired instance. Deterministic for a given event stream.
+  const support::Histogram& latency_histogram() const { return latency_ns_; }
+
+  // Attaches the live coverage row this checker mirrors its stats into at
+  // the end of every event (relaxed stores; see support/coverage.h).
+  // nullptr detaches. The row must outlive the checker.
+  void set_coverage(support::CoverageTable::Row* row);
+
  private:
+  void sync_coverage();
   void retire(std::unique_ptr<Instance> instance, Verdict v, psl::TimeNs time);
   std::unique_ptr<Instance> make_instance();
   void prime_cohorts(const Event& ev);
@@ -118,6 +146,11 @@ class PropertyChecker {
   std::vector<std::unique_ptr<Instance>> free_pool_;
   CheckerStats stats_;
   std::vector<Failure> failure_log_;  // capped at options_.failure_log_cap
+
+  psl::ExprPtr antecedent_;    // derived guard, may be nullptr
+  uint64_t node_cost_ = 0;     // node_count(body_), the node_visits increment
+  support::Histogram latency_ns_;
+  support::CoverageTable::Row* coverage_ = nullptr;
 };
 
 }  // namespace repro::checker

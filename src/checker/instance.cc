@@ -493,6 +493,7 @@ void Instance::reset() {
     root_->reset();
   }
   verdict_ = Verdict::kPending;
+  exercised_ = false;
 }
 
 }  // namespace repro::checker

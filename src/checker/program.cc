@@ -136,6 +136,31 @@ void Program::finalize() {
     }
   }
   dyn_prefix_[nodes_.size()] = count;
+
+  // Collect the guard subtrees of the implication shapes derive_antecedent()
+  // recognizes, walking from the root through nested guards. The walk is the
+  // node-table mirror of the AST walk: kImplies with a pure-boolean lhs
+  // contributes the lhs subtree, a disjunction of one pure-boolean and one
+  // temporal operand contributes the boolean subtree.
+  uint32_t at = root();
+  while (true) {
+    const ProgNode& n = nodes_[at];
+    uint32_t guard = kNoNode;
+    uint32_t cont = kNoNode;
+    if (n.op == Opcode::kImplies && nodes_[n.lhs].pure_bool) {
+      guard = n.lhs;
+      cont = n.rhs;
+    } else if (n.op == Opcode::kOr &&
+               nodes_[n.lhs].pure_bool != nodes_[n.rhs].pure_bool) {
+      guard = nodes_[n.lhs].pure_bool ? n.lhs : n.rhs;
+      cont = nodes_[n.lhs].pure_bool ? n.rhs : n.lhs;
+    }
+    if (guard == kNoNode) break;
+    for (uint32_t i = nodes_[guard].subtree_lo; i <= guard; ++i) {
+      antecedent_nodes_.push_back(i);
+    }
+    at = cont;
+  }
 }
 
 std::shared_ptr<const Program> Program::compile(const psl::ExprPtr& formula) {
@@ -149,6 +174,29 @@ std::shared_ptr<const Program> Program::compile(const psl::ExprPtr& formula) {
 std::shared_ptr<const Program> Program::compile(const psl::ExprTable& table,
                                                 uint32_t id) {
   return compile(table.expr(id));
+}
+
+psl::ExprPtr derive_antecedent(const psl::ExprPtr& body) {
+  if (!body) return nullptr;
+  psl::ExprPtr guard;
+  psl::ExprPtr cont;
+  if (body->kind == psl::ExprKind::kImplies && psl::is_boolean(body->lhs)) {
+    guard = body->lhs;
+    cont = body->rhs;
+  } else if (body->kind == psl::ExprKind::kOr) {
+    const bool lhs_bool = psl::is_boolean(body->lhs);
+    if (lhs_bool != psl::is_boolean(body->rhs)) {
+      // The pass is vacuous exactly when the boolean disjunct alone decided
+      // it, so the antecedent is that disjunct's negation.
+      guard = psl::not_(lhs_bool ? body->lhs : body->rhs);
+      cont = lhs_bool ? body->rhs : body->lhs;
+    }
+  }
+  if (!guard) return nullptr;
+  if (psl::ExprPtr inner = derive_antecedent(cont)) {
+    return psl::and_(std::move(guard), std::move(inner));
+  }
+  return guard;
 }
 
 void Program::dump(std::ostream& os) const {
@@ -192,6 +240,10 @@ void Program::dump(std::ostream& os) const {
     }
     if (n.subtree_lo != i) os << "   | subtree [" << n.subtree_lo << ".." << i << "]";
     if (is_dynamic(n.op)) os << "   | dyn#" << dyn_prefix_[i];
+    if (std::find(antecedent_nodes_.begin(), antecedent_nodes_.end(), i) !=
+        antecedent_nodes_.end()) {
+      os << "   | ant";
+    }
     os << "\n";
   }
 }

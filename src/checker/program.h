@@ -81,6 +81,17 @@ class Program {
   // Node index of the dynamic node with the given ordinal.
   uint32_t dyn_node(uint32_t ordinal) const { return dyn_nodes_[ordinal]; }
 
+  // Indices of every node inside an antecedent/guard subtree: for an
+  // implication-shaped body (`a -> c`, or its NNF image `!a || c` with a
+  // boolean disjunct guarding a temporal one) these are the nodes of the
+  // boolean guard side, walked through nested guards on the consequent.
+  // Empty when the body has no guard shape — every pass is real evidence.
+  // Dual of psl-level derive_antecedent(); used for vacuity telemetry and
+  // annotated in dump().
+  const std::vector<uint32_t>& antecedent_nodes() const {
+    return antecedent_nodes_;
+  }
+
   // Human-readable program listing (one line per node, root last).
   void dump(std::ostream& os) const;
 
@@ -94,7 +105,23 @@ class Program {
   std::vector<psl::Atom> atoms_;
   std::vector<uint32_t> dyn_prefix_;  // size() + 1 entries
   std::vector<uint32_t> dyn_nodes_;
+  std::vector<uint32_t> antecedent_nodes_;
 };
+
+// The boolean antecedent/guard of an implication-shaped body, or nullptr
+// when the body has no such shape. Recognized shapes (NNF removes kImplies,
+// so abstracted TLM bodies arrive as disjunctions):
+//   a -> c          (boolean a)            guard a
+//   !a || c, c || !a (boolean one side,
+//                     temporal other)      guard = negation of the boolean
+//                                          disjunct (the disjunct *failing*
+//                                          is what forces c to be checked)
+// Nested guards on the consequent conjoin: a -> (b -> c) yields a && b.
+// The walk stops at the first temporal operator — guards buried under
+// next/until are evaluated at later events and are out of scope (their
+// passes count as real). A hold whose guard evaluated false at the anchor
+// proves nothing (vacuous pass); see DESIGN.md §13.
+psl::ExprPtr derive_antecedent(const psl::ExprPtr& body);
 
 // Flat runtime state of one checker instance over a shared Program.
 class ProgramState {

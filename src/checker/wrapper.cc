@@ -60,6 +60,8 @@ TlmCheckerWrapper::TlmCheckerWrapper(const psl::TlmProperty& property,
     repeating_ = true;
     body_ = body_->lhs;
   }
+  antecedent_ = derive_antecedent(body_);
+  node_cost_ = psl::node_count(body_);
   // Compile once; every instance in the pool shares the immutable program.
   if (options_.compiled) program_ = Program::compile(body_);
   // Frame-free programs additionally share a lockstep layout: instances then
@@ -90,6 +92,13 @@ void TlmCheckerWrapper::retire(std::unique_ptr<Instance> instance, Verdict v,
   switch (v) {
     case Verdict::kTrue:
       ++stats_.holds;
+      // The vacuity split: a hold whose antecedent never fired at the
+      // firing transaction proves nothing about the consequent.
+      if (instance->exercised()) {
+        ++stats_.real_passes;
+      } else {
+        ++stats_.vacuous_passes;
+      }
       break;
     case Verdict::kFalse:
       ++stats_.failures;
@@ -243,9 +252,11 @@ void TlmCheckerWrapper::on_transaction(psl::TimeNs time, const ValueContext& val
   // point; feeding it this event lets the next_e nodes resolve it (to kFalse
   // unless the formula absorbs the miss).
   while (!table_.empty() && table_.begin()->first <= time) {
+    if (table_.begin()->first < time) ++stats_.missed_deadlines;
     auto instance = std::move(table_.begin()->second);
     table_.erase(table_.begin());
     ++stats_.steps;
+    stats_.node_visits += node_cost_;
     const Verdict v = instance->step(ev);
     if (v == Verdict::kPending) {
       place(std::move(instance));
@@ -258,6 +269,7 @@ void TlmCheckerWrapper::on_transaction(psl::TimeNs time, const ValueContext& val
   size_t keep = 0;
   for (size_t i = 0; i < dense_.size(); ++i) {
     ++stats_.steps;
+    stats_.node_visits += node_cost_;
     const Verdict v = dense_[i]->step(ev);
     if (v == Verdict::kPending) {
       dense_[keep++] = std::move(dense_[i]);
@@ -269,14 +281,23 @@ void TlmCheckerWrapper::on_transaction(psl::TimeNs time, const ValueContext& val
 
   // Sec. IV point 4: activate a new session at each transaction matching the
   // transaction context.
-  if (!repeating_ && started_) return;
-  if (guard_ && !eval_boolean(guard_, values)) return;
+  if (!repeating_ && started_) {
+    if (coverage_ != nullptr) sync_coverage();
+    return;
+  }
+  if (guard_ && !eval_boolean(guard_, values)) {
+    if (coverage_ != nullptr) sync_coverage();
+    return;
+  }
   started_ = true;
 
   auto instance = acquire();
   instance->set_activated_at(time);
+  instance->set_exercised(antecedent_ == nullptr ||
+                          eval_boolean(antecedent_, values));
   ++stats_.activations;
   ++stats_.steps;
+  stats_.node_visits += node_cost_;
   const Verdict v = instance->step(ev);
   if (v == Verdict::kPending) {
     // Register the instance with its required evaluation points; trivially
@@ -286,6 +307,7 @@ void TlmCheckerWrapper::on_transaction(psl::TimeNs time, const ValueContext& val
     ++stats_.trivial;
     retire(std::move(instance), v, time);
   }
+  if (coverage_ != nullptr) sync_coverage();
 }
 
 void TlmCheckerWrapper::finish() {
@@ -302,6 +324,29 @@ void TlmCheckerWrapper::finish() {
     retire(std::move(instance), v, last_time_);
   }
   dense_.clear();
+  if (coverage_ != nullptr) sync_coverage();
+}
+
+void TlmCheckerWrapper::set_coverage(support::CoverageTable::Row* row) {
+  coverage_ = row;
+  if (coverage_ != nullptr) sync_coverage();
+}
+
+void TlmCheckerWrapper::sync_coverage() {
+  // Single-writer mirror: this wrapper is the only writer of its row, so
+  // relaxed stores of the current totals are enough for a reader to observe
+  // a recent, internally-plausible state (exact after finish()).
+  auto& row = *coverage_;
+  const auto relaxed = std::memory_order_relaxed;
+  row.activations.store(stats_.activations, relaxed);
+  row.holds.store(stats_.holds, relaxed);
+  row.failures.store(stats_.failures, relaxed);
+  row.uncompleted.store(stats_.uncompleted, relaxed);
+  row.trivial.store(stats_.trivial, relaxed);
+  row.real_passes.store(stats_.real_passes, relaxed);
+  row.vacuous_passes.store(stats_.vacuous_passes, relaxed);
+  row.missed_deadlines.store(stats_.missed_deadlines, relaxed);
+  row.node_visits.store(stats_.node_visits, relaxed);
 }
 
 }  // namespace repro::checker

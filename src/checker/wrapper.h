@@ -35,6 +35,7 @@
 #include "checker/checker.h"
 #include "checker/instance.h"
 #include "psl/ast.h"
+#include "support/coverage.h"
 #include "support/metrics.h"
 #include "support/trace_sink.h"
 
@@ -68,6 +69,16 @@ struct WrapperStats {
   uint64_t uncompleted = 0;
   uint64_t reuses = 0;         // sessions served by a recycled instance
   uint64_t steps = 0;          // instance step() calls
+  // Vacuity split of `holds` (holds == real_passes + vacuous_passes); see
+  // CheckerStats and DESIGN.md §13.
+  uint64_t real_passes = 0;
+  uint64_t vacuous_passes = 0;
+  // Evaluation-table entries popped strictly past their deadline (the
+  // out-of-order/missed evaluation points of Sec. IV point 2); the next_e
+  // semantics decide whether the miss is absorbed or fails the instance.
+  uint64_t missed_deadlines = 0;
+  // steps x formula node count (deterministic cost proxy; see CheckerStats).
+  uint64_t node_visits = 0;
   size_t pool_capacity = 0;    // live instances (active + pooled)
   size_t pool_dropped = 0;     // instances freed by the free-pool cap
   size_t table_peak = 0;       // peak size of the evaluation table
@@ -125,7 +136,17 @@ class TlmCheckerWrapper {
   // retired session. Deterministic for a given transaction stream.
   const support::Histogram& latency_histogram() const { return latency_ns_; }
 
+  // The derived antecedent/guard (derive_antecedent on the stripped body);
+  // nullptr when the body has no guard shape (every pass is then real).
+  const psl::ExprPtr& antecedent() const { return antecedent_; }
+
+  // Attaches the live coverage row this wrapper mirrors its stats into at
+  // the end of every transaction (relaxed stores; see support/coverage.h).
+  // nullptr detaches. The row must outlive the wrapper.
+  void set_coverage(support::CoverageTable::Row* row);
+
  private:
+  void sync_coverage();
   void retire(std::unique_ptr<Instance> instance, Verdict v, psl::TimeNs time);
   void place(std::unique_ptr<Instance> instance);
   std::unique_ptr<Instance> acquire();
@@ -175,6 +196,10 @@ class TlmCheckerWrapper {
 
   // Activation-to-verdict latency in simulation ns.
   support::Histogram latency_ns_;
+
+  psl::ExprPtr antecedent_;  // derived guard, may be nullptr
+  uint64_t node_cost_ = 0;   // node_count(body_), the node_visits increment
+  support::CoverageTable::Row* coverage_ = nullptr;
 
   support::TraceSink* trace_ = nullptr;
   uint32_t trace_tid_ = 0;

@@ -2,12 +2,15 @@
 
 #include <cassert>
 #include <chrono>
+#include <fstream>
 #include <functional>
+#include <iterator>
 #include <memory>
 #include <vector>
 
 #include "abv/rtl_env.h"
 #include "abv/tlm_env.h"
+#include "analysis/coverage_check.h"
 #include "analysis/driver.h"
 #include "models/colorconv/colorconv_rtl.h"
 #include "models/colorconv/colorconv_tlm_at.h"
@@ -61,18 +64,34 @@ checker::CheckerOptions checker_options(const RunConfig& config) {
   return options;
 }
 
+// Observability outputs opened for one TLM run. Both streams (may be null)
+// must stay alive until the end of the run: the sink's destructor writes the
+// trace file, and the engine holds a raw pointer to the metrics stream until
+// finish() emits the final snapshot line.
+struct TlmOutputs {
+  std::unique_ptr<support::TraceSink> trace;
+  std::unique_ptr<std::ofstream> metrics;
+};
+
 // Applies the engine and observability knob groups shared by every TLM
-// runner. The returned sink (may be null) must stay alive until the end of
-// the run; its destructor writes the trace file.
-std::unique_ptr<support::TraceSink> configure_tlm_env(abv::TlmAbvEnv& env,
-                                                      const RunConfig& config) {
+// runner.
+TlmOutputs configure_tlm_env(abv::TlmAbvEnv& env, const RunConfig& config) {
   env.set_engine_config(config.engine);
   env.set_witness_depth(config.observability.witness_depth);
   env.set_checker_options(checker_options(config));
-  if (config.observability.trace_path.empty()) return nullptr;
-  auto sink = std::make_unique<support::TraceSink>(config.observability.trace_path);
-  env.set_trace_sink(sink.get());
-  return sink;
+  TlmOutputs out;
+  if (!config.observability.trace_path.empty()) {
+    out.trace =
+        std::make_unique<support::TraceSink>(config.observability.trace_path);
+    env.set_trace_sink(out.trace.get());
+  }
+  if (!config.observability.metrics_path.empty()) {
+    out.metrics =
+        std::make_unique<std::ofstream>(config.observability.metrics_path);
+    env.set_metrics_output(out.metrics.get(),
+                           config.observability.metrics_interval);
+  }
+  return out;
 }
 
 // Copies the environment's merged metrics into the result and adds the sim
@@ -174,7 +193,7 @@ RunResult run_des56_tlm_ca(const RunConfig& config, const PropertySuite& suite) 
   Des56DriverModel driver(ops);
 
   abv::TlmAbvEnv env(suite.clock_period_ns);
-  const auto trace = configure_tlm_env(env, config);
+  const TlmOutputs outputs = configure_tlm_env(env, config);
   if (abv_enabled(config)) {
     // TLM-CA rows of Table I: the original RTL properties, unabstracted,
     // replayed on the per-cycle transaction stream.
@@ -244,7 +263,7 @@ RunResult run_des56_tlm_at(const RunConfig& config, const PropertySuite& suite) 
   RunResult result;
   size_t deleted = 0;
   abv::TlmAbvEnv env(suite.clock_period_ns);
-  const auto trace = configure_tlm_env(env, config);
+  const TlmOutputs outputs = configure_tlm_env(env, config);
   if (abv_enabled(config)) {
     if (config.abstraction.at_replay_unabstracted) {
       for (const psl::RtlProperty& p : pick(suite, config)) {
@@ -378,7 +397,7 @@ RunResult run_colorconv_tlm_ca(const RunConfig& config,
   ColorConvDriverModel driver(bursts);
 
   abv::TlmAbvEnv env(suite.clock_period_ns);
-  const auto trace = configure_tlm_env(env, config);
+  const TlmOutputs outputs = configure_tlm_env(env, config);
   if (abv_enabled(config)) {
     for (const psl::RtlProperty& p : pick(suite, config)) {
       env.add_rtl_property(p);
@@ -444,7 +463,7 @@ RunResult run_colorconv_tlm_at(const RunConfig& config,
   RunResult result;
   size_t deleted = 0;
   abv::TlmAbvEnv env(suite.clock_period_ns);
-  const auto trace = configure_tlm_env(env, config);
+  const TlmOutputs outputs = configure_tlm_env(env, config);
   if (abv_enabled(config)) {
     if (config.abstraction.at_replay_unabstracted) {
       for (const psl::RtlProperty& p : pick(suite, config)) {
@@ -643,6 +662,27 @@ RunResult run_simulation(const RunConfig& config) {
   }
   result.analysis_diagnostics = std::move(analyzed.analysis_diagnostics);
   result.analysis_ok = analyzed.analysis_ok;
+
+  // Post-run static-vs-dynamic cross-check: reconcile the analysis layer's
+  // vacuity predictions with the coverage the run actually observed
+  // (COV001/COV002 warnings appended after the static diagnostics).
+  if (config.analysis != AnalysisMode::kOff && abv_enabled(config)) {
+    std::vector<analysis::DynamicCoverage> observed;
+    for (const abv::PropertyReport& p : result.report.properties()) {
+      analysis::DynamicCoverage c;
+      c.property = p.name;
+      c.activations = p.activations;
+      c.failures = p.failures;
+      c.real_passes = p.real_passes;
+      c.vacuous_passes = p.vacuous_passes;
+      observed.push_back(std::move(c));
+    }
+    std::vector<analysis::Diagnostic> cov =
+        analysis::cross_check_coverage(result.analysis_diagnostics, observed);
+    result.analysis_diagnostics.insert(result.analysis_diagnostics.end(),
+                                       std::make_move_iterator(cov.begin()),
+                                       std::make_move_iterator(cov.end()));
+  }
   return result;
 }
 

@@ -51,6 +51,13 @@ struct ObservabilityConfig {
   size_t witness_depth = 8;
   // Maximum failure entries retained per checker/wrapper for diagnostics.
   size_t failure_log_cap = 64;
+  // When non-empty, the TLM runners stream periodic JSONL snapshots of the
+  // merged metrics registry + per-property coverage table here (one compact
+  // object per line; validated by tools/validate_metrics.py).
+  std::string metrics_path;
+  // Records between two mid-run snapshot lines; 0 emits only the exact
+  // final end-of-run line.
+  size_t metrics_interval = 256;
 };
 
 // Property-abstraction knobs for the TLM-AT flow.

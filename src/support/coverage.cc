@@ -1,0 +1,90 @@
+#include "support/coverage.h"
+
+#include <cstdio>
+
+namespace repro::support {
+
+CoverageTable::Row& CoverageTable::row(const std::string& property) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, row] : rows_) {
+    if (name == property) return row;
+  }
+  rows_.emplace_back(std::piecewise_construct,
+                     std::forward_as_tuple(property), std::forward_as_tuple());
+  return rows_.back().second;
+}
+
+std::vector<CoverageTable::RowSnapshot> CoverageTable::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RowSnapshot> out;
+  out.reserve(rows_.size());
+  for (const auto& [name, row] : rows_) {
+    RowSnapshot s;
+    s.name = name;
+    s.activations = row.activations.load(std::memory_order_relaxed);
+    s.holds = row.holds.load(std::memory_order_relaxed);
+    s.failures = row.failures.load(std::memory_order_relaxed);
+    s.uncompleted = row.uncompleted.load(std::memory_order_relaxed);
+    s.trivial = row.trivial.load(std::memory_order_relaxed);
+    s.real_passes = row.real_passes.load(std::memory_order_relaxed);
+    s.vacuous_passes = row.vacuous_passes.load(std::memory_order_relaxed);
+    s.missed_deadlines = row.missed_deadlines.load(std::memory_order_relaxed);
+    s.node_visits = row.node_visits.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void CoverageTable::write_json(std::ostream& os) const {
+  const auto rows = snapshot();
+  os << '[';
+  bool first = true;
+  for (const auto& r : rows) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"";
+    write_escaped(os, r.name);
+    os << "\",\"activations\":" << r.activations
+       << ",\"holds\":" << r.holds
+       << ",\"failures\":" << r.failures
+       << ",\"uncompleted\":" << r.uncompleted
+       << ",\"trivial\":" << r.trivial
+       << ",\"real_passes\":" << r.real_passes
+       << ",\"vacuous_passes\":" << r.vacuous_passes
+       << ",\"missed_deadlines\":" << r.missed_deadlines
+       << ",\"node_visits\":" << r.node_visits
+       << ",\"dynamically_vacuous\":"
+       << (r.dynamically_vacuous() ? "true" : "false") << '}';
+  }
+  os << ']';
+}
+
+size_t CoverageTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_.size();
+}
+
+}  // namespace repro::support

@@ -153,6 +153,10 @@ void expect_identical(const SuiteRun& a, const SuiteRun& b) {
     EXPECT_EQ(sa.uncompleted, sb.uncompleted) << wa.name();
     EXPECT_EQ(sa.reuses, sb.reuses) << wa.name();
     EXPECT_EQ(sa.steps, sb.steps) << wa.name();
+    EXPECT_EQ(sa.real_passes, sb.real_passes) << wa.name();
+    EXPECT_EQ(sa.vacuous_passes, sb.vacuous_passes) << wa.name();
+    EXPECT_EQ(sa.missed_deadlines, sb.missed_deadlines) << wa.name();
+    EXPECT_EQ(sa.node_visits, sb.node_visits) << wa.name();
     EXPECT_EQ(sa.pool_capacity, sb.pool_capacity) << wa.name();
     EXPECT_EQ(sa.table_peak, sb.table_peak) << wa.name();
     ASSERT_EQ(wa.failures().size(), wb.failures().size()) << wa.name();

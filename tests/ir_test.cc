@@ -12,6 +12,7 @@
 
 #include "abv/report.h"
 #include "checker/batch.h"
+#include "checker/checker.h"
 #include "checker/instance.h"
 #include "checker/program.h"
 #include "checker/reference_eval.h"
@@ -338,6 +339,55 @@ TEST_P(IrBackendParity, ResetCompiledInstanceBehavesLikeFresh) {
     if (a != Verdict::kPending) return;
   }
   ASSERT_EQ(reused.finish(), fresh.finish()) << psl::to_string(formula);
+}
+
+// Coverage-counter parity at the checker level: the same random formula
+// wrapped in `always` and driven through three full PropertyChecker
+// backends (interpreter, compiled scalar, compiled+vectorized). Every
+// CheckerStats field — including the vacuity split and the node-visit cost
+// proxy — must be byte-identical; only the vector_* accounting may differ.
+TEST_P(IrBackendParity, CoverageCountersIdenticalAcrossBackends) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 40127 + 11);
+  const ExprPtr formula = psl::always(random_formula(rng, 3));
+  const Trace trace = random_trace(rng, 16);
+
+  CheckerOptions interp_opts;
+  interp_opts.compiled = false;
+  CheckerOptions scalar_opts;
+  scalar_opts.compiled = true;
+  scalar_opts.vectorized = false;
+  CheckerOptions vector_opts;
+  vector_opts.compiled = true;
+  vector_opts.vectorized = true;
+  PropertyChecker interp("p", formula, nullptr, interp_opts);
+  PropertyChecker scalar("p", formula, nullptr, scalar_opts);
+  PropertyChecker vector("p", formula, nullptr, vector_opts);
+  for (const Observation& o : trace) {
+    interp.on_event(o.time, o.values);
+    scalar.on_event(o.time, o.values);
+    vector.on_event(o.time, o.values);
+  }
+  interp.finish();
+  scalar.finish();
+  vector.finish();
+
+  const auto expect_same = [&](const CheckerStats& a, const CheckerStats& b) {
+    EXPECT_EQ(a.events, b.events) << psl::to_string(formula);
+    EXPECT_EQ(a.activations, b.activations) << psl::to_string(formula);
+    EXPECT_EQ(a.failures, b.failures) << psl::to_string(formula);
+    EXPECT_EQ(a.holds, b.holds) << psl::to_string(formula);
+    EXPECT_EQ(a.trivial, b.trivial) << psl::to_string(formula);
+    EXPECT_EQ(a.uncompleted, b.uncompleted) << psl::to_string(formula);
+    EXPECT_EQ(a.steps, b.steps) << psl::to_string(formula);
+    EXPECT_EQ(a.real_passes, b.real_passes) << psl::to_string(formula);
+    EXPECT_EQ(a.vacuous_passes, b.vacuous_passes) << psl::to_string(formula);
+    EXPECT_EQ(a.node_visits, b.node_visits) << psl::to_string(formula);
+  };
+  expect_same(interp.stats(), scalar.stats());
+  expect_same(scalar.stats(), vector.stats());
+  // The split partitions the holds exactly.
+  EXPECT_EQ(scalar.stats().holds,
+            scalar.stats().real_passes + scalar.stats().vacuous_passes);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, IrBackendParity, ::testing::Range(0, 200));

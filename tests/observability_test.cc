@@ -471,7 +471,8 @@ TEST(ReportJson, SchemaAndFailureWitnesses) {
   ASSERT_TRUE(doc.has_value()) << error;
   ASSERT_TRUE(doc->is_object());
   ASSERT_NE(doc->find("schema_version"), nullptr);
-  EXPECT_EQ(doc->find("schema_version")->number, 1.0);
+  EXPECT_EQ(doc->find("schema_version")->number, 2.0);
+  ASSERT_NE(doc->find("coverage"), nullptr);  // the v2 addition
   ASSERT_NE(doc->find("all_ok"), nullptr);
   EXPECT_FALSE(doc->find("all_ok")->boolean);
   ASSERT_NE(doc->find("totals"), nullptr);

@@ -240,6 +240,11 @@ void expect_same_outcome(const WrapperStats& v, const WrapperStats& s) {
   EXPECT_EQ(v.uncompleted, s.uncompleted);
   EXPECT_EQ(v.reuses, s.reuses);
   EXPECT_EQ(v.steps, s.steps);
+  // Coverage telemetry must be byte-identical across backends too.
+  EXPECT_EQ(v.real_passes, s.real_passes);
+  EXPECT_EQ(v.vacuous_passes, s.vacuous_passes);
+  EXPECT_EQ(v.missed_deadlines, s.missed_deadlines);
+  EXPECT_EQ(v.node_visits, s.node_visits);
 }
 
 void expect_same_failures(const TlmCheckerWrapper& v,

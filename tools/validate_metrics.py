@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Validate a JSONL metrics/coverage snapshot stream emitted by --metrics-out.
+
+The stream is one compact JSON object per line. Each line carries:
+
+  schema_version  1 (per-line; independent of the report schema)
+  seq             snapshot index, monotone from 0 with no gaps
+  final           true exactly on the last line (the exact end-of-run
+                  snapshot taken after every shard joined); false before
+  records         transaction records ingested so far, non-decreasing
+  sim_time_ns     sim time of the last ingested record, non-decreasing
+  metrics         merged MetricsSnapshot (counters/gauges/histograms maps)
+  coverage        per-property coverage rows; on the final line each row
+                  must satisfy holds == real_passes + vacuous_passes and
+                  dynamically_vacuous == (failures == 0 and real_passes == 0)
+
+Mid-run lines in sharded mode are approximate (shards may lag the producer),
+so the counter invariants are only enforced on the final line; structural
+checks apply to every line.
+
+Exit status: 0 on success, 1 on any violation (each is printed).
+
+Usage: validate_metrics.py METRICS_JSONL [--min-lines N]
+                           [--expect-properties N]
+"""
+
+import argparse
+import json
+import sys
+
+COVERAGE_KEYS = ("name", "activations", "holds", "failures", "trivial",
+                 "real_passes", "vacuous_passes", "missed_deadlines",
+                 "node_visits", "dynamically_vacuous")
+
+HISTOGRAM_KEYS = ("bounds", "counts", "total", "sum", "max")
+
+
+def fail(errors, message):
+    errors.append(message)
+    print("FAIL: %s" % message, file=sys.stderr)
+
+
+def check_metrics(obj, errors, where):
+    if not isinstance(obj, dict):
+        fail(errors, "%s: metrics is not an object" % where)
+        return
+    for key in ("counters", "gauges", "histograms"):
+        if not isinstance(obj.get(key), dict):
+            fail(errors, "%s: metrics.%s missing or not an object" % (where, key))
+    for name, h in obj.get("histograms", {}).items():
+        for key in HISTOGRAM_KEYS:
+            if key not in h:
+                fail(errors, "%s: histogram %r missing %r" % (where, name, key))
+        counts = h.get("counts", [])
+        if isinstance(counts, list) and h.get("total") != sum(counts):
+            fail(errors, "%s: histogram %r total %r != sum of counts %r"
+                 % (where, name, h.get("total"), sum(counts)))
+
+
+def check_coverage(rows, errors, where, exact):
+    if not isinstance(rows, list):
+        fail(errors, "%s: coverage is not an array" % where)
+        return
+    seen = set()
+    for row in rows:
+        name = row.get("name")
+        for key in COVERAGE_KEYS:
+            if key not in row:
+                fail(errors, "%s: coverage row %r missing %r" % (where, name, key))
+        if name in seen:
+            fail(errors, "%s: duplicate coverage row %r" % (where, name))
+        seen.add(name)
+        if not exact:
+            continue  # mid-run rows are approximate; only shape is checked
+        if row.get("holds") != row.get("real_passes", 0) + row.get("vacuous_passes", 0):
+            fail(errors, "%s: row %r: holds %r != real %r + vacuous %r"
+                 % (where, name, row.get("holds"), row.get("real_passes"),
+                    row.get("vacuous_passes")))
+        vacuous = row.get("failures", 0) == 0 and row.get("real_passes", 0) == 0
+        if row.get("dynamically_vacuous") != vacuous:
+            fail(errors, "%s: row %r: dynamically_vacuous %r, expected %r"
+                 % (where, name, row.get("dynamically_vacuous"), vacuous))
+
+
+def check_stream(lines, errors, min_lines, expect_properties):
+    if len(lines) < min_lines:
+        fail(errors, "stream has %d lines, want >= %d" % (len(lines), min_lines))
+    prev_records = -1
+    prev_time = -1
+    for i, obj in enumerate(lines):
+        where = "line %d" % (i + 1)
+        if not isinstance(obj, dict):
+            fail(errors, "%s: not an object" % where)
+            continue
+        if obj.get("schema_version") != 1:
+            fail(errors, "%s: schema_version %r, want 1"
+                 % (where, obj.get("schema_version")))
+        if obj.get("seq") != i:
+            fail(errors, "%s: seq %r, want %d" % (where, obj.get("seq"), i))
+        last = i == len(lines) - 1
+        if obj.get("final") is not (True if last else False):
+            fail(errors, "%s: final %r on %s line"
+                 % (where, obj.get("final"), "last" if last else "mid-run"))
+        records = obj.get("records")
+        if not isinstance(records, int) or records < prev_records:
+            fail(errors, "%s: records %r not non-decreasing (prev %d)"
+                 % (where, records, prev_records))
+        else:
+            prev_records = records
+        sim_time = obj.get("sim_time_ns")
+        if not isinstance(sim_time, int) or sim_time < prev_time:
+            fail(errors, "%s: sim_time_ns %r not non-decreasing (prev %d)"
+                 % (where, sim_time, prev_time))
+        else:
+            prev_time = sim_time
+        check_metrics(obj.get("metrics"), errors, where)
+        check_coverage(obj.get("coverage"), errors, where, exact=last)
+        if last and expect_properties is not None:
+            n = len(obj.get("coverage", []))
+            if n != expect_properties:
+                fail(errors, "%s: final line has %d coverage rows, want %d"
+                     % (where, n, expect_properties))
+    if lines and not errors:
+        final = lines[-1]
+        vacuous = sum(1 for r in final.get("coverage", [])
+                      if r.get("dynamically_vacuous"))
+        print("metrics ok: %d lines, %d records, %d properties "
+              "(%d dynamically vacuous)"
+              % (len(lines), final.get("records", 0),
+                 len(final.get("coverage", [])), vacuous))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics", help="JSONL stream from --metrics-out")
+    parser.add_argument("--min-lines", type=int, default=1,
+                        help="minimum snapshot lines expected")
+    parser.add_argument("--expect-properties", type=int, default=None,
+                        help="exact coverage row count on the final line")
+    args = parser.parse_args()
+
+    errors = []
+    lines = []
+    try:
+        with open(args.metrics) as f:
+            for i, raw in enumerate(f):
+                raw = raw.strip()
+                if not raw:
+                    fail(errors, "line %d: empty line" % (i + 1))
+                    continue
+                try:
+                    lines.append(json.loads(raw))
+                except ValueError as e:
+                    fail(errors, "line %d: not valid JSON: %s" % (i + 1, e))
+    except OSError as e:
+        fail(errors, "cannot read %s: %s" % (args.metrics, e))
+        return 1
+    if not lines:
+        fail(errors, "stream is empty")
+    else:
+        check_stream(lines, errors, args.min_lines, args.expect_properties)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,9 +10,14 @@ batch seq k never starts before the producer's batch_fill span for seq k
 ended), and (optionally) that a --report-out JSON produced by the same run
 parses and matches the expected schema.
 
+With --strict, any complete span whose name is not one the engine emits
+(batch_fill, shard_batch, retire, vector_batch) is a violation — use it in
+fixtures to catch schema drift the moment a new span name appears.
+
 Exit status: 0 on success, 1 on any violation (each is printed).
 
 Usage: validate_trace.py TRACE [--report REPORT] [--min-spans-per-lane N]
+                         [--strict]
 """
 
 import argparse
@@ -21,13 +26,17 @@ import sys
 
 EPS = 1e-6  # µs tolerance: timestamps carry a ns fraction
 
+# Complete-span (ph=X) names the evaluation engine emits; --strict rejects
+# anything else.
+KNOWN_SPANS = {"batch_fill", "shard_batch", "retire", "vector_batch"}
+
 
 def fail(errors, message):
     errors.append(message)
     print("FAIL: %s" % message, file=sys.stderr)
 
 
-def check_events(doc, errors, min_spans):
+def check_events(doc, errors, min_spans, strict=False):
     if not isinstance(doc, dict):
         fail(errors, "top level is not an object")
         return
@@ -58,6 +67,9 @@ def check_events(doc, errors, min_spans):
                 continue
             ts, dur = float(event["ts"]), float(event["dur"])
             name = event.get("name")
+            if strict and name not in KNOWN_SPANS:
+                fail(errors, "%s: unknown span name %r (strict mode; known: %s)"
+                     % (where, name, ", ".join(sorted(KNOWN_SPANS))))
             if name == "vector_batch":
                 # Lockstep prime of a multi-lane deadline cohort. These nest
                 # *inside* the evaluation span on the same lane (shard_batch
@@ -156,8 +168,11 @@ def check_report(doc, errors):
     if not isinstance(doc, dict):
         fail(errors, "report: top level is not an object")
         return
-    if doc.get("schema_version") != 1:
-        fail(errors, "report: schema_version %r, want 1" % doc.get("schema_version"))
+    version = doc.get("schema_version")
+    # Version history: 1 = original; 2 adds the top-level "coverage" array
+    # (all v1 keys unchanged).
+    if version not in (1, 2):
+        fail(errors, "report: schema_version %r, want 1 or 2" % version)
     for key in ("all_ok", "totals", "properties"):
         if key not in doc:
             fail(errors, "report: missing %r" % key)
@@ -170,8 +185,30 @@ def check_report(doc, errors):
         for failure in prop.get("failure_log", []):
             if "time_ns" not in failure or "witness" not in failure:
                 fail(errors, "report: malformed failure in %r" % prop.get("name"))
-    print("report ok: %d properties, all_ok=%s"
-          % (len(doc.get("properties", [])), doc.get("all_ok")))
+    if version == 2:
+        coverage = doc.get("coverage")
+        if not isinstance(coverage, list):
+            fail(errors, "report: schema_version 2 without a coverage array")
+            coverage = []
+        names = {p.get("name") for p in doc.get("properties", [])}
+        for row in coverage:
+            for key in ("name", "activations", "holds", "failures", "trivial",
+                        "real_passes", "vacuous_passes", "missed_deadlines",
+                        "node_visits", "dynamically_vacuous", "latency_ns"):
+                if key not in row:
+                    fail(errors, "report: coverage row %r missing %r"
+                         % (row.get("name"), key))
+            if row.get("name") not in names:
+                fail(errors, "report: coverage row %r has no property row"
+                     % row.get("name"))
+            if row.get("holds") != (row.get("real_passes", 0) +
+                                    row.get("vacuous_passes", 0)):
+                fail(errors, "report: coverage row %r: holds %r != real %r + "
+                     "vacuous %r" % (row.get("name"), row.get("holds"),
+                                     row.get("real_passes"),
+                                     row.get("vacuous_passes")))
+    print("report ok: schema v%s, %d properties, all_ok=%s"
+          % (version, len(doc.get("properties", [])), doc.get("all_ok")))
 
 
 def main():
@@ -179,6 +216,8 @@ def main():
     parser.add_argument("trace", help="Chrome trace-event JSON from --trace-out")
     parser.add_argument("--report", help="report JSON from --report-out")
     parser.add_argument("--min-spans-per-lane", type=int, default=1)
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on span names the engine does not emit")
     args = parser.parse_args()
 
     errors = []
@@ -188,7 +227,7 @@ def main():
     except (OSError, ValueError) as e:
         fail(errors, "cannot parse %s: %s" % (args.trace, e))
     else:
-        check_events(trace, errors, args.min_spans_per_lane)
+        check_events(trace, errors, args.min_spans_per_lane, args.strict)
 
     if args.report:
         try:
