@@ -13,7 +13,9 @@
 #include <cstdio>
 #include <vector>
 
+#include "analysis/prune.h"
 #include "bench_table_common.h"
+#include "psl/parser.h"
 
 using namespace repro;
 using models::Design;
@@ -150,6 +152,81 @@ void sweep(Design design, size_t workload, size_t suite_size) {
   }
 }
 
+// Extra properties that the prune planner removes: tautologies (elided) and
+// restatements of suite obligations (subsumed). Only suite signals are
+// referenced, so the unpruned baseline can simulate every one of them.
+std::vector<psl::RtlProperty> prunable_extras() {
+  auto parsed = psl::parse_rtl_property_file(
+      "x1: always (rdy || !rdy) @clk_pos;\n"
+      "x2: always (ds -> ds) @clk_pos;\n"
+      "x3: always ((ds && rdy) -> rdy) @clk_pos;\n"
+      "x4: always (!ds || rdy || !rdy) @clk_pos;\n"
+      "x5: always (!ds || next[17](rdy)) @clk_pos;\n"
+      "x6: always (!ds || next[17](rdy)) @clk_pos;");
+  return parsed.ok() ? parsed.value() : std::vector<psl::RtlProperty>{};
+}
+
+// Pruned-vs-unpruned A/B: the full DES56 suite plus six prunable extras.
+// Six of the fifteen properties (40%) leave the live set, plus the suite's
+// own p7 => 47% pruned. Records/s and live-checker counts per leg go to
+// BENCH_prune.json; the two legs must agree verdict-for-verdict.
+void prune_ab() {
+  bench::BenchJson json("prune");
+  std::printf("=== Analysis-guided pruning A/B (DES56 + 6 prunable extras) "
+              "===\n");
+  std::printf("%-14s %8s %8s %10s %12s %8s\n", "level", "mode", "live",
+              "seconds", "records/s", "speedup");
+  for (Level level : {Level::kTlmCa, Level::kTlmAt}) {
+    models::RunConfig config;
+    config.design = Design::kDes56;
+    config.level = level;
+    config.checkers = 9;
+    config.workload = bench::scaled(1600);
+    config.engine.jobs = 1;
+    config.extra_properties = prunable_extras();
+
+    models::RunConfig pruned = config;
+    pruned.analysis.prune = analysis::PruneMode::kSafe;
+
+    const bench::Measurement base = bench::measure(config, /*repeats=*/3);
+    const bench::Measurement fast = bench::measure(pruned, /*repeats=*/3);
+    const size_t total = config.checkers + config.extra_properties.size();
+    const size_t live = fast.result.prune_plan.live();
+    const double base_rps =
+        static_cast<double>(base.transactions) / base.seconds;
+    const double fast_rps =
+        static_cast<double>(fast.transactions) / fast.seconds;
+    const bool verdicts_match =
+        base.properties_ok == fast.properties_ok &&
+        base.result.report.all_ok() == fast.result.report.all_ok();
+    std::printf("%-14s %8s %5zu/%-2zu %10.4f %12.0f %8s\n",
+                models::to_string(level), "off", total, total, base.seconds,
+                base_rps, "");
+    std::printf("%-14s %8s %5zu/%-2zu %10.4f %12.0f %7.2fx%s\n",
+                models::to_string(level), "safe", live, total, fast.seconds,
+                fast_rps, fast_rps / base_rps,
+                verdicts_match ? "" : "  VERDICT MISMATCH");
+    if (json.enabled()) {
+      char record[512];
+      std::snprintf(
+          record, sizeof record,
+          "{\"label\": \"prune A/B %s\", \"design\": \"des56\", "
+          "\"level\": \"%s\", \"jobs\": 1, \"properties\": %zu, "
+          "\"live_checkers_off\": %zu, \"live_checkers_safe\": %zu, "
+          "\"pruned_fraction\": %.3f, \"seconds_off\": %.6f, "
+          "\"seconds_safe\": %.6f, \"records_per_sec_off\": %.1f, "
+          "\"records_per_sec_safe\": %.1f, \"speedup\": %.3f, "
+          "\"verdicts_match\": %s}",
+          models::to_string(level), models::to_string(level), total, total,
+          live,
+          static_cast<double>(total - live) / static_cast<double>(total),
+          base.seconds, fast.seconds, base_rps, fast_rps,
+          fast_rps / base_rps, verdicts_match ? "true" : "false");
+      json.add_raw(record);
+    }
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -158,5 +235,6 @@ int main() {
               bench::bench_jobs());
   sweep(Design::kDes56, 1600, 9);
   sweep(Design::kColorConv, 16000, 12);
+  prune_ab();
   return 0;
 }

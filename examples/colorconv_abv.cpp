@@ -30,6 +30,14 @@
 //                       print its diagnostics.
 //   --Werror-analysis   like --analyze, but abort (exit 1) without simulating
 //                       when the analysis reports an error.
+//   --prune MODE        analysis-guided runtime pruning (off|safe|aggressive,
+//                       default off): elide statically-decided properties and
+//                       derive subsumed verdicts from their subsumer's
+//                       checker. Verdicts are unchanged; with
+//                       --Werror-analysis pruned checkers still run and every
+//                       derived verdict is cross-checked (PRN003).
+//   --prune-plan-out FILE  write the machine-readable prune plan JSON
+//                       (TLM-AT run).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +48,7 @@
 
 #include "checker/wrapper.h"
 #include "models/colorconv/colorconv_core.h"
+#include "analysis/prune.h"
 #include "models/properties.h"
 #include "models/testbench.h"
 #include "rewrite/methodology.h"
@@ -115,6 +124,8 @@ int main(int argc, char** argv) {
   bool interpreter = false;
   bool vectorized = true;
   models::AnalysisMode analysis = models::AnalysisMode::kOff;
+  analysis::PruneMode prune = analysis::PruneMode::kOff;
+  std::string prune_plan_out;
   auto usage = [&] {
     std::fprintf(stderr,
                  "usage: %s [--jobs N] [--batch-size N] [--max-inflight N]\n"
@@ -122,7 +133,8 @@ int main(int argc, char** argv) {
                  "          [--trace-out FILE] [--report-out FILE]\n"
                  "          [--metrics-out FILE] [--metrics-interval N]\n"
                  "          [--dump-passes] [--interpreter] [--no-vectorize]\n"
-                 "          [--analyze] [--Werror-analysis]\n",
+                 "          [--analyze] [--Werror-analysis]\n"
+                 "          [--prune off|safe|aggressive] [--prune-plan-out FILE]\n",
                  argv[0]);
   };
   for (int i = 1; i < argc; ++i) {
@@ -173,6 +185,16 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--Werror-analysis") == 0) {
       analysis = models::AnalysisMode::kError;
+    } else if (std::strcmp(argv[i], "--prune") == 0 && i + 1 < argc) {
+      if (!analysis::parse_prune_mode(argv[++i], prune)) {
+        std::fprintf(stderr,
+                     "bad --prune value '%s' (want off, safe or aggressive)\n",
+                     argv[i]);
+        usage();
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--prune-plan-out") == 0 && i + 1 < argc) {
+      prune_plan_out = argv[++i];
     } else {
       usage();
       return 2;
@@ -218,6 +240,7 @@ int main(int argc, char** argv) {
   config.observability.failure_log_cap = failure_log_cap;
   config.compiled_checkers = !interpreter;
   config.analysis = analysis;
+  config.analysis.prune = prune;
 
   bool all_ok = true;
   for (Level level : {Level::kRtl, Level::kTlmCa, Level::kTlmAt}) {
@@ -227,6 +250,8 @@ int main(int argc, char** argv) {
     config.observability.metrics_path =
         level == Level::kTlmAt ? metrics_out : "";
     config.observability.metrics_interval = metrics_interval;
+    config.observability.prune_plan_path =
+        level == Level::kTlmAt ? prune_plan_out : "";
     const models::RunResult r = models::run_simulation(config);
     if (analysis != models::AnalysisMode::kOff &&
         !r.analysis_diagnostics.empty()) {
@@ -246,6 +271,12 @@ int main(int argc, char** argv) {
                 r.properties_ok ? "ok" : "FAIL");
     all_ok = all_ok && r.functional_ok && r.properties_ok;
     if (level == Level::kTlmAt) {
+      if (prune != analysis::PruneMode::kOff) {
+        std::printf("prune plan (%s): %zu live, %zu elided, %zu subsumed\n",
+                    analysis::to_string(r.prune_plan.mode),
+                    r.prune_plan.live(), r.prune_plan.elided(),
+                    r.prune_plan.subsumed());
+      }
       std::printf("\nper-property results at TLM-AT:\n");
       r.report.print(std::cout);
       if (!report_out.empty()) {

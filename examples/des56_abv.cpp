@@ -43,6 +43,13 @@
 //                        simulation and print its diagnostics.
 //   --Werror-analysis    like --analyze, but abort (exit 1) without
 //                        simulating when the analysis reports an error.
+//   --prune MODE         analysis-guided runtime pruning (off|safe|
+//                        aggressive, default off): elide statically-decided
+//                        properties and derive subsumed verdicts from their
+//                        subsumer's checker. Verdicts are unchanged; with
+//                        --Werror-analysis pruned checkers still run and
+//                        every derived verdict is cross-checked (PRN003).
+//   --prune-plan-out FILE write the machine-readable prune plan JSON.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +58,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/prune.h"
 #include "models/properties.h"
 #include "models/testbench.h"
 #include "psl/parser.h"
@@ -72,7 +80,8 @@ void usage(const char* argv0) {
                "          [--trace-out FILE] [--report-out FILE]\n"
                "          [--metrics-out FILE] [--metrics-interval N]\n"
                "          [--dump-passes] [--interpreter] [--no-vectorize]\n"
-               "          [--no-witness-demo] [--analyze] [--Werror-analysis]\n",
+               "          [--no-witness-demo] [--analyze] [--Werror-analysis]\n"
+               "          [--prune off|safe|aggressive] [--prune-plan-out FILE]\n",
                argv0);
 }
 
@@ -112,6 +121,8 @@ int main(int argc, char** argv) {
   bool interpreter = false;
   bool vectorized = true;
   models::AnalysisMode analysis = models::AnalysisMode::kOff;
+  analysis::PruneMode prune = analysis::PruneMode::kOff;
+  std::string prune_plan_out;
   for (int i = 1; i < argc; ++i) {
     // Strict numeric arguments: garbage ("abc", "64k", "-1") is a usage
     // error, not a silent 0.
@@ -162,6 +173,16 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--Werror-analysis") == 0) {
       analysis = models::AnalysisMode::kError;
+    } else if (std::strcmp(argv[i], "--prune") == 0 && i + 1 < argc) {
+      if (!analysis::parse_prune_mode(argv[++i], prune)) {
+        std::fprintf(stderr,
+                     "bad --prune value '%s' (want off, safe or aggressive)\n",
+                     argv[i]);
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--prune-plan-out") == 0 && i + 1 < argc) {
+      prune_plan_out = argv[++i];
     } else {
       usage(argv[0]);
       return 2;
@@ -214,6 +235,8 @@ int main(int argc, char** argv) {
   config.observability.failure_log_cap = failure_log_cap;
   config.compiled_checkers = !interpreter;
   config.analysis = analysis;
+  config.analysis.prune = prune;
+  config.observability.prune_plan_path = prune_plan_out;
 
   config.level = Level::kRtl;
   const models::RunResult rtl = models::run_simulation(config);
@@ -312,6 +335,14 @@ int main(int argc, char** argv) {
   }
   if (!metrics_out.empty()) {
     std::printf("JSONL metrics snapshots written to %s\n", metrics_out.c_str());
+  }
+  if (prune != analysis::PruneMode::kOff) {
+    std::printf("prune plan (%s): %zu live, %zu elided, %zu subsumed\n",
+                analysis::to_string(at.prune_plan.mode), at.prune_plan.live(),
+                at.prune_plan.elided(), at.prune_plan.subsumed());
+    if (!prune_plan_out.empty()) {
+      std::printf("prune plan JSON written to %s\n", prune_plan_out.c_str());
+    }
   }
 
   return (rtl.functional_ok && rtl.properties_ok && at.functional_ok &&

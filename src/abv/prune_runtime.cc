@@ -1,0 +1,63 @@
+#include "abv/prune_runtime.h"
+
+namespace repro::abv {
+
+PropertyReport derived_report_row(const analysis::PruneDecision& decision,
+                                  bool subsumer_found, bool subsumer_ok) {
+  PropertyReport row;
+  row.name = decision.name;
+  if (decision.action == analysis::PruneAction::kElide) {
+    row.prune = "elide";
+    row.derived_from = "static";
+    // Elided-true: zero failures matches any run of a never-failing
+    // checker. Elided-false: one derived failure stands for "fails at
+    // every activation" (aggressive mode assumes at least one activation).
+    if (!decision.static_verdict) row.failures = 1;
+  } else {
+    row.prune = "subsumed";
+    row.derived_from = decision.subsumed_by;
+    // Contrapositive of the subsumption proof: a subsumed failure implies a
+    // subsumer failure. Subsumer ok => subsumed ok; subsumer failed => this
+    // row is inconclusive (the run verdict is already false through the
+    // subsumer, so no failure is ever masked).
+    if (!subsumer_found || !subsumer_ok) row.uncompleted = 1;
+  }
+  return row;
+}
+
+void cross_check_decision(const analysis::PruneDecision& decision,
+                          uint64_t activations, uint64_t failures,
+                          bool subsumer_ok,
+                          std::vector<analysis::Diagnostic>& out) {
+  auto mismatch = [&](const std::string& message) {
+    analysis::Diagnostic d;
+    d.code = "PRN003";
+    d.severity = analysis::Severity::kError;
+    d.property = decision.name;
+    d.check = "prune";
+    d.message = message;
+    out.push_back(std::move(d));
+  };
+  switch (decision.action) {
+    case analysis::PruneAction::kElide:
+      if (decision.static_verdict && failures > 0) {
+        mismatch("derived verdict 'holds' contradicted by " +
+                 std::to_string(failures) + " audit-run failure(s)");
+      }
+      if (!decision.static_verdict && activations > 0 && failures == 0) {
+        mismatch("derived verdict 'fails' contradicted by an audit run with " +
+                 std::to_string(activations) + " activation(s) and no failure");
+      }
+      break;
+    case analysis::PruneAction::kSubsumed:
+      if (failures > 0 && subsumer_ok) {
+        mismatch("subsumed property failed in the audit run while subsumer '" +
+                 decision.subsumed_by + "' held");
+      }
+      break;
+    case analysis::PruneAction::kLive:
+      break;
+  }
+}
+
+}  // namespace repro::abv

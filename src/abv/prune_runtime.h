@@ -1,0 +1,40 @@
+// Runtime side of the prune plan (analysis/prune.h): derived report rows
+// for properties that never spawned a checker, and the PRN003 cross-check
+// that audits derived verdicts against a real run when analysis=error.
+//
+// The verdict contract the helpers implement (DESIGN.md §14):
+//   - an elided-true property reports zero failures (it can never fail);
+//   - an elided-false property (aggressive mode) reports one derived
+//     failure — it fails at every activation;
+//   - a subsumed property inherits "ok" from its subsumer; when the
+//     subsumer failed the row is reported as derived-inconclusive
+//     (uncompleted = 1), never as a pass masking a failure — the overall
+//     run verdict is already false through the subsumer.
+#ifndef REPRO_ABV_PRUNE_RUNTIME_H_
+#define REPRO_ABV_PRUNE_RUNTIME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "abv/report.h"
+#include "analysis/diagnostic.h"
+#include "analysis/prune.h"
+
+namespace repro::abv {
+
+// Builds the derived report row for a pruned (never spawned) property.
+// `subsumer_found` / `subsumer_ok` describe the subsuming property's live
+// verdict; both are ignored for elided rows.
+PropertyReport derived_report_row(const analysis::PruneDecision& decision,
+                                  bool subsumer_found, bool subsumer_ok);
+
+// Compares one derived verdict against the checker that actually ran
+// (cross-check mode) and appends a PRN003 error per mismatch.
+void cross_check_decision(const analysis::PruneDecision& decision,
+                          uint64_t activations, uint64_t failures,
+                          bool subsumer_ok,
+                          std::vector<analysis::Diagnostic>& out);
+
+}  // namespace repro::abv
+
+#endif  // REPRO_ABV_PRUNE_RUNTIME_H_

@@ -111,6 +111,10 @@ void Report::add(const checker::TlmCheckerWrapper& wrapper) {
   properties_.push_back(std::move(p));
 }
 
+void Report::add_derived(PropertyReport row) {
+  properties_.push_back(std::move(row));
+}
+
 void Report::sort_by_name() {
   std::stable_sort(
       properties_.begin(), properties_.end(),
@@ -229,6 +233,16 @@ void Report::print(std::ostream& os) const {
      << std::right;
   for (const Column& c : columns) os << std::setw(static_cast<int>(c.width)) << totals.*c.field;
   os << "\n";
+  size_t elided = 0;
+  size_t subsumed = 0;
+  for (const auto& p : properties_) {
+    if (p.prune == "elide") ++elided;
+    if (p.prune == "subsumed") ++subsumed;
+  }
+  if (elided + subsumed > 0) {
+    os << "pruned: " << elided << " elided, " << subsumed
+       << " subsumed (verdicts derived, never dropped)\n";
+  }
 }
 
 void Report::write_json(std::ostream& os, const ReportTiming* timing) const {
@@ -248,8 +262,16 @@ void Report::write_json(std::ostream& os, const ReportTiming* timing) const {
     write_escaped(os, p.name);
     os << ", \"events\": " << p.events << ", \"activations\": " << p.activations
        << ", \"holds\": " << p.holds << ", \"failures\": " << p.failures
-       << ", \"uncompleted\": " << p.uncompleted << ", \"steps\": " << p.steps
-       << ",\n     \"failure_log\": [";
+       << ", \"uncompleted\": " << p.uncompleted << ", \"steps\": " << p.steps;
+    // Prune keys are emitted only for derived rows, so unpruned reports stay
+    // byte-identical to schema_version 2 output.
+    if (!p.prune.empty()) {
+      os << ", \"prune\": ";
+      write_escaped(os, p.prune);
+      os << ", \"derived_from\": ";
+      write_escaped(os, p.derived_from);
+    }
+    os << ",\n     \"failure_log\": [";
     for (size_t f = 0; f < p.failure_log.size(); ++f) {
       const checker::Failure& failure = p.failure_log[f];
       os << (f == 0 ? "\n" : ",\n");

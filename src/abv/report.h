@@ -33,6 +33,13 @@ struct PropertyReport {
   // Logged violations (capped at the checker), with the failure-witness ring
   // captured at verdict time for wrapper-checked properties.
   std::vector<checker::Failure> failure_log;
+  // Prune-plan accounting: empty for live rows; "elide" / "subsumed" for
+  // rows whose verdict was derived instead of simulated. `derived_from`
+  // names the evidence: "static" for elided rows, the subsuming property's
+  // name for subsumed rows. Derived rows carry zero activity counters; the
+  // verdict contract (ok(), all_ok) is what pruning preserves.
+  std::string prune;
+  std::string derived_from;
 
   bool ok() const { return failures == 0; }
   // The run produced no real evidence about this property: it never failed
@@ -81,6 +88,9 @@ class Report {
  public:
   void add(const checker::PropertyChecker& checker);
   void add(const checker::TlmCheckerWrapper& wrapper);
+  // Adds a pre-built row for a property that never spawned a checker (the
+  // prune plan derived its verdict); `row.prune` must be set.
+  void add_derived(PropertyReport row);
 
   const std::vector<PropertyReport>& properties() const { return properties_; }
 

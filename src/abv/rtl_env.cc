@@ -34,9 +34,22 @@ void SignalBag::sample_into(tlm::Snapshot& snapshot) const {
 }
 
 void RtlAbvEnv::add_property(const psl::RtlProperty& property) {
+  psl::ExprPtr formula = property.formula;
+  if (prune_plan_ != nullptr) {
+    if (const analysis::PruneDecision* d = prune_plan_->find(property.name)) {
+      if (d->action != analysis::PruneAction::kLive) {
+        if (!prune_audit_) {
+          pruned_.push_back(*d);
+          return;
+        }
+        audited_.push_back(*d);
+      } else if (d->specialized != nullptr) {
+        formula = d->specialized;
+      }
+    }
+  }
   checkers_.push_back(std::make_unique<checker::PropertyChecker>(
-      property.name, property.formula, property.context.guard,
-      checker_options_));
+      property.name, formula, property.context.guard, checker_options_));
   kinds_.push_back(property.context.kind);
   switch (property.context.kind) {
     case psl::ClockContext::Kind::kTrue:
@@ -103,15 +116,62 @@ void RtlAbvEnv::finish() {
   for (auto& checker : checkers_) checker->finish();
 }
 
+bool RtlAbvEnv::live_ok(const std::string& name, bool& found) const {
+  for (const auto& checker : checkers_) {
+    if (checker->name() == name) {
+      found = true;
+      return checker->ok();
+    }
+  }
+  found = false;
+  return true;
+}
+
 Report RtlAbvEnv::report() const {
   Report report;
   for (const auto& checker : checkers_) report.add(*checker);
+  for (const auto& d : pruned_) {
+    bool found = false;
+    bool subsumer_ok = true;
+    if (d.action == analysis::PruneAction::kSubsumed) {
+      subsumer_ok = live_ok(d.subsumed_by, found);
+    }
+    report.add_derived(derived_report_row(d, found, subsumer_ok));
+  }
   return report;
+}
+
+std::vector<analysis::Diagnostic> RtlAbvEnv::prune_cross_check() const {
+  std::vector<analysis::Diagnostic> out;
+  for (const auto& d : audited_) {
+    uint64_t activations = 0;
+    uint64_t failures = 0;
+    bool have = false;
+    for (const auto& checker : checkers_) {
+      if (checker->name() == d.name) {
+        activations = checker->stats().activations;
+        failures = checker->stats().failures;
+        have = true;
+      }
+    }
+    if (!have) continue;
+    bool found = false;
+    const bool subsumer_ok = d.action == analysis::PruneAction::kSubsumed
+                                 ? live_ok(d.subsumed_by, found)
+                                 : true;
+    cross_check_decision(d, activations, failures, subsumer_ok, out);
+  }
+  return out;
 }
 
 bool RtlAbvEnv::all_ok() const {
   for (const auto& checker : checkers_) {
     if (!checker->ok()) return false;
+  }
+  for (const auto& d : pruned_) {
+    if (d.action == analysis::PruneAction::kElide && !d.static_verdict) {
+      return false;
+    }
   }
   return true;
 }

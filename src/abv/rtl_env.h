@@ -21,7 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "abv/prune_runtime.h"
 #include "abv/report.h"
+#include "analysis/prune.h"
 #include "checker/checker.h"
 #include "psl/ast.h"
 #include "sim/clock.h"
@@ -79,6 +81,20 @@ class RtlAbvEnv {
     return checker_options_;
   }
 
+  // Applies a prune plan to properties registered *after* this call; same
+  // contract as TlmAbvEnv::set_prune_plan (elided/subsumed properties never
+  // spawn checkers, live ones may compile a specialized formula, cross_check
+  // audits derived verdicts via prune_cross_check()).
+  void set_prune_plan(const analysis::PrunePlan* plan,
+                      bool cross_check = false) {
+    prune_plan_ = plan;
+    prune_audit_ = cross_check;
+  }
+
+  // PRN003 error diagnostics for derived verdicts the audit run contradicts;
+  // call after finish().
+  std::vector<analysis::Diagnostic> prune_cross_check() const;
+
   // Synthesizes a checker for `property` and registers it. Properties with
   // kClkPos (or the basic) context are evaluated at rising edges, kClkNeg at
   // falling edges, kClk at both.
@@ -99,10 +115,15 @@ class RtlAbvEnv {
 
  private:
   void sample(bool rising);
+  bool live_ok(const std::string& name, bool& found) const;
 
   sim::Kernel& kernel_;
   SignalBag& signals_;
   checker::CheckerOptions checker_options_;
+  const analysis::PrunePlan* prune_plan_ = nullptr;
+  bool prune_audit_ = false;
+  std::vector<analysis::PruneDecision> pruned_;   // never spawned
+  std::vector<analysis::PruneDecision> audited_;  // spawned for cross-check
   std::vector<std::unique_ptr<checker::PropertyChecker>> checkers_;
   std::vector<psl::ClockContext::Kind> kinds_;
   // Reusable per-event snapshot buffer, built over signals_.keys() at

@@ -17,8 +17,10 @@
 
 #include "abv/engine_config.h"
 #include "abv/eval_engine.h"
+#include "abv/prune_runtime.h"
 #include "abv/report.h"
 #include "abv/snapshot_context.h"
+#include "analysis/prune.h"
 #include "checker/checker.h"
 #include "checker/wrapper.h"
 #include "psl/ast.h"
@@ -94,6 +96,23 @@ class TlmAbvEnv {
   // happens (exact after finish()).
   const support::CoverageTable& coverage() const { return coverage_; }
 
+  // Applies a prune plan to properties registered *after* this call: elided
+  // and subsumed properties do not spawn wrappers/checkers — their report
+  // rows carry derived verdicts — and live properties with a specialized
+  // formula compile the slimmed formula instead. With `cross_check` true
+  // every property still runs and prune_cross_check() audits the derived
+  // verdicts (PRN003). The plan must outlive the environment.
+  void set_prune_plan(const analysis::PrunePlan* plan,
+                      bool cross_check = false) {
+    prune_plan_ = plan;
+    prune_audit_ = cross_check;
+  }
+
+  // PRN003 error diagnostics for derived verdicts the audit run contradicts;
+  // only ever non-empty when set_prune_plan(..., /*cross_check=*/true) was
+  // used. Call after finish().
+  std::vector<analysis::Diagnostic> prune_cross_check() const;
+
   // Registers an abstracted TLM property (checked through the wrapper).
   void add_property(const psl::TlmProperty& property);
 
@@ -124,6 +143,9 @@ class TlmAbvEnv {
 
  private:
   void on_record(const tlm::TransactionRecord& record);
+  // Verdict of the live wrapper/checker named `name`; `found` reports
+  // whether one exists (derived rows are not consulted).
+  bool live_ok(const std::string& name, bool& found) const;
 
   psl::TimeNs clock_period_ns_;
   EngineConfig engine_config_;
@@ -133,6 +155,10 @@ class TlmAbvEnv {
   std::ostream* metrics_out_ = nullptr;
   size_t metrics_interval_ = 0;
   support::CoverageTable coverage_;
+  const analysis::PrunePlan* prune_plan_ = nullptr;
+  bool prune_audit_ = false;
+  std::vector<analysis::PruneDecision> pruned_;   // never spawned
+  std::vector<analysis::PruneDecision> audited_;  // spawned for cross-check
   std::vector<std::unique_ptr<checker::TlmCheckerWrapper>> wrappers_;
   std::vector<std::unique_ptr<checker::PropertyChecker>> checkers_;
   std::unique_ptr<support::MetricsRegistry> metrics_;  // built by attach()

@@ -1,6 +1,6 @@
 // Trace serialization: a simple CSV dialect for recorded evaluation-event
 // streams, so traces captured from a simulator (or written by hand) can be
-// checked offline with the tracecheck tool.
+// checked offline with the trace checker example (examples/tracecheck.cpp).
 //
 // Format: first line is the header `time,<sig1>,<sig2>,...`; each following
 // line is one evaluation event with a strictly increasing decimal time (ns)

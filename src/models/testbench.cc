@@ -105,6 +105,26 @@ void record_sim_metrics(RunResult& result, support::MetricsSnapshot base) {
       static_cast<uint64_t>(result.wall_seconds * 1e9);
 }
 
+// Prune plan prepared once per run and handed (by reference) to the level
+// runner. `active` is false when pruning is off or ABV is disabled; `audit`
+// selects the AnalysisMode::kError cross-check (pruned properties still run
+// and every derived verdict is compared against the real one, PRN003).
+struct PrunePrep {
+  analysis::PrunePlan plan;
+  bool active = false;
+  bool audit = false;
+};
+
+template <typename Env>
+void collect_prune_audit(const Env& env, const PrunePrep& prune,
+                         RunResult& result) {
+  if (!prune.active || !prune.audit) return;
+  std::vector<analysis::Diagnostic> diags = env.prune_cross_check();
+  result.analysis_diagnostics.insert(result.analysis_diagnostics.end(),
+                                     std::make_move_iterator(diags.begin()),
+                                     std::make_move_iterator(diags.end()));
+}
+
 // Abstracts the selected properties for TLM-AT; returns the non-deleted ones
 // and counts deletions.
 std::vector<psl::TlmProperty> abstract_for_at(const RunConfig& config,
@@ -127,9 +147,39 @@ std::vector<psl::TlmProperty> abstract_for_at(const RunConfig& config,
   return out;
 }
 
+// Builds the prune plan over the formulas this run will actually check: the
+// RTL formulas for RTL / TLM-CA / the unabstracted-replay ablation
+// (clock-edge context keys), the abstracted TLM formulas for the normal
+// TLM-AT flow (basic transaction context).
+PrunePrep prepare_prune(const RunConfig& config, const PropertySuite& suite) {
+  PrunePrep prep;
+  prep.plan.mode = config.analysis.prune;
+  if (config.analysis.prune == analysis::PruneMode::kOff ||
+      !abv_enabled(config)) {
+    return prep;
+  }
+  std::vector<analysis::PruneInput> inputs;
+  if (config.level == Level::kTlmAt &&
+      !config.abstraction.at_replay_unabstracted) {
+    size_t deleted = 0;
+    for (const psl::TlmProperty& q : abstract_for_at(config, suite, deleted)) {
+      inputs.push_back(analysis::make_prune_input(q));
+    }
+  } else {
+    for (const psl::RtlProperty& p : pick(suite, config)) {
+      inputs.push_back(analysis::make_prune_input(p));
+    }
+  }
+  prep.plan = analysis::build_prune_plan(inputs, config.analysis.prune);
+  prep.active = true;
+  prep.audit = config.analysis == AnalysisMode::kError;
+  return prep;
+}
+
 // ---- DES56 -----------------------------------------------------------------
 
-RunResult run_des56_rtl(const RunConfig& config, const PropertySuite& suite) {
+RunResult run_des56_rtl(const RunConfig& config, const PropertySuite& suite,
+                        const PrunePrep& prune) {
   sim::Kernel kernel;
   sim::Clock clock(kernel, "clk", config.clock_period_ns, 0);
   Des56Rtl duv(kernel, clock);
@@ -156,6 +206,7 @@ RunResult run_des56_rtl(const RunConfig& config, const PropertySuite& suite) {
   bag.add("monitor_en", monitor_en);
   abv::RtlAbvEnv env(kernel, bag);
   env.set_checker_options(checker_options(config));
+  if (prune.active) env.set_prune_plan(&prune.plan, prune.audit);
   if (abv_enabled(config)) {
     for (const psl::RtlProperty& p : pick(suite, config)) {
       env.add_property(p);
@@ -175,13 +226,15 @@ RunResult run_des56_rtl(const RunConfig& config, const PropertySuite& suite) {
   result.mismatches = driver.mismatches();
   result.functional_ok =
       driver.mismatches() == 0 && driver.ops_completed() == ops.size();
+  collect_prune_audit(env, prune, result);
   result.report = env.report();
   result.properties_ok = env.all_ok();
   record_sim_metrics(result, {});
   return result;
 }
 
-RunResult run_des56_tlm_ca(const RunConfig& config, const PropertySuite& suite) {
+RunResult run_des56_tlm_ca(const RunConfig& config, const PropertySuite& suite,
+                        const PrunePrep& prune) {
   sim::Kernel kernel;
   tlm::TransactionRecorder recorder(kernel);
   Des56TlmCa target;
@@ -194,6 +247,7 @@ RunResult run_des56_tlm_ca(const RunConfig& config, const PropertySuite& suite) 
 
   abv::TlmAbvEnv env(suite.clock_period_ns);
   const TlmOutputs outputs = configure_tlm_env(env, config);
+  if (prune.active) env.set_prune_plan(&prune.plan, prune.audit);
   if (abv_enabled(config)) {
     // TLM-CA rows of Table I: the original RTL properties, unabstracted,
     // replayed on the per-cycle transaction stream.
@@ -238,13 +292,15 @@ RunResult run_des56_tlm_ca(const RunConfig& config, const PropertySuite& suite) 
   result.mismatches = driver.mismatches();
   result.functional_ok =
       driver.mismatches() == 0 && driver.ops_completed() == ops.size();
+  collect_prune_audit(env, prune, result);
   result.report = env.report();
   result.properties_ok = env.all_ok();
   record_sim_metrics(result, env.metrics_snapshot());
   return result;
 }
 
-RunResult run_des56_tlm_at(const RunConfig& config, const PropertySuite& suite) {
+RunResult run_des56_tlm_at(const RunConfig& config, const PropertySuite& suite,
+                        const PrunePrep& prune) {
   sim::Kernel kernel;
   tlm::TransactionRecorder recorder(kernel);
   Des56TlmAt target(kernel, &recorder, config.clock_period_ns);
@@ -264,6 +320,7 @@ RunResult run_des56_tlm_at(const RunConfig& config, const PropertySuite& suite) 
   size_t deleted = 0;
   abv::TlmAbvEnv env(suite.clock_period_ns);
   const TlmOutputs outputs = configure_tlm_env(env, config);
+  if (prune.active) env.set_prune_plan(&prune.plan, prune.audit);
   if (abv_enabled(config)) {
     if (config.abstraction.at_replay_unabstracted) {
       for (const psl::RtlProperty& p : pick(suite, config)) {
@@ -316,6 +373,7 @@ RunResult run_des56_tlm_at(const RunConfig& config, const PropertySuite& suite) 
   result.ops_completed = *completed;
   result.mismatches = *mismatches;
   result.functional_ok = *mismatches == 0 && *completed == ops.size();
+  collect_prune_audit(env, prune, result);
   result.report = env.report();
   result.properties_ok = env.all_ok();
   record_sim_metrics(result, env.metrics_snapshot());
@@ -324,7 +382,8 @@ RunResult run_des56_tlm_at(const RunConfig& config, const PropertySuite& suite) 
 
 // ---- ColorConv --------------------------------------------------------------
 
-RunResult run_colorconv_rtl(const RunConfig& config, const PropertySuite& suite) {
+RunResult run_colorconv_rtl(const RunConfig& config, const PropertySuite& suite,
+                        const PrunePrep& prune) {
   sim::Kernel kernel;
   sim::Clock clock(kernel, "clk", config.clock_period_ns, 0);
   ColorConvRtl duv(kernel, clock);
@@ -357,6 +416,7 @@ RunResult run_colorconv_rtl(const RunConfig& config, const PropertySuite& suite)
   bag.add("monitor_en", monitor_en);
   abv::RtlAbvEnv env(kernel, bag);
   env.set_checker_options(checker_options(config));
+  if (prune.active) env.set_prune_plan(&prune.plan, prune.audit);
   if (abv_enabled(config)) {
     for (const psl::RtlProperty& p : pick(suite, config)) {
       env.add_property(p);
@@ -376,6 +436,7 @@ RunResult run_colorconv_rtl(const RunConfig& config, const PropertySuite& suite)
   result.mismatches = driver.mismatches();
   result.functional_ok =
       driver.mismatches() == 0 && driver.pixels_completed() == total_pixels;
+  collect_prune_audit(env, prune, result);
   result.report = env.report();
   result.properties_ok = env.all_ok();
   record_sim_metrics(result, {});
@@ -383,7 +444,8 @@ RunResult run_colorconv_rtl(const RunConfig& config, const PropertySuite& suite)
 }
 
 RunResult run_colorconv_tlm_ca(const RunConfig& config,
-                               const PropertySuite& suite) {
+                               const PropertySuite& suite,
+                               const PrunePrep& prune) {
   sim::Kernel kernel;
   tlm::TransactionRecorder recorder(kernel);
   ColorConvTlmCa target;
@@ -398,6 +460,7 @@ RunResult run_colorconv_tlm_ca(const RunConfig& config,
 
   abv::TlmAbvEnv env(suite.clock_period_ns);
   const TlmOutputs outputs = configure_tlm_env(env, config);
+  if (prune.active) env.set_prune_plan(&prune.plan, prune.audit);
   if (abv_enabled(config)) {
     for (const psl::RtlProperty& p : pick(suite, config)) {
       env.add_rtl_property(p);
@@ -441,6 +504,7 @@ RunResult run_colorconv_tlm_ca(const RunConfig& config,
   result.mismatches = driver.mismatches();
   result.functional_ok =
       driver.mismatches() == 0 && driver.pixels_completed() == total_pixels;
+  collect_prune_audit(env, prune, result);
   result.report = env.report();
   result.properties_ok = env.all_ok();
   record_sim_metrics(result, env.metrics_snapshot());
@@ -448,7 +512,8 @@ RunResult run_colorconv_tlm_ca(const RunConfig& config,
 }
 
 RunResult run_colorconv_tlm_at(const RunConfig& config,
-                               const PropertySuite& suite) {
+                               const PropertySuite& suite,
+                               const PrunePrep& prune) {
   sim::Kernel kernel;
   tlm::TransactionRecorder recorder(kernel);
   ColorConvTlmAt target(kernel, &recorder, config.clock_period_ns);
@@ -464,6 +529,7 @@ RunResult run_colorconv_tlm_at(const RunConfig& config,
   size_t deleted = 0;
   abv::TlmAbvEnv env(suite.clock_period_ns);
   const TlmOutputs outputs = configure_tlm_env(env, config);
+  if (prune.active) env.set_prune_plan(&prune.plan, prune.audit);
   if (abv_enabled(config)) {
     if (config.abstraction.at_replay_unabstracted) {
       for (const psl::RtlProperty& p : pick(suite, config)) {
@@ -542,6 +608,7 @@ RunResult run_colorconv_tlm_at(const RunConfig& config,
   result.ops_completed = *completed;
   result.mismatches = *mismatches;
   result.functional_ok = *mismatches == 0 && *completed == total_pixels;
+  collect_prune_audit(env, prune, result);
   result.report = env.report();
   result.properties_ok = env.all_ok();
   record_sim_metrics(result, env.metrics_snapshot());
@@ -643,25 +710,47 @@ RunResult run_simulation(const RunConfig& config) {
     }
   }
 
+  const PrunePrep prune = prepare_prune(config, suite);
+
   RunResult result;
   switch (config.design) {
     case Design::kDes56:
       switch (config.level) {
-        case Level::kRtl: result = run_des56_rtl(config, suite); break;
-        case Level::kTlmCa: result = run_des56_tlm_ca(config, suite); break;
-        case Level::kTlmAt: result = run_des56_tlm_at(config, suite); break;
+        case Level::kRtl: result = run_des56_rtl(config, suite, prune); break;
+        case Level::kTlmCa: result = run_des56_tlm_ca(config, suite, prune); break;
+        case Level::kTlmAt: result = run_des56_tlm_at(config, suite, prune); break;
       }
       break;
     case Design::kColorConv:
       switch (config.level) {
-        case Level::kRtl: result = run_colorconv_rtl(config, suite); break;
-        case Level::kTlmCa: result = run_colorconv_tlm_ca(config, suite); break;
-        case Level::kTlmAt: result = run_colorconv_tlm_at(config, suite); break;
+        case Level::kRtl: result = run_colorconv_rtl(config, suite, prune); break;
+        case Level::kTlmCa: result = run_colorconv_tlm_ca(config, suite, prune); break;
+        case Level::kTlmAt: result = run_colorconv_tlm_at(config, suite, prune); break;
       }
       break;
   }
+  // Merge diagnostics: static analysis first, then the plan's
+  // PRN001/002/004 notes, then the PRN003 cross-check errors the runner
+  // appended (the only thing in result.analysis_diagnostics at this point).
+  std::vector<analysis::Diagnostic> prune_errors =
+      std::move(result.analysis_diagnostics);
   result.analysis_diagnostics = std::move(analyzed.analysis_diagnostics);
-  result.analysis_ok = analyzed.analysis_ok;
+  if (prune.active) {
+    std::vector<analysis::Diagnostic> notes = prune.plan.diagnostics();
+    result.analysis_diagnostics.insert(result.analysis_diagnostics.end(),
+                                       std::make_move_iterator(notes.begin()),
+                                       std::make_move_iterator(notes.end()));
+  }
+  result.analysis_ok = analyzed.analysis_ok && prune_errors.empty();
+  result.analysis_diagnostics.insert(
+      result.analysis_diagnostics.end(),
+      std::make_move_iterator(prune_errors.begin()),
+      std::make_move_iterator(prune_errors.end()));
+  result.prune_plan = prune.plan;
+  if (prune.active && !config.observability.prune_plan_path.empty()) {
+    std::ofstream plan_out(config.observability.prune_plan_path);
+    prune.plan.write_json(plan_out);
+  }
 
   // Post-run static-vs-dynamic cross-check: reconcile the analysis layer's
   // vacuity predictions with the coverage the run actually observed
@@ -669,6 +758,9 @@ RunResult run_simulation(const RunConfig& config) {
   if (config.analysis != AnalysisMode::kOff && abv_enabled(config)) {
     std::vector<analysis::DynamicCoverage> observed;
     for (const abv::PropertyReport& p : result.report.properties()) {
+      // Derived (pruned) rows carry no dynamic evidence; auditing them for
+      // vacuity would only restate the prune decision.
+      if (!p.prune.empty()) continue;
       analysis::DynamicCoverage c;
       c.property = p.name;
       c.activations = p.activations;

@@ -12,6 +12,7 @@
 #include "abv/engine_config.h"
 #include "abv/report.h"
 #include "analysis/diagnostic.h"
+#include "analysis/prune.h"
 #include "psl/ast.h"
 #include "rewrite/methodology.h"
 #include "sim/kernel.h"
@@ -58,6 +59,10 @@ struct ObservabilityConfig {
   // Records between two mid-run snapshot lines; 0 emits only the exact
   // final end-of-run line.
   size_t metrics_interval = 256;
+  // When non-empty, the machine-readable prune plan (analysis::PrunePlan
+  // write_json, schema_version 1) is written here. Ignored when pruning is
+  // off.
+  std::string prune_plan_path;
 };
 
 // Property-abstraction knobs for the TLM-AT flow.
@@ -75,6 +80,14 @@ struct AbstractionConfig {
 // `config.analysis == AnalysisMode::kOff` keep working.
 struct AnalysisConfig {
   AnalysisMode mode = AnalysisMode::kOff;
+  // Analysis-guided runtime pruning (analysis::PrunePlan): kOff simulates
+  // every property; kSafe elides statically-true properties and derives
+  // subsumed verdicts from their subsumer's instance; kAggressive
+  // additionally elides statically-false properties with a derived failure.
+  // Verdicts (per-property ok and the run verdict) are preserved; activity
+  // counters shrink with the live set. With mode == kError pruned properties
+  // still run and every derived verdict is cross-checked (PRN003).
+  analysis::PruneMode prune = analysis::PruneMode::kOff;
 
   AnalysisConfig() = default;
   AnalysisConfig(AnalysisMode m) : mode(m) {}  // NOLINT: intentional implicit
@@ -136,6 +149,11 @@ struct RunResult {
   // AnalysisMode::kError that also means the simulation did not run.
   std::vector<analysis::Diagnostic> analysis_diagnostics;
   bool analysis_ok = true;
+  // The prune plan the run executed under (mode kOff and empty decisions
+  // when pruning was disabled). Plan diagnostics (PRN001/002/004, plus
+  // PRN003 cross-check errors under AnalysisMode::kError) are merged into
+  // analysis_diagnostics.
+  analysis::PrunePlan prune_plan;
 };
 
 // Runs one configuration to completion.

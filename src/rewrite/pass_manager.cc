@@ -1,11 +1,32 @@
 #include "rewrite/pass_manager.h"
 
+#include <algorithm>
+
 #include "rewrite/next_substitution.h"
 #include "rewrite/nnf.h"
 #include "rewrite/push_ahead.h"
 #include "rewrite/signal_abstraction.h"
 
 namespace repro::rewrite {
+
+void SpecializationFacts::add(psl::ExprId id, bool value) {
+  const auto pos = std::lower_bound(
+      known.begin(), known.end(), id,
+      [](const auto& entry, psl::ExprId key) { return entry.first < key; });
+  if (pos != known.end() && pos->first == id) {
+    pos->second = value;
+    return;
+  }
+  known.insert(pos, {id, value});
+}
+
+const bool* SpecializationFacts::lookup(psl::ExprId id) const {
+  const auto pos = std::lower_bound(
+      known.begin(), known.end(), id,
+      [](const auto& entry, psl::ExprId key) { return entry.first < key; });
+  if (pos != known.end() && pos->first == id) return &pos->second;
+  return nullptr;
+}
 
 psl::ExprId PassManager::nnf(psl::ExprId f, bool* cache_hit) {
   if (auto it = nnf_memo_.find(f); it != nnf_memo_.end()) {
@@ -49,6 +70,97 @@ psl::ExprId PassManager::push_ahead(psl::ExprId f, bool* cache_hit) {
   const psl::ExprId out =
       table_.intern(push_ahead_next(table_.expr(f), options_.push_mode));
   push_memo_.emplace(f, out);
+  return out;
+}
+
+namespace {
+
+bool is_const(const psl::ExprTable& t, psl::ExprId id, bool value) {
+  const psl::ExprKind k = t.node(id).kind;
+  return value ? k == psl::ExprKind::kConstTrue : k == psl::ExprKind::kConstFalse;
+}
+
+// Rewrites the anchor-time positions of a body: known subformulas become
+// constants, and the boolean connectives above them re-simplify. Every fold
+// used here (!true, true&&x, x||false, false->x, ...) is an exact semantic
+// identity at a single evaluation position, so no verdict can move; the
+// recursion deliberately stops at atoms and temporal operators, whose
+// operands are evaluated at later events where the facts need not hold.
+struct Specializer {
+  psl::ExprTable& t;
+  const SpecializationFacts& facts;
+
+  psl::ExprId anchor(psl::ExprId f) {
+    if (const bool* known = facts.lookup(f)) {
+      return *known ? t.mk_true() : t.mk_false();
+    }
+    const psl::ExprTable::Node n = t.node(f);  // copy: mk_* may reallocate
+    switch (n.kind) {
+      case psl::ExprKind::kNot: {
+        const psl::ExprId a = anchor(n.lhs);
+        if (is_const(t, a, true)) return t.mk_false();
+        if (is_const(t, a, false)) return t.mk_true();
+        return a == n.lhs ? f : t.mk_not(a);
+      }
+      case psl::ExprKind::kAnd: {
+        const psl::ExprId a = anchor(n.lhs);
+        const psl::ExprId b = anchor(n.rhs);
+        if (is_const(t, a, false) || is_const(t, b, false)) return t.mk_false();
+        if (is_const(t, a, true)) return b;
+        if (is_const(t, b, true)) return a;
+        return a == n.lhs && b == n.rhs ? f : t.mk_and(a, b);
+      }
+      case psl::ExprKind::kOr: {
+        const psl::ExprId a = anchor(n.lhs);
+        const psl::ExprId b = anchor(n.rhs);
+        if (is_const(t, a, true) || is_const(t, b, true)) return t.mk_true();
+        if (is_const(t, a, false)) return b;
+        if (is_const(t, b, false)) return a;
+        return a == n.lhs && b == n.rhs ? f : t.mk_or(a, b);
+      }
+      case psl::ExprKind::kImplies: {
+        const psl::ExprId a = anchor(n.lhs);
+        const psl::ExprId b = anchor(n.rhs);
+        if (is_const(t, a, false) || is_const(t, b, true)) return t.mk_true();
+        if (is_const(t, a, true)) return b;
+        return a == n.lhs && b == n.rhs ? f : t.mk_implies(a, b);
+      }
+      default:
+        // Atom or temporal operator: anchor-time facts do not reach inside.
+        return f;
+    }
+  }
+};
+
+}  // namespace
+
+psl::ExprId PassManager::specialize(psl::ExprId f,
+                                    const SpecializationFacts& facts,
+                                    bool* cache_hit) {
+  if (facts.empty()) {
+    if (cache_hit != nullptr) *cache_hit = false;
+    return f;  // identity; keep the memo clean
+  }
+  const auto key = std::make_pair(f, facts.known);
+  if (auto it = spec_memo_.find(key); it != spec_memo_.end()) {
+    ++cache_stats_.hits;
+    if (cache_hit != nullptr) *cache_hit = true;
+    return it->second;
+  }
+  ++cache_stats_.misses;
+  if (cache_hit != nullptr) *cache_hit = false;
+  // The checker strips the whole leading always chain and re-activates the
+  // body per guarded event, so each always level keeps anchor semantics.
+  size_t always_depth = 0;
+  psl::ExprId body = f;
+  while (table_.node(body).kind == psl::ExprKind::kAlways) {
+    ++always_depth;
+    body = table_.node(body).lhs;
+  }
+  Specializer spec{table_, facts};
+  psl::ExprId out = spec.anchor(body);
+  for (size_t i = 0; i < always_depth; ++i) out = table_.mk_always(out);
+  spec_memo_.emplace(key, out);
   return out;
 }
 

@@ -18,14 +18,32 @@
 #define REPRO_REWRITE_PASS_MANAGER_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "psl/intern.h"
 #include "rewrite/methodology.h"
 
 namespace repro::rewrite {
+
+// Truth values a caller proved to hold at every instance anchor of a
+// property (typically atoms entailed by the activation guard: the guard
+// gates activation, so it holds at each anchor event). The specialization
+// pass folds these ONLY at anchor-time positions — the boolean spine of the
+// always-stripped body — because active instances keep stepping on events
+// where the guard is false, so the facts say nothing about operands of
+// temporal operators.
+struct SpecializationFacts {
+  // (subformula id, known truth value), sorted by id, deduplicated.
+  std::vector<std::pair<psl::ExprId, bool>> known;
+
+  bool empty() const { return known.empty(); }
+  void add(psl::ExprId id, bool value);
+  const bool* lookup(psl::ExprId id) const;
+};
 
 class PassManager {
  public:
@@ -58,6 +76,16 @@ class PassManager {
   psl::ExprId push_ahead(psl::ExprId f, bool* cache_hit = nullptr);
   psl::ExprId next_substitution(psl::ExprId f, bool* cache_hit = nullptr);
 
+  // Specialization stage: constant-folds the `facts` truth values into the
+  // anchor-time positions of `f` (descending the top-level always chain and
+  // then boolean connectives only) and re-simplifies the boolean layer
+  // (!true, true&&x, false||x, ...). Verdict-preserving for checkers whose
+  // activation guard entails the facts; activity counters (real/vacuous
+  // split, node_visits) may shift with the slimmer formula. Memoized per
+  // (formula, facts) pair like every other pass.
+  psl::ExprId specialize(psl::ExprId f, const SpecializationFacts& facts,
+                         bool* cache_hit = nullptr);
+
  private:
   AbstractionOptions options_;
   psl::ExprTable table_;
@@ -65,6 +93,10 @@ class PassManager {
   std::unordered_map<psl::ExprId, SignalAbstraction> sig_memo_;
   std::unordered_map<psl::ExprId, psl::ExprId> push_memo_;
   std::unordered_map<psl::ExprId, psl::ExprId> subst_memo_;
+  // Ordered map: the key embeds the facts vector, which has no cheap hash.
+  std::map<std::pair<psl::ExprId, std::vector<std::pair<psl::ExprId, bool>>>,
+           psl::ExprId>
+      spec_memo_;
   CacheStats cache_stats_;
 };
 

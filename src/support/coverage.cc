@@ -14,6 +14,18 @@ CoverageTable::Row& CoverageTable::row(const std::string& property) {
   return rows_.back().second;
 }
 
+void CoverageTable::annotate(const std::string& property, std::string label) {
+  row(property);  // ensure the row exists (zero counters for pruned rows)
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, existing] : labels_) {
+    if (name == property) {
+      existing = std::move(label);
+      return;
+    }
+  }
+  labels_.emplace_back(property, std::move(label));
+}
+
 std::vector<CoverageTable::RowSnapshot> CoverageTable::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<RowSnapshot> out;
@@ -21,6 +33,12 @@ std::vector<CoverageTable::RowSnapshot> CoverageTable::snapshot() const {
   for (const auto& [name, row] : rows_) {
     RowSnapshot s;
     s.name = name;
+    for (const auto& [labelled, label] : labels_) {
+      if (labelled == name) {
+        s.prune = label;
+        break;
+      }
+    }
     s.activations = row.activations.load(std::memory_order_relaxed);
     s.holds = row.holds.load(std::memory_order_relaxed);
     s.failures = row.failures.load(std::memory_order_relaxed);
@@ -67,7 +85,13 @@ void CoverageTable::write_json(std::ostream& os) const {
     first = false;
     os << "{\"name\":\"";
     write_escaped(os, r.name);
-    os << "\",\"activations\":" << r.activations
+    os << '"';
+    if (!r.prune.empty()) {
+      os << ",\"prune\":\"";
+      write_escaped(os, r.prune);
+      os << '"';
+    }
+    os << ",\"activations\":" << r.activations
        << ",\"holds\":" << r.holds
        << ",\"failures\":" << r.failures
        << ",\"uncompleted\":" << r.uncompleted

@@ -60,6 +60,8 @@ class CoverageTable {
   // Plain-value copy of a Row, taken with relaxed loads.
   struct RowSnapshot {
     std::string name;
+    // Prune-plan annotation ("elide", "subsumed"); empty for live rows.
+    std::string prune;
     uint64_t activations = 0;
     uint64_t holds = 0;
     uint64_t failures = 0;
@@ -80,6 +82,12 @@ class CoverageTable {
   // and are never erased). Thread-safe.
   Row& row(const std::string& property);
 
+  // Attaches a prune-plan label to `property`'s row (creating the row), so
+  // pruned properties are accounted explicitly instead of silently missing
+  // from the table. Snapshots carry the label; write_json emits a "prune"
+  // key only for labelled rows, keeping unpruned output unchanged.
+  void annotate(const std::string& property, std::string label);
+
   // Rows in registration order, read with relaxed loads.
   std::vector<RowSnapshot> snapshot() const;
 
@@ -92,6 +100,7 @@ class CoverageTable {
  private:
   mutable std::mutex mu_;
   std::deque<std::pair<std::string, Row>> rows_;
+  std::vector<std::pair<std::string, std::string>> labels_;  // property, label
 };
 
 }  // namespace repro::support

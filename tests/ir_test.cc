@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "abv/report.h"
+#include "analysis/prune.h"
 #include "checker/batch.h"
 #include "checker/checker.h"
 #include "checker/instance.h"
@@ -388,6 +389,114 @@ TEST_P(IrBackendParity, CoverageCountersIdenticalAcrossBackends) {
   // The split partitions the holds exactly.
   EXPECT_EQ(scalar.stats().holds,
             scalar.stats().real_passes + scalar.stats().vacuous_passes);
+}
+
+// Boolean-only random formula for activation guards.
+ExprPtr random_guard(Rng& rng, int depth) {
+  const char* signals[] = {"a", "b", "c"};
+  if (depth <= 0 || rng.chance(1, 2)) {
+    switch (rng.below(3)) {
+      case 0:
+        return psl::sig(signals[rng.below(3)]);
+      case 1:
+        return psl::not_(psl::sig(signals[rng.below(3)]));
+      default:
+        return psl::cmp(signals[rng.below(3)], psl::CmpOp::kGe, rng.below(3));
+    }
+  }
+  return rng.chance(1, 2)
+             ? psl::and_(random_guard(rng, depth - 1),
+                         random_guard(rng, depth - 1))
+             : psl::or_(random_guard(rng, depth - 1),
+                        random_guard(rng, depth - 1));
+}
+
+// Prune leg of the randomized sweep: a single-property aggressive plan over
+// a random formula with a random activation guard. Every static claim the
+// planner makes must agree with the real checker on a random trace — an
+// elided-true property never fails, an elided-false property fails at every
+// activation (such formulas resolve at their anchor), and a specialized
+// formula is verdict- and counter-identical under the same guard.
+TEST_P(IrBackendParity, PrunePlanSoundOnRandomFormulas) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 52361 + 13);
+  const ExprPtr formula = psl::always(random_formula(rng, 3));
+  const ExprPtr guard = rng.chance(1, 2) ? random_guard(rng, 2) : nullptr;
+
+  analysis::PruneInput input;
+  input.name = "p";
+  input.formula = formula;
+  input.guard = guard;
+  input.context_key = "posedge";
+  const auto plan =
+      analysis::build_prune_plan({input}, analysis::PruneMode::kAggressive);
+  ASSERT_EQ(plan.decisions.size(), 1u);
+  const analysis::PruneDecision& d = plan.decisions[0];
+
+  const Trace trace = random_trace(rng, 14);
+  PropertyChecker real("p", formula, guard, {});
+  for (const auto& o : trace) real.on_event(o.time, o.values);
+  real.finish();
+
+  if (d.action == analysis::PruneAction::kElide) {
+    if (d.static_verdict) {
+      EXPECT_EQ(real.stats().failures, 0u) << psl::to_string(formula);
+    } else {
+      EXPECT_EQ(real.stats().failures, real.stats().activations)
+          << psl::to_string(formula);
+    }
+    return;
+  }
+  if (d.specialized != nullptr) {
+    PropertyChecker spec("p", d.specialized, guard, {});
+    for (const auto& o : trace) spec.on_event(o.time, o.values);
+    spec.finish();
+    EXPECT_EQ(spec.stats().activations, real.stats().activations)
+        << psl::to_string(formula) << "\nguard: " << psl::to_string(guard)
+        << "\nspecialized: " << psl::to_string(d.specialized);
+    EXPECT_EQ(spec.stats().failures, real.stats().failures)
+        << psl::to_string(formula) << "\nguard: " << psl::to_string(guard)
+        << "\nspecialized: " << psl::to_string(d.specialized);
+    EXPECT_EQ(spec.ok(), real.ok()) << psl::to_string(formula);
+  }
+}
+
+// Subsumption claims checked dynamically: when the planner prunes one of
+// two random properties, the surviving checker's verdict must bound the
+// pruned one's on shared random traces (subsumer ok => subsumed ok).
+TEST_P(IrBackendParity, PruneSubsumptionImpliesVerdictOnRandomTraces) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 77003 + 29);
+  const ExprPtr f[2] = {psl::always(random_formula(rng, 2)),
+                        psl::always(random_formula(rng, 2))};
+  std::vector<analysis::PruneInput> inputs(2);
+  inputs[0].name = "q0";
+  inputs[0].formula = f[0];
+  inputs[0].context_key = "posedge";
+  inputs[1].name = "q1";
+  inputs[1].formula = f[1];
+  inputs[1].context_key = "posedge";
+  const auto plan =
+      analysis::build_prune_plan(inputs, analysis::PruneMode::kSafe);
+  for (size_t j = 0; j < plan.decisions.size(); ++j) {
+    const analysis::PruneDecision& d = plan.decisions[j];
+    if (d.action != analysis::PruneAction::kSubsumed) continue;
+    const size_t i = d.subsumed_by == "q0" ? 0 : 1;
+    for (int round = 0; round < 3; ++round) {
+      const Trace trace = random_trace(rng, 12);
+      PropertyChecker subsumer("i", f[i], nullptr, {});
+      PropertyChecker subsumed("j", f[j], nullptr, {});
+      for (const auto& o : trace) {
+        subsumer.on_event(o.time, o.values);
+        subsumed.on_event(o.time, o.values);
+      }
+      subsumer.finish();
+      subsumed.finish();
+      if (subsumer.ok()) {
+        EXPECT_TRUE(subsumed.ok())
+            << "subsumer: " << psl::to_string(f[i])
+            << "\nsubsumed: " << psl::to_string(f[j]);
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, IrBackendParity, ::testing::Range(0, 200));

@@ -9,7 +9,8 @@
 //
 // Usage:
 //   abstract_prop [--suite des56|colorconv] [--period NS]
-//                 [--abstract SIGNAL]... [--analyze] [PROPERTY_TEXT]
+//                 [--abstract SIGNAL]... [--analyze]
+//                 [--prune off|safe|aggressive] [PROPERTY_TEXT]
 //
 //   --suite NAME      abstract the named built-in suite (default: des56
 //                     when no PROPERTY_TEXT is given). The suite supplies
@@ -20,6 +21,9 @@
 //                     ignored with --suite).
 //   --analyze         also run the static analysis battery (psl_lint's
 //                     checks) and print its diagnostics per property.
+//   --prune MODE      also build the analysis-guided prune plan over the
+//                     input set and print which properties the runtime
+//                     would elide or subsume (default off).
 //   PROPERTY_TEXT     a single RTL property, e.g.
 //                     "p: always (!ds || next[3](rdy)) @clk_pos".
 #include <cstdint>
@@ -32,6 +36,7 @@
 #include <vector>
 
 #include "analysis/driver.h"
+#include "analysis/prune.h"
 #include "checker/program.h"
 #include "models/properties.h"
 #include "psl/parser.h"
@@ -46,7 +51,8 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--suite des56|colorconv] [--period NS]\n"
-               "          [--abstract SIGNAL]... [--analyze] [PROPERTY_TEXT]\n",
+               "          [--abstract SIGNAL]... [--analyze]\n"
+               "          [--prune off|safe|aggressive] [PROPERTY_TEXT]\n",
                argv0);
 }
 
@@ -54,6 +60,22 @@ void usage(const char* argv0) {
 void print_analysis(analysis::Driver& driver, const psl::RtlProperty& p) {
   const analysis::PropertyAnalysis& record = driver.analyze(p);
   for (const analysis::Diagnostic& d : record.diagnostics) {
+    std::printf("  %s\n", analysis::to_string(d).c_str());
+  }
+}
+
+void print_prune_plan(const std::vector<psl::RtlProperty>& properties,
+                      analysis::PruneMode mode) {
+  std::vector<analysis::PruneInput> inputs;
+  inputs.reserve(properties.size());
+  for (const auto& p : properties) {
+    inputs.push_back(analysis::make_prune_input(p));
+  }
+  const analysis::PrunePlan plan = analysis::build_prune_plan(inputs, mode);
+  std::printf("\nprune plan (%s): %zu live, %zu elided, %zu subsumed\n",
+              analysis::to_string(plan.mode), plan.live(), plan.elided(),
+              plan.subsumed());
+  for (const analysis::Diagnostic& d : plan.diagnostics()) {
     std::printf("  %s\n", analysis::to_string(d).c_str());
   }
 }
@@ -85,6 +107,7 @@ int main(int argc, char** argv) {
   std::set<std::string> abstracted;
   std::string text;
   bool analyze = false;
+  analysis::PruneMode prune = analysis::PruneMode::kOff;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--suite") == 0 && i + 1 < argc) {
       suite_name = argv[++i];
@@ -101,6 +124,14 @@ int main(int argc, char** argv) {
       abstracted.insert(argv[++i]);
     } else if (std::strcmp(argv[i], "--analyze") == 0) {
       analyze = true;
+    } else if (std::strcmp(argv[i], "--prune") == 0 && i + 1 < argc) {
+      if (!analysis::parse_prune_mode(argv[++i], prune)) {
+        std::fprintf(stderr,
+                     "bad --prune value '%s' (want off, safe or aggressive)\n",
+                     argv[i]);
+        usage(argv[0]);
+        return 2;
+      }
     } else if (argv[i][0] == '-') {
       usage(argv[0]);
       return 2;
@@ -135,6 +166,7 @@ int main(int argc, char** argv) {
       std::printf("  analysis:\n");
       print_analysis(driver, p);
     }
+    if (prune != analysis::PruneMode::kOff) print_prune_plan({p}, prune);
     return 0;
   }
 
@@ -165,6 +197,9 @@ int main(int argc, char** argv) {
       std::printf("  analysis:\n");
       print_analysis(driver, suite.properties[i]);
     }
+  }
+  if (prune != analysis::PruneMode::kOff) {
+    print_prune_plan(suite.properties, prune);
   }
   return 0;
 }

@@ -9,7 +9,7 @@
 // Usage:
 //   psl_lint [--suite des56|colorconv]... [--period NS] [--abstract SIG]...
 //            [--observable NAME]... [--text PROPERTY]... [--json]
-//            [--Werror] [FILE...]
+//            [--prune off|safe|aggressive] [--Werror] [FILE...]
 //
 //   --suite NAME      lint a built-in suite with its own clock period,
 //                     abstracted signals and per-level observables
@@ -22,6 +22,10 @@
 //                     (repeatable), e.g. "p: always (!ds || next[3](rdy))"
 //   FILE              lint a property file (name: formula @ctx; per line)
 //   --json            machine-readable report instead of text
+//   --prune MODE      additionally build the analysis-guided prune plan per
+//                     unit (off|safe|aggressive, default off) and report
+//                     which properties the runtime would elide or subsume
+//                     (PRN001/002/004 notes, plan summary line)
 //   --Werror          exit non-zero on warnings too (--Werror-analysis is
 //                     accepted as an alias, matching the example binaries)
 //
@@ -38,6 +42,7 @@
 #include <vector>
 
 #include "analysis/driver.h"
+#include "analysis/prune.h"
 #include "models/properties.h"
 #include "models/testbench.h"
 #include "psl/parser.h"
@@ -52,7 +57,8 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--suite des56|colorconv]... [--period NS]\n"
       "          [--abstract SIG]... [--observable NAME]...\n"
-      "          [--text PROPERTY]... [--json] [--Werror] [FILE...]\n",
+      "          [--text PROPERTY]... [--json] [--prune off|safe|aggressive]\n"
+      "          [--Werror] [FILE...]\n",
       argv0);
 }
 
@@ -101,6 +107,7 @@ int main(int argc, char** argv) {
   analysis::AnalysisOptions adhoc;
   bool json = false;
   bool werror = false;
+  analysis::PruneMode prune = analysis::PruneMode::kOff;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--suite") == 0 && i + 1 < argc) {
@@ -120,6 +127,14 @@ int main(int argc, char** argv) {
       adhoc.rtl_observables.emplace_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--text") == 0 && i + 1 < argc) {
       texts.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--prune") == 0 && i + 1 < argc) {
+      if (!analysis::parse_prune_mode(argv[++i], prune)) {
+        std::fprintf(stderr,
+                     "bad --prune value '%s' (want off, safe or aggressive)\n",
+                     argv[i]);
+        usage(argv[0]);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--Werror") == 0 ||
@@ -200,17 +215,43 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < unit.properties.size(); ++i) {
       driver.analyze(unit.properties[i], unit.spans[i]);
     }
+    analysis::PrunePlan plan;
+    if (prune != analysis::PruneMode::kOff) {
+      std::vector<analysis::PruneInput> inputs;
+      inputs.reserve(unit.properties.size());
+      for (const auto& p : unit.properties) {
+        inputs.push_back(analysis::make_prune_input(p));
+      }
+      plan = analysis::build_prune_plan(inputs, prune);
+    }
     if (json) {
       if (!first_unit) std::cout << ",";
       std::cout << "{\"unit\":\"" << unit.name << "\",\"report\":";
       driver.write_json(std::cout);
+      if (prune != analysis::PruneMode::kOff) {
+        std::cout << ",\"prune_plan\":";
+        plan.write_json(std::cout);
+      }
       std::cout << "}";
     } else {
       std::cout << "== " << unit.name << " ==\n";
       driver.render_text(std::cout);
+      if (prune != analysis::PruneMode::kOff) {
+        for (const analysis::Diagnostic& d : plan.diagnostics()) {
+          std::cout << analysis::to_string(d) << "\n";
+        }
+        std::cout << "prune plan (" << analysis::to_string(plan.mode)
+                  << "): " << plan.live() << " live, " << plan.elided()
+                  << " elided, " << plan.subsumed() << " subsumed\n";
+      }
     }
     first_unit = false;
-    const analysis::DiagnosticCounts c = driver.counts();
+    analysis::DiagnosticCounts c = driver.counts();
+    for (const analysis::Diagnostic& d : plan.diagnostics()) {
+      if (d.severity == analysis::Severity::kNote) ++c.notes;
+      if (d.severity == analysis::Severity::kWarning) ++c.warnings;
+      if (d.severity == analysis::Severity::kError) ++c.errors;
+    }
     totals.notes += c.notes;
     totals.warnings += c.warnings;
     totals.errors += c.errors;
