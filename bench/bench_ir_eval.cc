@@ -14,14 +14,24 @@
 // (checker/batch.h), with reset-on-resolve recycling on both sides and a
 // resolution-count parity check between them.
 //
-// With REPRO_BENCH_JSON set, records land in BENCH_ir_eval.json.
+// The analysis-cost section times the symbolic bounded trajectory
+// evaluation (analysis/symbolic.h) over both shipped suites at both levels
+// and records dead-node counts and the fraction of properties it discharges
+// (never-fails, exhaustively) into BENCH_symbolic.json. It doubles as the
+// CI wall-clock gate: `bench_ir_eval --symbolic-only` runs just that
+// section and exits non-zero when the analysis blows a generous budget.
+//
+// With REPRO_BENCH_JSON set, records land in BENCH_ir_eval.json (and
+// BENCH_symbolic.json for the analysis-cost section).
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <cmath>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/symbolic.h"
 #include "bench_table_common.h"
 #include "checker/batch.h"
 #include "checker/checker.h"
@@ -204,9 +214,126 @@ double time_telemetry_pass(const psl::ExprPtr& formula,
   return static_cast<double>(passes * trace.size()) / elapsed.count();
 }
 
+// ---- Symbolic analysis cost ----------------------------------------------------
+
+// Generous wall-clock budget for symbolically analyzing BOTH shipped suites
+// at both levels. The observed cost is a few milliseconds; the gate exists
+// to catch accidental exponential blow-ups, not to tune milliseconds.
+constexpr double kSymbolicBudgetSeconds = 10.0;
+
+// Runs the symbolic bounded trajectory evaluation over one suite: every
+// property's RTL formula plus its abstracted TLM formula (when it differs),
+// mirroring check_symbolic. Returns per-suite aggregates.
+struct SymbolicCost {
+  size_t levels = 0;      // (property, level) pairs attempted
+  size_t analyzed = 0;    // accepted by an encoding (status kOk)
+  size_t skipped = 0;     // declined (mixed currencies, abort, budget)
+  size_t discharged = 0;  // proved never-failing over an exhaustive horizon
+  size_t witnesses = 0;   // reachable failures with a replay-verified trace
+  size_t dead_nodes = 0;  // program nodes that never influence the verdict
+  size_t folded = 0;      // programs shrunk by the parity-gated fold
+  double seconds = 0;
+};
+
+SymbolicCost symbolic_suite_cost(const models::PropertySuite& suite) {
+  rewrite::AbstractionOptions options;
+  options.clock_period_ns = suite.clock_period_ns;
+  options.abstracted_signals = suite.abstracted_signals;
+  const std::vector<rewrite::AbstractionOutcome> outcomes =
+      rewrite::abstract_suite(suite.properties, options);
+
+  analysis::SymbolicEval::Options sym_opt;
+  sym_opt.clock_period_ns = suite.clock_period_ns;
+  sym_opt.step_budget = 16;
+
+  SymbolicCost cost;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < suite.properties.size(); ++i) {
+    std::vector<psl::ExprPtr> levels = {suite.properties[i].formula};
+    if (!outcomes[i].deleted() &&
+        psl::to_string(outcomes[i].property->formula) !=
+            psl::to_string(suite.properties[i].formula)) {
+      levels.push_back(outcomes[i].property->formula);
+    }
+    for (const psl::ExprPtr& formula : levels) {
+      ++cost.levels;
+      analysis::SymbolicEval sym(formula, sym_opt);
+      if (sym.status() != analysis::SymbolicEval::Status::kOk) {
+        ++cost.skipped;
+        continue;
+      }
+      ++cost.analyzed;
+      if (sym.never_fails() && sym.exhaustive()) {
+        ++cost.discharged;
+      } else if (sym.fail_witness().has_value()) {
+        ++cost.witnesses;
+      }
+      if (sym.exhaustive()) cost.dead_nodes += sym.dead_nodes().size();
+      size_t folded_nodes = 0;
+      if (sym.fold_dead(&folded_nodes) != nullptr) ++cost.folded;
+      (void)folded_nodes;
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  cost.seconds = elapsed.count();
+  return cost;
+}
+
+// Prints and records the analysis-cost table; returns non-zero when the
+// wall-clock budget is blown.
+int run_symbolic_cost_section() {
+  bench::BenchJson json("symbolic");
+  std::printf("\n=== Symbolic analysis cost (16-step budget, both levels) "
+              "===\n");
+  std::printf("%-10s %7s %9s %8s %11s %9s %11s %7s %10s\n", "suite", "levels",
+              "analyzed", "skipped", "discharged", "witnesses", "dead nodes",
+              "folds", "seconds");
+  double total_seconds = 0;
+  for (const models::PropertySuite& suite :
+       {models::des56_suite(), models::colorconv_suite()}) {
+    const SymbolicCost c = symbolic_suite_cost(suite);
+    total_seconds += c.seconds;
+    const double discharged_fraction =
+        c.analyzed == 0 ? 0.0
+                        : static_cast<double>(c.discharged) /
+                              static_cast<double>(c.analyzed);
+    std::printf("%-10s %7zu %9zu %8zu %7zu/%-3.0f%% %9zu %11zu %7zu %10.5f\n",
+                suite.design.c_str(), c.levels, c.analyzed, c.skipped,
+                c.discharged, 100.0 * discharged_fraction, c.witnesses,
+                c.dead_nodes, c.folded, c.seconds);
+    if (json.enabled()) {
+      char record[512];
+      std::snprintf(
+          record, sizeof record,
+          "{\"label\": \"symbolic %s\", \"design\": \"%s\", "
+          "\"step_budget\": 16, \"levels\": %zu, \"analyzed\": %zu, "
+          "\"skipped\": %zu, \"discharged\": %zu, "
+          "\"discharged_fraction\": %.6f, \"witnesses\": %zu, "
+          "\"dead_nodes\": %zu, \"folded_programs\": %zu, "
+          "\"seconds\": %.6f, \"budget_seconds\": %.1f}",
+          suite.design.c_str(), suite.design.c_str(), c.levels, c.analyzed,
+          c.skipped, c.discharged, discharged_fraction, c.witnesses,
+          c.dead_nodes, c.folded, c.seconds, kSymbolicBudgetSeconds);
+      json.add_raw(record);
+    }
+  }
+  std::printf("symbolic analysis of both suites: %.5f s (budget %.1f s)\n",
+              total_seconds, kSymbolicBudgetSeconds);
+  if (total_seconds > kSymbolicBudgetSeconds) {
+    std::printf("SYMBOLIC ANALYSIS OVER BUDGET\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // CI gate mode: run only the (cheap) symbolic analysis-cost section.
+  if (argc > 1 && std::strcmp(argv[1], "--symbolic-only") == 0) {
+    return run_symbolic_cost_section();
+  }
   const size_t kTraceLen = bench::scaled(2048);
   const size_t kIters = 64;
   const checker::Trace trace = make_trace(kTraceLen);
@@ -428,9 +555,13 @@ int main() {
               static_cast<unsigned long long>(stats.misses),
               100.0 * hit_rate);
 
+  const int symbolic_rc = run_symbolic_cost_section();
+
   // Gate: the compiled backend must not regress below the interpreter, the
   // lockstep kernel must hold its >= 3x headline on the battery columns,
-  // and the coverage telemetry must cost at most ~5% geomean throughput.
+  // the coverage telemetry must cost at most ~5% geomean throughput, and
+  // the symbolic analysis must stay inside its wall-clock budget.
+  if (symbolic_rc != 0) return symbolic_rc;
   if (geomean < 1.0) return 1;
   if (vector_measured > 0 && vector_geomean < 3.0) return 1;
   if (telemetry_measured > 0 && telemetry_geomean < 0.95) return 1;

@@ -38,6 +38,11 @@
 //                       derived verdict is cross-checked (PRN003).
 //   --prune-plan-out FILE  write the machine-readable prune plan JSON
 //                       (TLM-AT run).
+//   --symbolic-budget N symbolic bounded trajectory evaluation feeding the
+//                       prune planner (analysis/symbolic.h): elide-grade
+//                       never-fails proofs beyond the structural prover and
+//                       parity-gated dead-node program folds. 0 = off
+//                       (default).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -126,6 +131,7 @@ int main(int argc, char** argv) {
   models::AnalysisMode analysis = models::AnalysisMode::kOff;
   analysis::PruneMode prune = analysis::PruneMode::kOff;
   std::string prune_plan_out;
+  size_t symbolic_budget = 0;
   auto usage = [&] {
     std::fprintf(stderr,
                  "usage: %s [--jobs N] [--batch-size N] [--max-inflight N]\n"
@@ -134,7 +140,8 @@ int main(int argc, char** argv) {
                  "          [--metrics-out FILE] [--metrics-interval N]\n"
                  "          [--dump-passes] [--interpreter] [--no-vectorize]\n"
                  "          [--analyze] [--Werror-analysis]\n"
-                 "          [--prune off|safe|aggressive] [--prune-plan-out FILE]\n",
+                 "          [--prune off|safe|aggressive] [--prune-plan-out FILE]\n"
+               "          [--symbolic-budget N]\n",
                  argv[0]);
   };
   for (int i = 1; i < argc; ++i) {
@@ -195,6 +202,17 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--prune-plan-out") == 0 && i + 1 < argc) {
       prune_plan_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--symbolic-budget") == 0 && i + 1 < argc) {
+      const std::optional<uint64_t> parsed = repro::parse_u64(argv[++i]);
+      if (!parsed.has_value()) {
+        std::fprintf(
+            stderr,
+            "bad --symbolic-budget value '%s' (want a non-negative integer)\n",
+            argv[i]);
+        usage();
+        return 2;
+      }
+      symbolic_budget = static_cast<size_t>(*parsed);
     } else {
       usage();
       return 2;
@@ -241,6 +259,7 @@ int main(int argc, char** argv) {
   config.compiled_checkers = !interpreter;
   config.analysis = analysis;
   config.analysis.prune = prune;
+  config.analysis.symbolic_budget = symbolic_budget;
 
   bool all_ok = true;
   for (Level level : {Level::kRtl, Level::kTlmCa, Level::kTlmAt}) {

@@ -50,6 +50,11 @@
 //                        --Werror-analysis pruned checkers still run and
 //                        every derived verdict is cross-checked (PRN003).
 //   --prune-plan-out FILE write the machine-readable prune plan JSON.
+//   --symbolic-budget N  symbolic bounded trajectory evaluation feeding the
+//                        prune planner (analysis/symbolic.h): elide-grade
+//                        never-fails proofs beyond the structural prover and
+//                        parity-gated dead-node program folds. 0 = off
+//                        (default).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -81,7 +86,8 @@ void usage(const char* argv0) {
                "          [--metrics-out FILE] [--metrics-interval N]\n"
                "          [--dump-passes] [--interpreter] [--no-vectorize]\n"
                "          [--no-witness-demo] [--analyze] [--Werror-analysis]\n"
-               "          [--prune off|safe|aggressive] [--prune-plan-out FILE]\n",
+               "          [--prune off|safe|aggressive] [--prune-plan-out FILE]\n"
+               "          [--symbolic-budget N]\n",
                argv0);
 }
 
@@ -123,6 +129,7 @@ int main(int argc, char** argv) {
   models::AnalysisMode analysis = models::AnalysisMode::kOff;
   analysis::PruneMode prune = analysis::PruneMode::kOff;
   std::string prune_plan_out;
+  size_t symbolic_budget = 0;
   for (int i = 1; i < argc; ++i) {
     // Strict numeric arguments: garbage ("abc", "64k", "-1") is a usage
     // error, not a silent 0.
@@ -183,6 +190,17 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--prune-plan-out") == 0 && i + 1 < argc) {
       prune_plan_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--symbolic-budget") == 0 && i + 1 < argc) {
+      const std::optional<uint64_t> parsed = repro::parse_u64(argv[++i]);
+      if (!parsed.has_value()) {
+        std::fprintf(
+            stderr,
+            "bad --symbolic-budget value '%s' (want a non-negative integer)\n",
+            argv[i]);
+        usage(argv[0]);
+        return 2;
+      }
+      symbolic_budget = static_cast<size_t>(*parsed);
     } else {
       usage(argv[0]);
       return 2;
@@ -236,6 +254,7 @@ int main(int argc, char** argv) {
   config.compiled_checkers = !interpreter;
   config.analysis = analysis;
   config.analysis.prune = prune;
+  config.analysis.symbolic_budget = symbolic_budget;
   config.observability.prune_plan_path = prune_plan_out;
 
   config.level = Level::kRtl;

@@ -35,6 +35,7 @@ void SignalBag::sample_into(tlm::Snapshot& snapshot) const {
 
 void RtlAbvEnv::add_property(const psl::RtlProperty& property) {
   psl::ExprPtr formula = property.formula;
+  psl::ExprPtr fold;
   if (prune_plan_ != nullptr) {
     if (const analysis::PruneDecision* d = prune_plan_->find(property.name)) {
       if (d->action != analysis::PruneAction::kLive) {
@@ -43,13 +44,16 @@ void RtlAbvEnv::add_property(const psl::RtlProperty& property) {
           return;
         }
         audited_.push_back(*d);
-      } else if (d->specialized != nullptr) {
-        formula = d->specialized;
+      } else {
+        if (d->specialized != nullptr) formula = d->specialized;
+        fold = d->program_fold;
       }
     }
   }
   checkers_.push_back(std::make_unique<checker::PropertyChecker>(
       property.name, formula, property.context.guard, checker_options_));
+  // Symbolic dead-node fold (see tlm_env.cc): program-level swap only.
+  if (fold != nullptr) checkers_.back()->set_program_formula(fold);
   kinds_.push_back(property.context.kind);
   switch (property.context.kind) {
     case psl::ClockContext::Kind::kTrue:

@@ -4,6 +4,7 @@ namespace repro::abv {
 
 void TlmAbvEnv::add_property(const psl::TlmProperty& property) {
   psl::TlmProperty effective = property;
+  psl::ExprPtr fold;
   if (prune_plan_ != nullptr) {
     if (const analysis::PruneDecision* d = prune_plan_->find(property.name)) {
       if (d->action != analysis::PruneAction::kLive) {
@@ -13,17 +14,22 @@ void TlmAbvEnv::add_property(const psl::TlmProperty& property) {
           return;
         }
         audited_.push_back(*d);
-      } else if (d->specialized != nullptr) {
-        effective.formula = d->specialized;
+      } else {
+        if (d->specialized != nullptr) effective.formula = d->specialized;
+        fold = d->program_fold;
       }
     }
   }
   wrappers_.push_back(std::make_unique<checker::TlmCheckerWrapper>(
       effective, clock_period_ns_, checker_options_));
+  // Symbolic dead-node fold: swap in the slimmer program while the original
+  // formula keeps driving cost accounting (verdict-stream parity-gated).
+  if (fold != nullptr) wrappers_.back()->set_program_formula(fold);
 }
 
 void TlmAbvEnv::add_rtl_property(const psl::RtlProperty& property) {
   psl::ExprPtr formula = property.formula;
+  psl::ExprPtr fold;
   if (prune_plan_ != nullptr) {
     if (const analysis::PruneDecision* d = prune_plan_->find(property.name)) {
       if (d->action != analysis::PruneAction::kLive) {
@@ -33,13 +39,15 @@ void TlmAbvEnv::add_rtl_property(const psl::RtlProperty& property) {
           return;
         }
         audited_.push_back(*d);
-      } else if (d->specialized != nullptr) {
-        formula = d->specialized;
+      } else {
+        if (d->specialized != nullptr) formula = d->specialized;
+        fold = d->program_fold;
       }
     }
   }
   checkers_.push_back(std::make_unique<checker::PropertyChecker>(
       property.name, formula, property.context.guard, checker_options_));
+  if (fold != nullptr) checkers_.back()->set_program_formula(fold);
 }
 
 void TlmAbvEnv::attach(tlm::TransactionRecorder& recorder) {

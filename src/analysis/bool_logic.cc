@@ -28,6 +28,59 @@ Bdd::Ref Bdd::mk(uint32_t var, Ref lo, Ref hi) {
 
 Bdd::Ref Bdd::var(uint32_t v) { return mk(v, kFalse, kTrue); }
 
+bool Bdd::sat_one(Ref f, Assignment& out) const {
+  out.clear();
+  if (f == kFalse) return false;
+  // In a reduced BDD every non-false node has at most one false child, so
+  // a greedy descent that avoids kFalse always reaches kTrue.
+  while (f != kTrue) {
+    const Node& n = nodes_[f];
+    const bool take_hi = n.lo == kFalse;
+    out.emplace_back(n.var, take_hi);
+    f = take_hi ? n.hi : n.lo;
+  }
+  return true;
+}
+
+std::vector<Bdd::Assignment> Bdd::sat_some(Ref f, size_t limit) const {
+  std::vector<Assignment> found;
+  if (limit == 0) return found;
+  Assignment path;
+  // Iterative DFS, low branch first; each stack entry revisits a node to
+  // explore its high branch after the low subtree is done.
+  struct Item {
+    Ref ref;
+    int state;  // 0: enter, 1: after low
+  };
+  std::vector<Item> stack{{f, 0}};
+  while (!stack.empty() && found.size() < limit) {
+    Item& top = stack.back();
+    if (top.ref == kFalse) {
+      stack.pop_back();
+      continue;
+    }
+    if (top.ref == kTrue) {
+      found.push_back(path);
+      stack.pop_back();
+      continue;
+    }
+    const Node& n = nodes_[top.ref];
+    if (top.state == 0) {
+      top.state = 1;
+      path.emplace_back(n.var, false);
+      stack.push_back({n.lo, 0});
+    } else if (top.state == 1) {
+      top.state = 2;
+      path.back() = {n.var, true};
+      stack.push_back({n.hi, 0});
+    } else {
+      path.pop_back();
+      stack.pop_back();
+    }
+  }
+  return found;
+}
+
 Bdd::Ref Bdd::cofactor(Ref f, uint32_t var, bool positive) const {
   const Node& n = nodes_[f];
   if (n.var != var) return f;  // ordered: var < n.var, f independent of var

@@ -46,6 +46,18 @@ class Bdd {
 
   size_t node_count() const { return nodes_.size(); }
 
+  // Satisfying assignments as (variable, value) pairs along one BDD path;
+  // variables not mentioned are don't-care. The walk prefers the low branch
+  // (variable false) whenever it stays satisfiable, biasing extracted
+  // witnesses toward "nothing happens".
+  using Assignment = std::vector<std::pair<uint32_t, bool>>;
+
+  // One satisfying assignment of f; false when f is unsatisfiable.
+  bool sat_one(Ref f, Assignment& out) const;
+  // Up to `limit` satisfying cube assignments of f (DFS order, low branch
+  // first).
+  std::vector<Assignment> sat_some(Ref f, size_t limit) const;
+
  private:
   struct Node {
     uint32_t var = 0;  // terminals use the max var so they sort last

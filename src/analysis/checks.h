@@ -17,6 +17,13 @@
 //                                         environment's observable set
 //   check_sizing          SIZ001..SIZ003  next_e window set, predicted
 //                                         wrapper lifetime / pool capacity
+//   check_symbolic        SYM001..SYM005  symbolic bounded trajectory
+//                                         evaluation (symbolic.h): never
+//                                         fails / dead program nodes /
+//                                         temporal static vacuity /
+//                                         reachable failure with witness /
+//                                         analysis skipped. Opt-in via
+//                                         AnalysisOptions::symbolic_budget.
 #ifndef REPRO_ANALYSIS_CHECKS_H_
 #define REPRO_ANALYSIS_CHECKS_H_
 
@@ -42,6 +49,9 @@ struct AnalysisOptions {
   // Boolean-layer analysis cap: formulas with more distinct atoms get an
   // explicit "analysis skipped" diagnostic instead of a BDD.
   size_t atom_cap = 20;
+  // Step/instant budget of the symbolic bounded trajectory evaluation
+  // (check_symbolic). 0 disables the pass entirely.
+  size_t symbolic_budget = 0;
 };
 
 // Outcome of the consequence audit for one property.
@@ -82,6 +92,8 @@ void check_bool_semantics(CheckContext& ctx);
 void check_consequence(CheckContext& ctx);
 void check_env_binding(CheckContext& ctx);
 void check_sizing(CheckContext& ctx);
+// Implemented in symbolic.cc; no-op when options.symbolic_budget is 0.
+void check_symbolic(CheckContext& ctx);
 
 // Core of the consequence audit, exposed for tests: tries to prove
 // table[p] |= table[q] (LTL consequence) by structural monotonicity rules

@@ -57,6 +57,19 @@ std::string to_string(const Diagnostic& d) {
   return out;
 }
 
+std::string format_witness(const WitnessTrace& witness,
+                           const std::string& indent) {
+  std::string out;
+  for (const TraceEvent& ev : witness) {
+    out += indent + "t=" + std::to_string(ev.time);
+    for (const auto& [name, value] : ev.values) {
+      out += " " + name + "=" + std::to_string(value);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
 void write_json(std::ostream& os, const Diagnostic& d) {
   os << "{\"code\":";
   write_escaped(os, d.code);
@@ -75,7 +88,25 @@ void write_json(std::ostream& os, const Diagnostic& d) {
   if (d.span.valid()) {
     os << ",\"offset\":" << d.span.offset << ",\"length\":" << d.span.length;
   }
+  if (!d.witness.empty()) {
+    os << ",\"witness\":[";
+    for (size_t i = 0; i < d.witness.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "{\"time\":" << d.witness[i].time << ",\"values\":{";
+      for (size_t j = 0; j < d.witness[i].values.size(); ++j) {
+        if (j != 0) os << ",";
+        write_escaped(os, d.witness[i].values[j].first);
+        os << ":" << d.witness[i].values[j].second;
+      }
+      os << "}}";
+    }
+    os << "]";
+  }
   os << "}";
+}
+
+bool is_skip_code(const std::string& code) {
+  return code == "SEM005" || code == "PRN004" || code == "SYM005";
 }
 
 DiagnosticCounts count(const std::vector<Diagnostic>& diagnostics) {
@@ -86,6 +117,7 @@ DiagnosticCounts count(const std::vector<Diagnostic>& diagnostics) {
       case Severity::kWarning: ++c.warnings; break;
       case Severity::kError: ++c.errors; break;
     }
+    if (is_skip_code(d.code)) ++c.skipped;
   }
   return c;
 }

@@ -16,11 +16,17 @@
 //                   lifetime, instance-pool capacity)
 //   COV001..COV002  post-run static-vs-dynamic vacuity cross-check
 //                   (coverage_check.h; emitted after the simulation)
+//   SYM001..SYM005  symbolic bounded trajectory evaluation (symbolic.h):
+//                   never-fails / dead program nodes / temporal static
+//                   vacuity / reachable failure with witness / analysis
+//                   skipped
 #ifndef REPRO_ANALYSIS_DIAGNOSTIC_H_
 #define REPRO_ANALYSIS_DIAGNOSTIC_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace repro::analysis {
@@ -38,6 +44,16 @@ struct SourceSpan {
   bool valid() const { return offset >= 0; }
 };
 
+// One event of a concrete witness trace attached to a diagnostic: the
+// simulation time plus the observable values the event carried.
+struct TraceEvent {
+  uint64_t time = 0;
+  std::vector<std::pair<std::string, uint64_t>> values;  // sorted by name
+};
+// A replayable trace demonstrating a symbolic finding (SYM004): feeding it
+// to the concrete interpreter reproduces the predicted verdict.
+using WitnessTrace = std::vector<TraceEvent>;
+
 struct Diagnostic {
   std::string code;      // stable catalog code, e.g. "PSL001"
   Severity severity = Severity::kWarning;
@@ -47,7 +63,13 @@ struct Diagnostic {
   std::string message;
   std::string hint;      // optional fix-it hint; empty when absent
   SourceSpan span;
+  WitnessTrace witness;  // concrete trace evidence; empty when absent
 };
+
+// Multi-line rendering of a witness trace, one "t=<ns> sig=val ..." line
+// per event, each prefixed with `indent`. Empty string for empty traces.
+std::string format_witness(const WitnessTrace& witness,
+                           const std::string& indent = "    ");
 
 // One-line compiler-style rendering:
 //   error[ENV001] p7: atom 'bogus' is not an observable of the target env
@@ -56,14 +78,21 @@ std::string to_string(const Diagnostic& d);
 // Writes `d` as a JSON object (insertion-ordered keys, stable output).
 void write_json(std::ostream& os, const Diagnostic& d);
 
-// Severity histogram over a diagnostic list.
+// Severity histogram over a diagnostic list. `skipped` counts explicit
+// analysis-skip diagnostics (SEM005 / PRN004 / SYM005) so capped properties
+// stay visible in summaries; each is also counted under its severity.
 struct DiagnosticCounts {
   size_t notes = 0;
   size_t warnings = 0;
   size_t errors = 0;
+  size_t skipped = 0;
 
   size_t total() const { return notes + warnings + errors; }
 };
+
+// True for codes that report an analysis explicitly skipped (atom cap,
+// unsupported operator mix, step budget).
+bool is_skip_code(const std::string& code);
 
 DiagnosticCounts count(const std::vector<Diagnostic>& diagnostics);
 

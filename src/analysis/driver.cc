@@ -62,6 +62,7 @@ const PropertyAnalysis& Driver::analyze(const psl::RtlProperty& property,
   check_consequence(ctx);
   check_env_binding(ctx);
   check_sizing(ctx);
+  check_symbolic(ctx);
   return record;
 }
 
@@ -74,6 +75,7 @@ DiagnosticCounts Driver::counts() const {
     total.notes += c.notes;
     total.warnings += c.warnings;
     total.errors += c.errors;
+    total.skipped += c.skipped;
   }
   return total;
 }
@@ -89,7 +91,8 @@ void Driver::render_text(std::ostream& os) const {
   }
   const DiagnosticCounts c = counts();
   os << "analysis: " << results_.size() << " properties, " << c.errors
-     << " errors, " << c.warnings << " warnings, " << c.notes << " notes\n";
+     << " errors, " << c.warnings << " warnings, " << c.notes << " notes"
+     << ", skipped: " << c.skipped << "\n";
 }
 
 void Driver::write_json(std::ostream& os) const {
@@ -138,7 +141,7 @@ void Driver::write_json(std::ostream& os) const {
   }
   const DiagnosticCounts c = counts();
   os << "],\"totals\":{\"notes\":" << c.notes << ",\"warnings\":" << c.warnings
-     << ",\"errors\":" << c.errors << "}}\n";
+     << ",\"errors\":" << c.errors << ",\"skipped\":" << c.skipped << "}}\n";
 }
 
 }  // namespace repro::analysis

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "analysis/checks.h"
+#include "analysis/symbolic.h"
 
 namespace repro::analysis {
 
@@ -323,6 +324,10 @@ void PrunePlan::write_json(std::ostream& os) const {
       os << ", \"specialized\": ";
       write_escaped(os, psl::to_string(d.specialized));
     }
+    if (d.program_fold != nullptr) {
+      os << ", \"program_fold\": ";
+      write_escaped(os, psl::to_string(d.program_fold));
+    }
     os << "}";
   }
   os << (first ? "" : "\n  ") << "]\n}\n";
@@ -330,7 +335,8 @@ void PrunePlan::write_json(std::ostream& os) const {
 
 PrunePlan build_prune_plan(rewrite::PassManager& pm, BoolAnalyzer& booleans,
                            const std::vector<PruneInput>& inputs,
-                           PruneMode mode) {
+                           PruneMode mode,
+                           const SymbolicPruneOptions& symbolic) {
   PrunePlan plan;
   plan.mode = mode;
   const size_t n = inputs.size();
@@ -348,6 +354,10 @@ PrunePlan build_prune_plan(rewrite::PassManager& pm, BoolAnalyzer& booleans,
   }
 
   // Pass 1: static verdicts. An inconclusive (capped) analysis never elides.
+  SymbolicEval::Options sym_opt;
+  sym_opt.clock_period_ns = symbolic.clock_period_ns;
+  sym_opt.step_budget = symbolic.step_budget;
+  sym_opt.atom_cap = booleans.atom_cap();
   std::vector<char> capped(n, 0);
   for (size_t i = 0; i < n; ++i) {
     PruneDecision& d = plan.decisions[i];
@@ -362,6 +372,18 @@ PrunePlan build_prune_plan(rewrite::PassManager& pm, BoolAnalyzer& booleans,
       d.reason = "statically contradictory: fails at every activation";
     } else if (prover.capped) {
       capped[i] = 1;
+    } else if (symbolic.enabled) {
+      // Fallback: the bounded symbolic interpreter — elide-grade only when
+      // its horizon provably covers every trajectory.
+      SymbolicEval sym(inputs[i].formula, sym_opt);
+      if (sym.status() == SymbolicEval::Status::kOk && sym.exhaustive() &&
+          sym.never_fails()) {
+        d.action = PruneAction::kElide;
+        d.static_verdict = true;
+        d.reason = "symbolically proved: no trajectory within the " +
+                   std::to_string(sym.horizon()) +
+                   "-step exhaustive horizon can fail";
+      }
     }
   }
 
@@ -488,14 +510,30 @@ PrunePlan build_prune_plan(rewrite::PassManager& pm, BoolAnalyzer& booleans,
       }
     }
   }
+
+  // Pass 4 (symbolic only): dead-node folds of what the runtime will
+  // actually check — the specialized formula when pass 3 produced one. The
+  // fold is parity-gated inside fold_dead; an unsupported or inexhaustive
+  // program simply yields no fold.
+  if (symbolic.enabled) {
+    for (size_t i = 0; i < n; ++i) {
+      PruneDecision& d = plan.decisions[i];
+      if (d.action != PruneAction::kLive) continue;
+      const psl::ExprPtr& effective =
+          d.specialized != nullptr ? d.specialized : inputs[i].formula;
+      SymbolicEval sym(effective, sym_opt);
+      d.program_fold = sym.fold_dead();
+    }
+  }
   return plan;
 }
 
 PrunePlan build_prune_plan(const std::vector<PruneInput>& inputs,
-                           PruneMode mode, size_t atom_cap) {
+                           PruneMode mode, size_t atom_cap,
+                           const SymbolicPruneOptions& symbolic) {
   rewrite::PassManager pm{rewrite::AbstractionOptions{}};
   BoolAnalyzer booleans(pm.table(), atom_cap);
-  return build_prune_plan(pm, booleans, inputs, mode);
+  return build_prune_plan(pm, booleans, inputs, mode, symbolic);
 }
 
 }  // namespace repro::analysis

@@ -31,6 +31,20 @@ PropertyChecker::PropertyChecker(std::string name, psl::ExprPtr formula,
   }
 }
 
+void PropertyChecker::set_program_formula(const psl::ExprPtr& formula) {
+  assert(stats_.events == 0 && active_.empty());
+  if (formula == nullptr || program_ == nullptr) return;
+  psl::ExprPtr body = formula;
+  while (body->kind == psl::ExprKind::kAlways) body = body->lhs;
+  program_ = Program::compile(body);
+  batch_layout_.reset();
+  if (options_.vectorized && ProgramBatch::supported(*program_)) {
+    batch_layout_ = std::make_shared<const ProgramBatch>(program_);
+  }
+  blocks_.clear();
+  free_pool_.clear();
+}
+
 std::unique_ptr<Instance> PropertyChecker::make_instance() {
   if (batch_layout_ != nullptr) {
     for (const auto& block : blocks_) {

@@ -107,6 +107,14 @@ class PropertyChecker {
   // interpreter backend.
   const std::shared_ptr<const Program>& program() const { return program_; }
 
+  // Replaces the compiled program with one built from `formula` (e.g. the
+  // parity-gated dead-node fold of an analysis PruneDecision). The original
+  // formula keeps driving the node_visits cost proxy and the derived
+  // antecedent, so reports stay byte-identical; only the executed node
+  // table shrinks. Must be called before the first event; no-op on nullptr
+  // or the interpreter backend.
+  void set_program_formula(const psl::ExprPtr& formula);
+
   // --- Observability -------------------------------------------------------
 
   // The derived antecedent/guard (derive_antecedent on the stripped body);

@@ -85,6 +85,25 @@ TlmCheckerWrapper::TlmCheckerWrapper(const psl::TlmProperty& property,
   }
 }
 
+void TlmCheckerWrapper::set_program_formula(const psl::ExprPtr& formula) {
+  assert(!started_ && stats_.transactions == 0);
+  if (formula == nullptr || program_ == nullptr) return;
+  psl::ExprPtr body = formula;
+  while (body->kind == psl::ExprKind::kAlways) body = body->lhs;
+  program_ = Program::compile(body);
+  batch_layout_.reset();
+  if (options_.vectorized && ProgramBatch::supported(*program_)) {
+    batch_layout_ = std::make_shared<const ProgramBatch>(program_);
+  }
+  // The pre-filled pool references the old program; rebuild it at the
+  // original lifetime so pool_capacity is unchanged.
+  blocks_.clear();
+  free_pool_.clear();
+  for (size_t i = 0; i < lifetime_; ++i) {
+    free_pool_.push_back(make_instance());
+  }
+}
+
 void TlmCheckerWrapper::retire(std::unique_ptr<Instance> instance, Verdict v,
                                psl::TimeNs time) {
   const psl::TimeNs activated = instance->activated_at();

@@ -117,6 +117,14 @@ class TlmCheckerWrapper {
   // interpreter backend.
   const std::shared_ptr<const Program>& program() const { return program_; }
 
+  // Replaces the compiled program with one built from `formula` (e.g. the
+  // parity-gated dead-node fold of an analysis PruneDecision). The original
+  // formula keeps driving everything observable — lifetime, pool sizing and
+  // the node_visits cost proxy — so reports stay byte-identical; only the
+  // executed node table shrinks. Must be called before the first
+  // transaction; no-op on nullptr or the interpreter backend.
+  void set_program_formula(const psl::ExprPtr& formula);
+
   // --- Observability -------------------------------------------------------
 
   // Resizes the failure-witness ring buffer (recent transactions dumped

@@ -24,6 +24,10 @@
 //   --prune MODE      also build the analysis-guided prune plan over the
 //                     input set and print which properties the runtime
 //                     would elide or subsume (default off).
+//   --symbolic        also run the symbolic bounded trajectory evaluation
+//                     (SYM001..SYM005, with replay-verified failure
+//                     witnesses) as part of --analyze, and feed its
+//                     evidence into --prune (16-step budget).
 //   PROPERTY_TEXT     a single RTL property, e.g.
 //                     "p: always (!ds || next[3](rdy)) @clk_pos".
 #include <cstdint>
@@ -51,7 +55,7 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--suite des56|colorconv] [--period NS]\n"
-               "          [--abstract SIGNAL]... [--analyze]\n"
+               "          [--abstract SIGNAL]... [--analyze] [--symbolic]\n"
                "          [--prune off|safe|aggressive] [PROPERTY_TEXT]\n",
                argv0);
 }
@@ -65,13 +69,15 @@ void print_analysis(analysis::Driver& driver, const psl::RtlProperty& p) {
 }
 
 void print_prune_plan(const std::vector<psl::RtlProperty>& properties,
-                      analysis::PruneMode mode) {
+                      analysis::PruneMode mode,
+                      const analysis::SymbolicPruneOptions& symbolic) {
   std::vector<analysis::PruneInput> inputs;
   inputs.reserve(properties.size());
   for (const auto& p : properties) {
     inputs.push_back(analysis::make_prune_input(p));
   }
-  const analysis::PrunePlan plan = analysis::build_prune_plan(inputs, mode);
+  const analysis::PrunePlan plan =
+      analysis::build_prune_plan(inputs, mode, /*atom_cap=*/20, symbolic);
   std::printf("\nprune plan (%s): %zu live, %zu elided, %zu subsumed\n",
               analysis::to_string(plan.mode), plan.live(), plan.elided(),
               plan.subsumed());
@@ -107,6 +113,7 @@ int main(int argc, char** argv) {
   std::set<std::string> abstracted;
   std::string text;
   bool analyze = false;
+  bool symbolic = false;
   analysis::PruneMode prune = analysis::PruneMode::kOff;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--suite") == 0 && i + 1 < argc) {
@@ -124,6 +131,8 @@ int main(int argc, char** argv) {
       abstracted.insert(argv[++i]);
     } else if (std::strcmp(argv[i], "--analyze") == 0) {
       analyze = true;
+    } else if (std::strcmp(argv[i], "--symbolic") == 0) {
+      symbolic = true;
     } else if (std::strcmp(argv[i], "--prune") == 0 && i + 1 < argc) {
       if (!analysis::parse_prune_mode(argv[++i], prune)) {
         std::fprintf(stderr,
@@ -159,14 +168,20 @@ int main(int argc, char** argv) {
     options.abstracted_signals = abstracted;
     const psl::RtlProperty p = std::move(parsed).take();
     print_outcome(p, rewrite::abstract_property(p, options));
-    if (analyze) {
+    if (analyze || symbolic) {
       analysis::AnalysisOptions aopts;
       aopts.abstraction = options;
+      if (symbolic) aopts.symbolic_budget = 16;
       analysis::Driver driver(aopts);
       std::printf("  analysis:\n");
       print_analysis(driver, p);
     }
-    if (prune != analysis::PruneMode::kOff) print_prune_plan({p}, prune);
+    if (prune != analysis::PruneMode::kOff) {
+      analysis::SymbolicPruneOptions sopts;
+      sopts.enabled = symbolic;
+      sopts.clock_period_ns = period;
+      print_prune_plan({p}, prune, sopts);
+    }
     return 0;
   }
 
@@ -189,17 +204,21 @@ int main(int argc, char** argv) {
       rewrite::abstract_suite(suite.properties, options);
   analysis::AnalysisOptions aopts;
   aopts.abstraction = options;
+  if (symbolic) aopts.symbolic_budget = 16;
   analysis::Driver driver(aopts);
   for (size_t i = 0; i < suite.properties.size(); ++i) {
     if (i != 0) std::printf("\n");
     print_outcome(suite.properties[i], outcomes[i]);
-    if (analyze) {
+    if (analyze || symbolic) {
       std::printf("  analysis:\n");
       print_analysis(driver, suite.properties[i]);
     }
   }
   if (prune != analysis::PruneMode::kOff) {
-    print_prune_plan(suite.properties, prune);
+    analysis::SymbolicPruneOptions sopts;
+    sopts.enabled = symbolic;
+    sopts.clock_period_ns = suite.clock_period_ns;
+    print_prune_plan(suite.properties, prune, sopts);
   }
   return 0;
 }

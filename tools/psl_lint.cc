@@ -26,6 +26,12 @@
 //                     unit (off|safe|aggressive, default off) and report
 //                     which properties the runtime would elide or subsume
 //                     (PRN001/002/004 notes, plan summary line)
+//   --symbolic        run the symbolic bounded trajectory evaluation
+//                     (SYM001..SYM005: never-fails, dead program nodes,
+//                     temporal static vacuity, replay-verified failure
+//                     witnesses) with the default 16-step budget; also
+//                     feeds the prune plan when --prune is active
+//   --symbolic-budget N   same, with an explicit step/instant budget
 //   --Werror          exit non-zero on warnings too (--Werror-analysis is
 //                     accepted as an alias, matching the example binaries)
 //
@@ -58,7 +64,7 @@ void usage(const char* argv0) {
       "usage: %s [--suite des56|colorconv]... [--period NS]\n"
       "          [--abstract SIG]... [--observable NAME]...\n"
       "          [--text PROPERTY]... [--json] [--prune off|safe|aggressive]\n"
-      "          [--Werror] [FILE...]\n",
+      "          [--symbolic] [--symbolic-budget N] [--Werror] [FILE...]\n",
       argv0);
 }
 
@@ -108,6 +114,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool werror = false;
   analysis::PruneMode prune = analysis::PruneMode::kOff;
+  size_t symbolic_budget = 0;  // 0 = symbolic pass off
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--suite") == 0 && i + 1 < argc) {
@@ -135,6 +142,19 @@ int main(int argc, char** argv) {
         usage(argv[0]);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--symbolic") == 0) {
+      if (symbolic_budget == 0) symbolic_budget = 16;
+    } else if (std::strcmp(argv[i], "--symbolic-budget") == 0 && i + 1 < argc) {
+      const std::optional<uint64_t> parsed = repro::parse_u64(argv[++i]);
+      if (!parsed.has_value() || *parsed == 0) {
+        std::fprintf(
+            stderr,
+            "bad --symbolic-budget value '%s' (want a positive integer)\n",
+            argv[i]);
+        usage(argv[0]);
+        return 2;
+      }
+      symbolic_budget = static_cast<size_t>(*parsed);
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--Werror") == 0 ||
@@ -148,6 +168,7 @@ int main(int argc, char** argv) {
     }
   }
   adhoc.abstraction.clock_period_ns = period;
+  adhoc.symbolic_budget = symbolic_budget;
   if (suites.empty() && texts.empty() && files.empty()) {
     suites = {"des56", "colorconv"};
   }
@@ -157,9 +178,11 @@ int main(int argc, char** argv) {
     if (name == "des56") {
       units.push_back(
           suite_unit(name, models::des56_suite(), models::Design::kDes56));
+      units.back().options.symbolic_budget = symbolic_budget;
     } else if (name == "colorconv") {
       units.push_back(suite_unit(name, models::colorconv_suite(),
                                  models::Design::kColorConv));
+      units.back().options.symbolic_budget = symbolic_budget;
     } else {
       std::fprintf(stderr, "unknown suite '%s' (expected des56 or colorconv)\n",
                    name.c_str());
@@ -222,7 +245,12 @@ int main(int argc, char** argv) {
       for (const auto& p : unit.properties) {
         inputs.push_back(analysis::make_prune_input(p));
       }
-      plan = analysis::build_prune_plan(inputs, prune);
+      analysis::SymbolicPruneOptions symbolic;
+      symbolic.enabled = symbolic_budget > 0;
+      symbolic.clock_period_ns = unit.options.abstraction.clock_period_ns;
+      symbolic.step_budget = symbolic_budget;
+      plan = analysis::build_prune_plan(inputs, prune, /*atom_cap=*/20,
+                                        symbolic);
     }
     if (json) {
       if (!first_unit) std::cout << ",";
@@ -251,15 +279,18 @@ int main(int argc, char** argv) {
       if (d.severity == analysis::Severity::kNote) ++c.notes;
       if (d.severity == analysis::Severity::kWarning) ++c.warnings;
       if (d.severity == analysis::Severity::kError) ++c.errors;
+      if (analysis::is_skip_code(d.code)) ++c.skipped;
     }
     totals.notes += c.notes;
     totals.warnings += c.warnings;
     totals.errors += c.errors;
+    totals.skipped += c.skipped;
   }
   if (json) {
     std::cout << "],\"totals\":{\"notes\":" << totals.notes
               << ",\"warnings\":" << totals.warnings
-              << ",\"errors\":" << totals.errors << "}}\n";
+              << ",\"errors\":" << totals.errors
+              << ",\"skipped\":" << totals.skipped << "}}\n";
   }
 
   if (totals.errors > 0) return 1;
