@@ -1,0 +1,146 @@
+#include "abv_options.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "support/strutil.h"
+
+namespace repro::examples {
+
+void print_usage(const char* argv0, const char* extra_usage) {
+  std::fprintf(stderr,
+               "usage: %s [--jobs N] [--batch-size N] [--max-inflight N]\n"
+               "          [--witness-depth N] [--failure-log-cap N]\n"
+               "          [--trace-out FILE] [--report-out FILE]\n"
+               "          [--metrics-out FILE] [--metrics-interval N]\n"
+               "          [--dump-passes] [--interpreter] [--no-vectorize]\n"
+               "          %s[--analyze] [--Werror-analysis]\n"
+               "          [--prune off|safe|aggressive] [--prune-plan-out FILE]\n"
+               "          [--symbolic-budget N] [--record-out FILE]\n"
+               "          [--replay FILE]\n",
+               argv0, extra_usage);
+}
+
+AbvOptions parse_abv_options(int argc, char** argv,
+                             const std::vector<ExtraFlag>& extra,
+                             const char* extra_usage) {
+  AbvOptions o;
+  bool batching_flags_used = false;
+  for (int i = 1; i < argc; ++i) {
+    // Strict numeric arguments: garbage ("abc", "64k", "-1") is a usage
+    // error, not a silent 0.
+    auto size_arg = [&](size_t& out) {
+      const std::optional<size_t> parsed = repro::parse_size(argv[++i]);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "%s: bad numeric value '%s' for %s\n", argv[0],
+                     argv[i], argv[i - 1]);
+        print_usage(argv[0], extra_usage);
+        std::exit(2);
+      }
+      out = *parsed;
+    };
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      size_arg(o.jobs);
+      if (o.jobs == 0) o.jobs = 1;  // 0: serial
+    } else if (std::strcmp(argv[i], "--batch-size") == 0 && i + 1 < argc) {
+      size_arg(o.batch_size);
+      if (o.batch_size == 0) o.batch_size = 1;
+      batching_flags_used = true;
+    } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
+      size_arg(o.max_inflight);
+      if (o.max_inflight == 0) o.max_inflight = 1;
+      batching_flags_used = true;
+    } else if (std::strcmp(argv[i], "--witness-depth") == 0 && i + 1 < argc) {
+      size_arg(o.witness_depth);
+    } else if (std::strcmp(argv[i], "--failure-log-cap") == 0 && i + 1 < argc) {
+      size_arg(o.failure_log_cap);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      o.trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--report-out") == 0 && i + 1 < argc) {
+      o.report_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      o.metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-interval") == 0 &&
+               i + 1 < argc) {
+      size_arg(o.metrics_interval);
+    } else if (std::strcmp(argv[i], "--dump-passes") == 0) {
+      o.dump_passes = true;
+    } else if (std::strcmp(argv[i], "--interpreter") == 0) {
+      o.interpreter = true;
+    } else if (std::strcmp(argv[i], "--no-vectorize") == 0) {
+      o.vectorized = false;
+    } else if (std::strcmp(argv[i], "--analyze") == 0) {
+      if (o.analysis == models::AnalysisMode::kOff) {
+        o.analysis = models::AnalysisMode::kOn;
+      }
+    } else if (std::strcmp(argv[i], "--Werror-analysis") == 0) {
+      o.analysis = models::AnalysisMode::kError;
+    } else if (std::strcmp(argv[i], "--prune") == 0 && i + 1 < argc) {
+      if (!analysis::parse_prune_mode(argv[++i], o.prune)) {
+        std::fprintf(stderr,
+                     "bad --prune value '%s' (want off, safe or aggressive)\n",
+                     argv[i]);
+        print_usage(argv[0], extra_usage);
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--prune-plan-out") == 0 && i + 1 < argc) {
+      o.prune_plan_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--symbolic-budget") == 0 && i + 1 < argc) {
+      const std::optional<uint64_t> parsed = repro::parse_u64(argv[++i]);
+      if (!parsed.has_value()) {
+        std::fprintf(
+            stderr,
+            "bad --symbolic-budget value '%s' (want a non-negative integer)\n",
+            argv[i]);
+        print_usage(argv[0], extra_usage);
+        std::exit(2);
+      }
+      o.symbolic_budget = static_cast<size_t>(*parsed);
+    } else if (std::strcmp(argv[i], "--record-out") == 0 && i + 1 < argc) {
+      o.record_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+      o.replay = argv[++i];
+    } else {
+      bool matched = false;
+      for (const ExtraFlag& flag : extra) {
+        if (std::strcmp(argv[i], flag.name) == 0) {
+          *flag.value = true;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        print_usage(argv[0], extra_usage);
+        std::exit(2);
+      }
+    }
+  }
+
+  if (batching_flags_used && o.jobs == 1) {
+    // SIZ-style sizing note, mirroring the analysis layer's tone: the
+    // serial path evaluates records synchronously and never batches.
+    std::fprintf(stderr,
+                 "note: --batch-size/--max-inflight have no effect at "
+                 "--jobs 1 (serial engine path never batches)\n");
+  }
+  return o;
+}
+
+void apply(const AbvOptions& options, models::RunConfig& config) {
+  config.engine = {.jobs = options.jobs,
+                   .batch_size = options.batch_size,
+                   .max_inflight_batches = options.max_inflight,
+                   .vectorized = options.vectorized};
+  config.observability.witness_depth = options.witness_depth;
+  config.observability.failure_log_cap = options.failure_log_cap;
+  config.compiled_checkers = !options.interpreter;
+  config.analysis = options.analysis;
+  config.analysis.prune = options.prune;
+  config.analysis.symbolic_budget = options.symbolic_budget;
+  config.ingest.record_path = options.record_out;
+  config.ingest.replay_path = options.replay;
+}
+
+}  // namespace repro::examples

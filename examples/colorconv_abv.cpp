@@ -14,6 +14,7 @@
 //                      [--trace-out FILE] [--report-out FILE]
 //                      [--metrics-out FILE] [--metrics-interval N]
 //                      [--dump-passes] [--interpreter] [--no-vectorize]
+//                      [--record-out FILE] [--replay FILE]
 //   --metrics-out FILE  stream JSONL metrics/coverage snapshots of the TLM-AT
 //                       run (validate with tools/validate_metrics.py).
 //   --metrics-interval N
@@ -43,23 +44,32 @@
 //                       never-fails proofs beyond the structural prover and
 //                       parity-gated dead-node program folds. 0 = off
 //                       (default).
+//   --record-out FILE   serialize the checked record stream of the TLM-AT run
+//                       as a versioned trace log (support::tracelog; binary,
+//                       or JSONL for .jsonl paths).
+//   --replay FILE       no simulation: replay the trace log recorded at FILE
+//                       through the checker configuration of its meta (design
+//                       must be ColorConv; level picks the RTL, TLM-CA or
+//                       TLM-AT environment). Reports are byte-identical to
+//                       the recording run (timing excluded).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <optional>
 #include <string>
 
+#include "abv_options.h"
+#include "analysis/prune.h"
 #include "checker/wrapper.h"
 #include "models/colorconv/colorconv_core.h"
-#include "analysis/prune.h"
 #include "models/properties.h"
 #include "models/testbench.h"
 #include "rewrite/methodology.h"
-#include "support/strutil.h"
+#include "support/tracelog.h"
 
 using namespace repro;
+using examples::AbvOptions;
 using models::Design;
 using models::Level;
 
@@ -112,124 +122,94 @@ bool buggy_model_is_caught() {
   return !failure.witness.empty();
 }
 
+// --replay: no simulation. The log's meta picks the environment; the checker
+// configuration mirrors the live flow's, so the replayed report matches the
+// recording run's.
+int run_replay(const char* argv0, const AbvOptions& opts) {
+  tlm::RecordStreamMeta meta;
+  if (auto err = support::tracelog::read_meta(opts.replay, meta)) {
+    std::fprintf(stderr, "%s: cannot replay '%s': %s\n", argv0,
+                 opts.replay.c_str(), err->to_string().c_str());
+    return 2;
+  }
+  Design design;
+  Level level;
+  if (!models::parse_design(meta.design, design) ||
+      design != Design::kColorConv || !models::parse_level(meta.level, level)) {
+    std::fprintf(
+        stderr,
+        "%s: trace log '%s' records a %s/%s stream, not a ColorConv run\n",
+        argv0, opts.replay.c_str(), meta.design.c_str(), meta.level.c_str());
+    return 2;
+  }
+
+  const models::PropertySuite suite = models::colorconv_suite();
+  models::RunConfig config;
+  config.design = Design::kColorConv;
+  config.level = level;
+  config.workload = 2000;
+  config.checkers = suite.properties.size();
+  examples::apply(opts, config);
+  if (level == Level::kTlmAt) {
+    config.observability.trace_path = opts.trace_out;
+    config.observability.metrics_path = opts.metrics_out;
+    config.observability.metrics_interval = opts.metrics_interval;
+    config.observability.prune_plan_path = opts.prune_plan_out;
+  }
+
+  std::printf("== ColorConv replay: %s (%s, clock %llu ns) ==\n",
+              opts.replay.c_str(), meta.level.c_str(),
+              static_cast<unsigned long long>(meta.clock_period_ns));
+  const models::RunResult r = models::run_simulation(config);
+  if (!r.ingest_error.empty()) {
+    std::fprintf(stderr, "%s: %s\n", argv0, r.ingest_error.c_str());
+    return 2;
+  }
+  if (config.analysis != models::AnalysisMode::kOff &&
+      !r.analysis_diagnostics.empty()) {
+    std::printf("-- static analysis (replay) --\n");
+    for (const analysis::Diagnostic& d : r.analysis_diagnostics) {
+      std::printf("%s\n", analysis::to_string(d).c_str());
+    }
+  }
+  if (config.analysis == models::AnalysisMode::kError && !r.analysis_ok) {
+    std::printf("analysis errors: replay skipped\n");
+    return 1;
+  }
+  std::printf("%-7s: %llu records replayed  properties=%s\n", meta.level.c_str(),
+              static_cast<unsigned long long>(r.transactions),
+              r.properties_ok ? "ok" : "FAIL");
+  std::printf("\nper-property results:\n");
+  r.report.print(std::cout);
+  if (!opts.report_out.empty()) {
+    abv::ReportTiming timing;
+    timing.wall_seconds = r.wall_seconds;
+    timing.jobs = opts.jobs;
+    timing.records = r.transactions;
+    timing.metrics = r.metrics;
+    std::ofstream out(opts.report_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write report to %s\n",
+                   opts.report_out.c_str());
+      return 1;
+    }
+    r.report.write_json(out, &timing);
+    std::printf("JSON report written to %s\n", opts.report_out.c_str());
+  }
+  return r.properties_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  size_t jobs = 1;
-  size_t batch_size = 64;
-  size_t max_inflight = 2;
-  size_t witness_depth = 8;
-  size_t failure_log_cap = 64;
-  bool batching_flags_used = false;
-  std::string trace_out;
-  std::string report_out;
-  std::string metrics_out;
-  size_t metrics_interval = 256;
-  bool dump_passes = false;
-  bool interpreter = false;
-  bool vectorized = true;
-  models::AnalysisMode analysis = models::AnalysisMode::kOff;
-  analysis::PruneMode prune = analysis::PruneMode::kOff;
-  std::string prune_plan_out;
-  size_t symbolic_budget = 0;
-  auto usage = [&] {
-    std::fprintf(stderr,
-                 "usage: %s [--jobs N] [--batch-size N] [--max-inflight N]\n"
-                 "          [--witness-depth N] [--failure-log-cap N]\n"
-                 "          [--trace-out FILE] [--report-out FILE]\n"
-                 "          [--metrics-out FILE] [--metrics-interval N]\n"
-                 "          [--dump-passes] [--interpreter] [--no-vectorize]\n"
-                 "          [--analyze] [--Werror-analysis]\n"
-                 "          [--prune off|safe|aggressive] [--prune-plan-out FILE]\n"
-               "          [--symbolic-budget N]\n",
-                 argv[0]);
-  };
-  for (int i = 1; i < argc; ++i) {
-    // Strict numeric arguments: garbage ("abc", "64k", "-1") is a usage
-    // error, not a silent 0.
-    auto size_arg = [&](size_t& out) {
-      const std::optional<size_t> parsed = repro::parse_size(argv[++i]);
-      if (!parsed.has_value()) {
-        std::fprintf(stderr, "%s: bad numeric value '%s' for %s\n", argv[0],
-                     argv[i], argv[i - 1]);
-        usage();
-        std::exit(2);
-      }
-      out = *parsed;
-    };
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      size_arg(jobs);
-      if (jobs == 0) jobs = 1;  // 0: serial
-    } else if (std::strcmp(argv[i], "--batch-size") == 0 && i + 1 < argc) {
-      size_arg(batch_size);
-      if (batch_size == 0) batch_size = 1;
-      batching_flags_used = true;
-    } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
-      size_arg(max_inflight);
-      if (max_inflight == 0) max_inflight = 1;
-      batching_flags_used = true;
-    } else if (std::strcmp(argv[i], "--witness-depth") == 0 && i + 1 < argc) {
-      size_arg(witness_depth);
-    } else if (std::strcmp(argv[i], "--failure-log-cap") == 0 && i + 1 < argc) {
-      size_arg(failure_log_cap);
-    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
-      trace_out = argv[++i];
-    } else if (std::strcmp(argv[i], "--report-out") == 0 && i + 1 < argc) {
-      report_out = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
-      metrics_out = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics-interval") == 0 && i + 1 < argc) {
-      size_arg(metrics_interval);
-    } else if (std::strcmp(argv[i], "--dump-passes") == 0) {
-      dump_passes = true;
-    } else if (std::strcmp(argv[i], "--interpreter") == 0) {
-      interpreter = true;
-    } else if (std::strcmp(argv[i], "--no-vectorize") == 0) {
-      vectorized = false;
-    } else if (std::strcmp(argv[i], "--analyze") == 0) {
-      if (analysis == models::AnalysisMode::kOff) {
-        analysis = models::AnalysisMode::kOn;
-      }
-    } else if (std::strcmp(argv[i], "--Werror-analysis") == 0) {
-      analysis = models::AnalysisMode::kError;
-    } else if (std::strcmp(argv[i], "--prune") == 0 && i + 1 < argc) {
-      if (!analysis::parse_prune_mode(argv[++i], prune)) {
-        std::fprintf(stderr,
-                     "bad --prune value '%s' (want off, safe or aggressive)\n",
-                     argv[i]);
-        usage();
-        return 2;
-      }
-    } else if (std::strcmp(argv[i], "--prune-plan-out") == 0 && i + 1 < argc) {
-      prune_plan_out = argv[++i];
-    } else if (std::strcmp(argv[i], "--symbolic-budget") == 0 && i + 1 < argc) {
-      const std::optional<uint64_t> parsed = repro::parse_u64(argv[++i]);
-      if (!parsed.has_value()) {
-        std::fprintf(
-            stderr,
-            "bad --symbolic-budget value '%s' (want a non-negative integer)\n",
-            argv[i]);
-        usage();
-        return 2;
-      }
-      symbolic_budget = static_cast<size_t>(*parsed);
-    } else {
-      usage();
-      return 2;
-    }
-  }
-  if (batching_flags_used && jobs == 1) {
-    // SIZ-style sizing note, mirroring the analysis layer's tone: the
-    // serial path evaluates records synchronously and never batches.
-    std::fprintf(stderr,
-                 "note: --batch-size/--max-inflight have no effect at "
-                 "--jobs 1 (serial engine path never batches)\n");
-  }
+  const AbvOptions opts = examples::parse_abv_options(argc, argv);
+
+  if (!opts.replay.empty()) return run_replay(argv[0], opts);
 
   const models::PropertySuite suite = models::colorconv_suite();
   const size_t kPixels = 2000;
 
-  if (dump_passes) {
+  if (opts.dump_passes) {
     std::printf("== ColorConv property abstraction ==\n");
     rewrite::AbstractionOptions options;
     options.clock_period_ns = suite.clock_period_ns;
@@ -245,41 +225,40 @@ int main(int argc, char** argv) {
   }
 
   std::printf("== ColorConv: %zu pixels, %zu properties, %zu evaluation job%s ==\n",
-              kPixels, suite.properties.size(), jobs, jobs == 1 ? "" : "s");
+              kPixels, suite.properties.size(), opts.jobs,
+              opts.jobs == 1 ? "" : "s");
   models::RunConfig config;
   config.design = Design::kColorConv;
   config.workload = kPixels;
   config.checkers = suite.properties.size();
-  config.engine = {.jobs = jobs,
-                   .batch_size = batch_size,
-                   .max_inflight_batches = max_inflight,
-                   .vectorized = vectorized};
-  config.observability.witness_depth = witness_depth;
-  config.observability.failure_log_cap = failure_log_cap;
-  config.compiled_checkers = !interpreter;
-  config.analysis = analysis;
-  config.analysis.prune = prune;
-  config.analysis.symbolic_budget = symbolic_budget;
+  examples::apply(opts, config);
 
   bool all_ok = true;
   for (Level level : {Level::kRtl, Level::kTlmCa, Level::kTlmAt}) {
     config.level = level;
     // Observability outputs cover the TLM-AT run (the paper's target level).
-    config.observability.trace_path = level == Level::kTlmAt ? trace_out : "";
+    config.observability.trace_path =
+        level == Level::kTlmAt ? opts.trace_out : "";
     config.observability.metrics_path =
-        level == Level::kTlmAt ? metrics_out : "";
-    config.observability.metrics_interval = metrics_interval;
+        level == Level::kTlmAt ? opts.metrics_out : "";
+    config.observability.metrics_interval = opts.metrics_interval;
     config.observability.prune_plan_path =
-        level == Level::kTlmAt ? prune_plan_out : "";
+        level == Level::kTlmAt ? opts.prune_plan_out : "";
+    // So does the trace log (--record-out).
+    config.ingest.record_path = level == Level::kTlmAt ? opts.record_out : "";
     const models::RunResult r = models::run_simulation(config);
-    if (analysis != models::AnalysisMode::kOff &&
+    if (!r.ingest_error.empty()) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], r.ingest_error.c_str());
+      return 2;
+    }
+    if (opts.analysis != models::AnalysisMode::kOff &&
         !r.analysis_diagnostics.empty()) {
       std::printf("-- static analysis (%s) --\n", models::to_string(level));
       for (const analysis::Diagnostic& d : r.analysis_diagnostics) {
         std::printf("%s\n", analysis::to_string(d).c_str());
       }
     }
-    if (analysis == models::AnalysisMode::kError && !r.analysis_ok) {
+    if (opts.analysis == models::AnalysisMode::kError && !r.analysis_ok) {
       std::printf("analysis errors: %s simulation skipped\n",
                   models::to_string(level));
       return 1;
@@ -290,7 +269,7 @@ int main(int argc, char** argv) {
                 r.properties_ok ? "ok" : "FAIL");
     all_ok = all_ok && r.functional_ok && r.properties_ok;
     if (level == Level::kTlmAt) {
-      if (prune != analysis::PruneMode::kOff) {
+      if (opts.prune != analysis::PruneMode::kOff) {
         std::printf("prune plan (%s): %zu live, %zu elided, %zu subsumed\n",
                     analysis::to_string(r.prune_plan.mode),
                     r.prune_plan.live(), r.prune_plan.elided(),
@@ -298,26 +277,30 @@ int main(int argc, char** argv) {
       }
       std::printf("\nper-property results at TLM-AT:\n");
       r.report.print(std::cout);
-      if (!report_out.empty()) {
+      if (!opts.report_out.empty()) {
         abv::ReportTiming timing;
         timing.wall_seconds = r.wall_seconds;
-        timing.jobs = jobs;
+        timing.jobs = opts.jobs;
         timing.records = r.transactions;
         timing.metrics = r.metrics;
-        std::ofstream out(report_out);
+        std::ofstream out(opts.report_out);
         if (!out) {
-          std::fprintf(stderr, "cannot write report to %s\n", report_out.c_str());
+          std::fprintf(stderr, "cannot write report to %s\n",
+                       opts.report_out.c_str());
           return 1;
         }
         r.report.write_json(out, &timing);
-        std::printf("JSON report written to %s\n", report_out.c_str());
+        std::printf("JSON report written to %s\n", opts.report_out.c_str());
       }
-      if (!trace_out.empty()) {
-        std::printf("Chrome trace written to %s\n", trace_out.c_str());
+      if (!opts.trace_out.empty()) {
+        std::printf("Chrome trace written to %s\n", opts.trace_out.c_str());
       }
-      if (!metrics_out.empty()) {
+      if (!opts.metrics_out.empty()) {
         std::printf("JSONL metrics snapshots written to %s\n",
-                    metrics_out.c_str());
+                    opts.metrics_out.c_str());
+      }
+      if (!opts.record_out.empty()) {
+        std::printf("trace log written to %s\n", opts.record_out.c_str());
       }
     }
   }

@@ -14,7 +14,7 @@
 //                  [--trace-out FILE] [--report-out FILE]
 //                  [--metrics-out FILE] [--metrics-interval N]
 //                  [--dump-passes] [--interpreter] [--no-vectorize]
-//                  [--no-witness-demo]
+//                  [--no-witness-demo] [--record-out FILE] [--replay FILE]
 //   --jobs N             shard the TLM checker suite across N worker threads
 //                        (default 1 = serial; results are identical for any N).
 //   --batch-size N       records per sealed arena batch (default 64; ignored
@@ -55,41 +55,39 @@
 //                        never-fails proofs beyond the structural prover and
 //                        parity-gated dead-node program folds. 0 = off
 //                        (default).
+//   --record-out FILE    serialize the checked record stream of the TLM-AT
+//                        run as a versioned trace log (support::tracelog;
+//                        binary, or JSONL for .jsonl paths).
+//   --replay FILE        no simulation: replay the trace log recorded at
+//                        FILE through the checker configuration of its meta
+//                        (design must be DES56; level picks the RTL or
+//                        TLM-AT environment). Reports are byte-identical to
+//                        the recording run (timing excluded).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <optional>
 #include <string>
 
+#include "abv_options.h"
 #include "analysis/prune.h"
 #include "models/properties.h"
 #include "models/testbench.h"
 #include "psl/parser.h"
 #include "rewrite/methodology.h"
-#include "support/strutil.h"
+#include "support/tracelog.h"
 
 using namespace repro;
+using examples::AbvOptions;
 using models::Design;
 using models::Level;
 
 namespace {
 
 constexpr char kWitnessDemoName[] = "wdemo";
-
-void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--jobs N] [--batch-size N] [--max-inflight N]\n"
-               "          [--witness-depth N] [--failure-log-cap N]\n"
-               "          [--trace-out FILE] [--report-out FILE]\n"
-               "          [--metrics-out FILE] [--metrics-interval N]\n"
-               "          [--dump-passes] [--interpreter] [--no-vectorize]\n"
-               "          [--no-witness-demo] [--analyze] [--Werror-analysis]\n"
-               "          [--prune off|safe|aggressive] [--prune-plan-out FILE]\n"
-               "          [--symbolic-budget N]\n",
-               argv0);
-}
+constexpr char kExtraUsage[] = "[--no-witness-demo] ";
+constexpr size_t kOps = 300;
 
 // Prints the pre-simulation analysis diagnostics of one run; returns false
 // when the analysis blocked the simulation (kError mode with errors).
@@ -109,111 +107,124 @@ bool report_analysis(const char* label, const models::RunConfig& config,
   return true;
 }
 
+// Parses and injects the deliberately failing witness-demo property.
+bool inject_witness_demo(models::RunConfig& config) {
+  auto parsed = psl::parse_rtl_property(
+      std::string(kWitnessDemoName) + ": always (!ds || next[1](rdy)) @clk_pos");
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "internal error: witness demo property: %s\n",
+                 parsed.error().to_string().c_str());
+    return false;
+  }
+  config.extra_properties.push_back(std::move(parsed).take());
+  return true;
+}
+
+// Splits the report into the real properties' verdict and the demo row.
+void split_report(const models::RunResult& result, bool& real_ok,
+                  const abv::PropertyReport*& demo) {
+  real_ok = true;
+  demo = nullptr;
+  for (const abv::PropertyReport& p : result.report.properties()) {
+    if (p.name == kWitnessDemoName) {
+      demo = &p;
+    } else {
+      real_ok = real_ok && p.ok();
+    }
+  }
+}
+
+bool write_report_json(const std::string& path, const models::RunResult& r,
+                       size_t jobs) {
+  abv::ReportTiming timing;
+  timing.wall_seconds = r.wall_seconds;
+  timing.jobs = jobs;
+  timing.records = r.transactions;
+  timing.metrics = r.metrics;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write report to %s\n", path.c_str());
+    return false;
+  }
+  r.report.write_json(out, &timing);
+  std::printf("\nJSON report written to %s\n", path.c_str());
+  return true;
+}
+
+// --replay: no simulation. The log's meta picks the environment (RTL or
+// TLM-AT); the checker configuration is built exactly as the live flow
+// builds it, so the replayed report matches the recording run's.
+int run_replay(const char* argv0, const AbvOptions& opts, bool witness_demo) {
+  tlm::RecordStreamMeta meta;
+  if (auto err = support::tracelog::read_meta(opts.replay, meta)) {
+    std::fprintf(stderr, "%s: cannot replay '%s': %s\n", argv0,
+                 opts.replay.c_str(), err->to_string().c_str());
+    return 2;
+  }
+  Design design;
+  Level level;
+  if (!models::parse_design(meta.design, design) || design != Design::kDes56 ||
+      !models::parse_level(meta.level, level)) {
+    std::fprintf(stderr,
+                 "%s: trace log '%s' records a %s/%s stream, not a DES56 run\n",
+                 argv0, opts.replay.c_str(), meta.design.c_str(),
+                 meta.level.c_str());
+    return 2;
+  }
+
+  const models::PropertySuite suite = models::des56_suite();
+  models::RunConfig config;
+  config.design = Design::kDes56;
+  config.level = level;
+  config.workload = kOps;
+  config.checkers = suite.properties.size();
+  examples::apply(opts, config);
+  config.observability.prune_plan_path = opts.prune_plan_out;
+  const bool demo_injected = witness_demo && level == Level::kTlmAt;
+  if (level == Level::kTlmAt) {
+    config.observability.trace_path = opts.trace_out;
+    config.observability.metrics_path = opts.metrics_out;
+    config.observability.metrics_interval = opts.metrics_interval;
+    if (demo_injected && !inject_witness_demo(config)) return 1;
+  }
+
+  std::printf("== DES56 replay: %s (%s, clock %llu ns) ==\n",
+              opts.replay.c_str(), meta.level.c_str(),
+              static_cast<unsigned long long>(meta.clock_period_ns));
+  const models::RunResult r = models::run_simulation(config);
+  if (!r.ingest_error.empty()) {
+    std::fprintf(stderr, "%s: %s\n", argv0, r.ingest_error.c_str());
+    return 2;
+  }
+  if (!report_analysis("replay", config, r)) return 1;
+
+  bool real_ok = true;
+  const abv::PropertyReport* demo = nullptr;
+  split_report(r, real_ok, demo);
+  const bool demo_ok =
+      !demo_injected || (demo != nullptr && demo->failures > 0);
+  std::printf("%-7s: %llu records replayed  properties=%s\n",
+              meta.level.c_str(),
+              static_cast<unsigned long long>(r.transactions),
+              real_ok ? "ok" : "FAIL");
+  std::printf("\nper-property results:\n");
+  r.report.print(std::cout);
+  if (!opts.report_out.empty() &&
+      !write_report_json(opts.report_out, r, opts.jobs)) {
+    return 1;
+  }
+  return (real_ok && demo_ok) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  size_t jobs = 1;
-  size_t batch_size = 64;
-  size_t max_inflight = 2;
-  size_t witness_depth = 8;
-  size_t failure_log_cap = 64;
-  bool batching_flags_used = false;
-  std::string trace_out;
-  std::string report_out;
-  std::string metrics_out;
-  size_t metrics_interval = 256;
-  bool witness_demo = true;
-  bool dump_passes = false;
-  bool interpreter = false;
-  bool vectorized = true;
-  models::AnalysisMode analysis = models::AnalysisMode::kOff;
-  analysis::PruneMode prune = analysis::PruneMode::kOff;
-  std::string prune_plan_out;
-  size_t symbolic_budget = 0;
-  for (int i = 1; i < argc; ++i) {
-    // Strict numeric arguments: garbage ("abc", "64k", "-1") is a usage
-    // error, not a silent 0.
-    auto size_arg = [&](size_t& out) {
-      const std::optional<size_t> parsed = repro::parse_size(argv[++i]);
-      if (!parsed.has_value()) {
-        std::fprintf(stderr, "%s: bad numeric value '%s' for %s\n", argv[0],
-                     argv[i], argv[i - 1]);
-        usage(argv[0]);
-        std::exit(2);
-      }
-      out = *parsed;
-    };
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      size_arg(jobs);
-      if (jobs == 0) jobs = 1;  // 0: serial
-    } else if (std::strcmp(argv[i], "--batch-size") == 0 && i + 1 < argc) {
-      size_arg(batch_size);
-      if (batch_size == 0) batch_size = 1;
-      batching_flags_used = true;
-    } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
-      size_arg(max_inflight);
-      if (max_inflight == 0) max_inflight = 1;
-      batching_flags_used = true;
-    } else if (std::strcmp(argv[i], "--witness-depth") == 0 && i + 1 < argc) {
-      size_arg(witness_depth);
-    } else if (std::strcmp(argv[i], "--failure-log-cap") == 0 && i + 1 < argc) {
-      size_arg(failure_log_cap);
-    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
-      trace_out = argv[++i];
-    } else if (std::strcmp(argv[i], "--report-out") == 0 && i + 1 < argc) {
-      report_out = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
-      metrics_out = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics-interval") == 0 && i + 1 < argc) {
-      size_arg(metrics_interval);
-    } else if (std::strcmp(argv[i], "--dump-passes") == 0) {
-      dump_passes = true;
-    } else if (std::strcmp(argv[i], "--interpreter") == 0) {
-      interpreter = true;
-    } else if (std::strcmp(argv[i], "--no-vectorize") == 0) {
-      vectorized = false;
-    } else if (std::strcmp(argv[i], "--no-witness-demo") == 0) {
-      witness_demo = false;
-    } else if (std::strcmp(argv[i], "--analyze") == 0) {
-      if (analysis == models::AnalysisMode::kOff) {
-        analysis = models::AnalysisMode::kOn;
-      }
-    } else if (std::strcmp(argv[i], "--Werror-analysis") == 0) {
-      analysis = models::AnalysisMode::kError;
-    } else if (std::strcmp(argv[i], "--prune") == 0 && i + 1 < argc) {
-      if (!analysis::parse_prune_mode(argv[++i], prune)) {
-        std::fprintf(stderr,
-                     "bad --prune value '%s' (want off, safe or aggressive)\n",
-                     argv[i]);
-        usage(argv[0]);
-        return 2;
-      }
-    } else if (std::strcmp(argv[i], "--prune-plan-out") == 0 && i + 1 < argc) {
-      prune_plan_out = argv[++i];
-    } else if (std::strcmp(argv[i], "--symbolic-budget") == 0 && i + 1 < argc) {
-      const std::optional<uint64_t> parsed = repro::parse_u64(argv[++i]);
-      if (!parsed.has_value()) {
-        std::fprintf(
-            stderr,
-            "bad --symbolic-budget value '%s' (want a non-negative integer)\n",
-            argv[i]);
-        usage(argv[0]);
-        return 2;
-      }
-      symbolic_budget = static_cast<size_t>(*parsed);
-    } else {
-      usage(argv[0]);
-      return 2;
-    }
-  }
+  bool no_witness_demo = false;
+  const AbvOptions opts = examples::parse_abv_options(
+      argc, argv, {{"--no-witness-demo", &no_witness_demo}}, kExtraUsage);
+  const bool witness_demo = !no_witness_demo;
 
-  if (batching_flags_used && jobs == 1) {
-    // SIZ-style sizing note, mirroring the analysis layer's tone: the
-    // serial path evaluates records synchronously and never batches.
-    std::fprintf(stderr,
-                 "note: --batch-size/--max-inflight have no effect at "
-                 "--jobs 1 (serial engine path never batches)\n");
-  }
+  if (!opts.replay.empty()) return run_replay(argv[0], opts, witness_demo);
 
   const models::PropertySuite suite = models::des56_suite();
 
@@ -233,29 +244,22 @@ int main(int argc, char** argv) {
       std::printf("     tlm:  %s   [%s]\n", psl::to_string(*outcome.property).c_str(),
                   rewrite::to_string(outcome.classification));
     }
-    if (dump_passes) {
+    if (opts.dump_passes) {
       std::fputs(rewrite::format_passes(outcome.passes).c_str(), stdout);
     }
   }
 
-  const size_t kOps = 300;
   std::printf("\n== dynamic ABV, %zu operations, %zu evaluation job%s ==\n",
-              kOps, jobs, jobs == 1 ? "" : "s");
+              kOps, opts.jobs, opts.jobs == 1 ? "" : "s");
   models::RunConfig config;
   config.design = Design::kDes56;
   config.workload = kOps;
   config.checkers = suite.properties.size();
-  config.engine = {.jobs = jobs,
-                   .batch_size = batch_size,
-                   .max_inflight_batches = max_inflight,
-                   .vectorized = vectorized};
-  config.observability.witness_depth = witness_depth;
-  config.observability.failure_log_cap = failure_log_cap;
-  config.compiled_checkers = !interpreter;
-  config.analysis = analysis;
-  config.analysis.prune = prune;
-  config.analysis.symbolic_budget = symbolic_budget;
-  config.observability.prune_plan_path = prune_plan_out;
+  examples::apply(opts, config);
+  config.observability.prune_plan_path = opts.prune_plan_out;
+  // The trace log covers the TLM-AT run (the paper's target level); the RTL
+  // leg runs without ingest outputs.
+  config.ingest.record_path = "";
 
   config.level = Level::kRtl;
   const models::RunResult rtl = models::run_simulation(config);
@@ -266,34 +270,24 @@ int main(int argc, char** argv) {
   // The demo property is injected only at TLM-AT: rdy rises 17 cycles after
   // ds, so next[1](rdy) fails at every accepted operation and each logged
   // failure carries a witness ring.
-  if (witness_demo) {
-    auto parsed = psl::parse_rtl_property(
-        std::string(kWitnessDemoName) + ": always (!ds || next[1](rdy)) @clk_pos");
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "internal error: witness demo property: %s\n",
-                   parsed.error().to_string().c_str());
-      return 1;
-    }
-    config.extra_properties.push_back(std::move(parsed).take());
-  }
+  if (witness_demo && !inject_witness_demo(config)) return 1;
   config.level = Level::kTlmAt;
-  config.observability.trace_path = trace_out;
-  config.observability.metrics_path = metrics_out;
-  config.observability.metrics_interval = metrics_interval;
+  config.observability.trace_path = opts.trace_out;
+  config.observability.metrics_path = opts.metrics_out;
+  config.observability.metrics_interval = opts.metrics_interval;
+  config.ingest.record_path = opts.record_out;
   const models::RunResult at = models::run_simulation(config);
+  if (!at.ingest_error.empty()) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], at.ingest_error.c_str());
+    return 2;
+  }
   if (!report_analysis("TLM-AT", config, at)) return 1;
 
   // With the demo injected, "properties ok" means: every real property
   // holds, and the demo property fails (it is designed to).
   bool real_ok = true;
   const abv::PropertyReport* demo = nullptr;
-  for (const abv::PropertyReport& p : at.report.properties()) {
-    if (p.name == kWitnessDemoName) {
-      demo = &p;
-    } else {
-      real_ok = real_ok && p.ok();
-    }
-  }
+  split_report(at, real_ok, demo);
   const bool demo_ok =
       !witness_demo || (demo != nullptr && demo->failures > 0 &&
                         !demo->failure_log.empty() &&
@@ -335,32 +329,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!report_out.empty()) {
-    abv::ReportTiming timing;
-    timing.wall_seconds = at.wall_seconds;
-    timing.jobs = jobs;
-    timing.records = at.transactions;
-    timing.metrics = at.metrics;
-    std::ofstream out(report_out);
-    if (!out) {
-      std::fprintf(stderr, "cannot write report to %s\n", report_out.c_str());
-      return 1;
-    }
-    at.report.write_json(out, &timing);
-    std::printf("\nJSON report written to %s\n", report_out.c_str());
+  if (!opts.report_out.empty() &&
+      !write_report_json(opts.report_out, at, opts.jobs)) {
+    return 1;
   }
-  if (!trace_out.empty()) {
-    std::printf("Chrome trace written to %s\n", trace_out.c_str());
+  if (!opts.trace_out.empty()) {
+    std::printf("Chrome trace written to %s\n", opts.trace_out.c_str());
   }
-  if (!metrics_out.empty()) {
-    std::printf("JSONL metrics snapshots written to %s\n", metrics_out.c_str());
+  if (!opts.metrics_out.empty()) {
+    std::printf("JSONL metrics snapshots written to %s\n",
+                opts.metrics_out.c_str());
   }
-  if (prune != analysis::PruneMode::kOff) {
+  if (!opts.record_out.empty()) {
+    std::printf("trace log written to %s\n", opts.record_out.c_str());
+  }
+  if (opts.prune != analysis::PruneMode::kOff) {
     std::printf("prune plan (%s): %zu live, %zu elided, %zu subsumed\n",
                 analysis::to_string(at.prune_plan.mode), at.prune_plan.live(),
                 at.prune_plan.elided(), at.prune_plan.subsumed());
-    if (!prune_plan_out.empty()) {
-      std::printf("prune plan JSON written to %s\n", prune_plan_out.c_str());
+    if (!opts.prune_plan_out.empty()) {
+      std::printf("prune plan JSON written to %s\n",
+                  opts.prune_plan_out.c_str());
     }
   }
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "abv/snapshot_context.h"
+#include "support/tracelog.h"
 
 namespace repro::abv {
 
@@ -184,6 +185,11 @@ void EvalEngine::seal_and_dispatch() {
   }
   const RecordArena::Span span = arena_.seal(
       static_cast<uint32_t>(shards_.size()));
+  if (options_.record_writer != nullptr) {
+    // Producer thread, right after the seal: the log's frames are exactly
+    // the sealed segments, in seal (= ingest) order.
+    options_.record_writer->write_span(span.begin(), span.end());
+  }
   Batch* batch = nullptr;
   uint64_t seq = 0;
   {
@@ -230,6 +236,7 @@ void EvalEngine::on_record(const tlm::TransactionRecord& record) {
   if (m_records_ != nullptr) m_records_->add(0, 1);
   if (options_.config.jobs == 1) {
     // Exact historical serial path: evaluate synchronously, no buffering.
+    if (options_.record_writer != nullptr) options_.record_writer->append(record);
     const ObservablesContext ctx(record.observables);
     for (checker::TlmCheckerWrapper* w : wrappers_) {
       w->on_transaction(record.end, ctx);

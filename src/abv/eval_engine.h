@@ -55,6 +55,10 @@
 #include "support/trace_sink.h"
 #include "tlm/transaction.h"
 
+namespace repro::support::tracelog {
+class TraceWriter;
+}  // namespace repro::support::tracelog
+
 namespace repro::abv {
 
 class EvalEngine {
@@ -87,6 +91,12 @@ class EvalEngine {
     // the caller attaches the table's rows to its wrappers/checkers. Must
     // outlive the engine. nullptr serializes an empty coverage array.
     support::CoverageTable* coverage = nullptr;
+    // Optional trace-log writer (--record-out): the ingested record stream
+    // is serialized exactly as checked — per sealed arena segment in
+    // sharded mode (one frame per segment, written on the producer thread
+    // right after the seal), per record on the serial path. Must outlive
+    // the engine. nullptr disables.
+    support::tracelog::TraceWriter* record_writer = nullptr;
   };
 
   explicit EvalEngine(Options options);

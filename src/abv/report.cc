@@ -6,37 +6,11 @@
 #include <ostream>
 #include <sstream>
 
+#include "support/json.h"
+
 namespace repro::abv {
 
 namespace {
-
-void write_escaped(std::ostream& os, std::string_view text) {
-  os << '"';
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          os << "\\u00" << std::hex << std::setw(2) << std::setfill('0')
-             << static_cast<int>(c) << std::dec << std::setfill(' ');
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
 
 size_t digits(uint64_t v) {
   size_t n = 1;
@@ -259,7 +233,7 @@ void Report::write_json(std::ostream& os, const ReportTiming* timing) const {
     const PropertyReport& p = properties_[i];
     os << (i == 0 ? "\n" : ",\n");
     os << "    {\"name\": ";
-    write_escaped(os, p.name);
+    support::json::write_string(os, p.name);
     os << ", \"events\": " << p.events << ", \"activations\": " << p.activations
        << ", \"holds\": " << p.holds << ", \"failures\": " << p.failures
        << ", \"uncompleted\": " << p.uncompleted << ", \"steps\": " << p.steps;
@@ -267,9 +241,9 @@ void Report::write_json(std::ostream& os, const ReportTiming* timing) const {
     // byte-identical to schema_version 2 output.
     if (!p.prune.empty()) {
       os << ", \"prune\": ";
-      write_escaped(os, p.prune);
+      support::json::write_string(os, p.prune);
       os << ", \"derived_from\": ";
-      write_escaped(os, p.derived_from);
+      support::json::write_string(os, p.derived_from);
     }
     os << ",\n     \"failure_log\": [";
     for (size_t f = 0; f < p.failure_log.size(); ++f) {
@@ -283,7 +257,7 @@ void Report::write_json(std::ostream& os, const ReportTiming* timing) const {
         if (entry.observables != nullptr) {
           for (size_t o = 0; o < entry.observables->size(); ++o) {
             if (o != 0) os << ", ";
-            write_escaped(os, (*entry.observables)[o].first);
+            support::json::write_string(os, (*entry.observables)[o].first);
             os << ": " << (*entry.observables)[o].second;
           }
         }
@@ -299,7 +273,7 @@ void Report::write_json(std::ostream& os, const ReportTiming* timing) const {
     const PropertyReport& p = properties_[i];
     os << (i == 0 ? "\n" : ",\n");
     os << "    {\"name\": ";
-    write_escaped(os, p.name);
+    support::json::write_string(os, p.name);
     os << ", \"activations\": " << p.activations << ", \"holds\": " << p.holds
        << ", \"failures\": " << p.failures << ", \"trivial\": " << p.trivial
        << ", \"real_passes\": " << p.real_passes

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "abv/snapshot_context.h"
+#include "support/tracelog.h"
 
 namespace repro::abv {
 
@@ -78,7 +79,11 @@ void RtlAbvEnv::attach(sim::Clock& clock) {
   // phase; signal writes commit in the update phase; watcher cascades run in
   // the following deltas. Three nested deltas cover the register-style
   // single-stage processes of the bundled models.
-  if (any_pos_) {
+  //
+  // A record writer forces both edges: the log then carries the full edge
+  // stream whatever the current property mix, and the extra samples are
+  // invisible to checkers (on_sample filters by edge kind as always).
+  if (any_pos_ || record_writer_ != nullptr) {
     clock.on_posedge([this] {
       kernel_.schedule_delta([this] {
         kernel_.schedule_delta([this] {
@@ -87,7 +92,7 @@ void RtlAbvEnv::attach(sim::Clock& clock) {
       });
     });
   }
-  if (any_neg_) {
+  if (any_neg_ || record_writer_ != nullptr) {
     clock.on_negedge([this] {
       kernel_.schedule_delta([this] {
         kernel_.schedule_delta([this] {
@@ -104,7 +109,23 @@ void RtlAbvEnv::sample(bool rising) {
   // this edge (was: each checker pulled every signal through the bag's
   // getters independently).
   signals_.sample_into(sample_buffer_);
-  const ObservablesContext ctx(sample_buffer_);
+  if (record_writer_ != nullptr) {
+    // Each evaluation point becomes one record; replay feeds the same
+    // (time, edge, snapshot) triples back through on_sample.
+    tlm::TransactionRecord record;
+    record.start = now;
+    record.end = now;
+    record.command = tlm::Command::kRead;
+    record.address = rising ? 0 : 1;
+    record.observables = sample_buffer_;
+    record_writer_->append(record);
+  }
+  on_sample(now, rising, sample_buffer_);
+}
+
+void RtlAbvEnv::on_sample(psl::TimeNs now, bool rising,
+                          const tlm::Snapshot& values) {
+  const ObservablesContext ctx(values);
   for (size_t i = 0; i < checkers_.size(); ++i) {
     const psl::ClockContext::Kind kind = kinds_[i];
     const bool wants =

@@ -31,6 +31,10 @@
 #include "sim/signal.h"
 #include "tlm/transaction.h"
 
+namespace repro::support::tracelog {
+class TraceWriter;
+}  // namespace repro::support::tracelog
+
 namespace repro::abv {
 
 // Named read accessors into the design under verification. RTL models
@@ -104,6 +108,20 @@ class RtlAbvEnv {
   // add_property calls and before the simulation runs.
   void attach(sim::Clock& clock);
 
+  // One settled clock-edge evaluation point: dispatches `values` to every
+  // checker selected at that edge kind. attach()'s sampling callbacks land
+  // here; offline replay (support::tracelog) calls it directly with recorded
+  // snapshots, no clock or live design needed.
+  void on_sample(psl::TimeNs now, bool rising, const tlm::Snapshot& values);
+
+  // Trace-log writer serializing the sampled edge stream (--record-out) as
+  // one record per evaluation point: start = end = edge time, address 0 for
+  // rising / 1 for falling, observables = the settled snapshot. Must outlive
+  // the environment; nullptr disables.
+  void set_record_writer(support::tracelog::TraceWriter* writer) {
+    record_writer_ = writer;
+  }
+
   // End of simulation: resolve outstanding obligations.
   void finish();
 
@@ -119,6 +137,7 @@ class RtlAbvEnv {
 
   sim::Kernel& kernel_;
   SignalBag& signals_;
+  support::tracelog::TraceWriter* record_writer_ = nullptr;
   checker::CheckerOptions checker_options_;
   const analysis::PrunePlan* prune_plan_ = nullptr;
   bool prune_audit_ = false;

@@ -50,7 +50,7 @@ void TlmAbvEnv::add_rtl_property(const psl::RtlProperty& property) {
   if (fold != nullptr) checkers_.back()->set_program_formula(fold);
 }
 
-void TlmAbvEnv::attach(tlm::TransactionRecorder& recorder) {
+void TlmAbvEnv::bind() {
   // Lane 0 is the producer/dispatch thread; lanes 1..jobs back the shard
   // workers, which now run concurrently with the producer.
   metrics_ =
@@ -62,6 +62,7 @@ void TlmAbvEnv::attach(tlm::TransactionRecorder& recorder) {
   options.metrics_out = metrics_out_;
   options.metrics_interval = metrics_interval_;
   options.coverage = &coverage_;
+  options.record_writer = record_writer_;
   engine_ = std::make_unique<EvalEngine>(options);
   for (auto& wrapper : wrappers_) {
     wrapper->set_witness_depth(witness_depth_);
@@ -72,12 +73,21 @@ void TlmAbvEnv::attach(tlm::TransactionRecorder& recorder) {
     checker->set_coverage(&coverage_.row(checker->name()));
     engine_->add(checker.get());
   }
+}
+
+void TlmAbvEnv::attach(tlm::TransactionRecorder& recorder) {
+  bind();
   recorder.subscribe(
       [this](const tlm::TransactionRecord& record) { on_record(record); });
 }
 
 void TlmAbvEnv::on_record(const tlm::TransactionRecord& record) {
   engine_->on_record(record);
+}
+
+void TlmAbvEnv::on_records(const tlm::TransactionRecord* begin,
+                           const tlm::TransactionRecord* end) {
+  engine_->on_records(begin, end);
 }
 
 void TlmAbvEnv::finish() {

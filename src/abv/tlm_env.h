@@ -121,9 +121,25 @@ class TlmAbvEnv {
   // any, carries over.
   void add_rtl_property(const psl::RtlProperty& property);
 
-  // Builds the evaluation engine over the registered properties and
-  // subscribes to the recorder. Call after all add_* and config calls.
+  // Builds the evaluation engine over the registered properties without
+  // subscribing to anything; records then arrive through on_records (the
+  // pull-based RecordSource drain loop). Call after all add_* and config
+  // calls.
+  void bind();
+
+  // bind() plus a recorder subscription — the push-based hookup.
   void attach(tlm::TransactionRecorder& recorder);
+
+  // Bulk ingest for pull-based sources; requires bind() or attach() first.
+  // Spans feed the engine exactly like subscribed delivery does.
+  void on_records(const tlm::TransactionRecord* begin,
+                  const tlm::TransactionRecord* end);
+
+  // Trace-log writer serializing the ingested stream (--record-out); must
+  // outlive the environment. Call before bind()/attach(). nullptr disables.
+  void set_record_writer(support::tracelog::TraceWriter* writer) {
+    record_writer_ = writer;
+  }
 
   void finish();
 
@@ -152,6 +168,7 @@ class TlmAbvEnv {
   size_t witness_depth_ = 8;
   checker::CheckerOptions checker_options_;
   support::TraceSink* trace_ = nullptr;
+  support::tracelog::TraceWriter* record_writer_ = nullptr;
   std::ostream* metrics_out_ = nullptr;
   size_t metrics_interval_ = 0;
   support::CoverageTable coverage_;

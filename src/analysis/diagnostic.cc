@@ -1,41 +1,10 @@
 #include "analysis/diagnostic.h"
 
-#include <iomanip>
 #include <ostream>
 
+#include "support/json.h"
+
 namespace repro::analysis {
-
-namespace {
-
-void write_escaped(std::ostream& os, std::string_view text) {
-  os << '"';
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          os << "\\u00" << std::hex << std::setw(2) << std::setfill('0')
-             << static_cast<int>(c) << std::dec << std::setfill(' ');
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-}  // namespace
 
 const char* to_string(Severity s) {
   switch (s) {
@@ -72,18 +41,18 @@ std::string format_witness(const WitnessTrace& witness,
 
 void write_json(std::ostream& os, const Diagnostic& d) {
   os << "{\"code\":";
-  write_escaped(os, d.code);
+  support::json::write_string(os, d.code);
   os << ",\"severity\":";
-  write_escaped(os, to_string(d.severity));
+  support::json::write_string(os, to_string(d.severity));
   os << ",\"property\":";
-  write_escaped(os, d.property);
+  support::json::write_string(os, d.property);
   os << ",\"check\":";
-  write_escaped(os, d.check);
+  support::json::write_string(os, d.check);
   os << ",\"message\":";
-  write_escaped(os, d.message);
+  support::json::write_string(os, d.message);
   if (!d.hint.empty()) {
     os << ",\"hint\":";
-    write_escaped(os, d.hint);
+    support::json::write_string(os, d.hint);
   }
   if (d.span.valid()) {
     os << ",\"offset\":" << d.span.offset << ",\"length\":" << d.span.length;
@@ -95,7 +64,7 @@ void write_json(std::ostream& os, const Diagnostic& d) {
       os << "{\"time\":" << d.witness[i].time << ",\"values\":{";
       for (size_t j = 0; j < d.witness[i].values.size(); ++j) {
         if (j != 0) os << ",";
-        write_escaped(os, d.witness[i].values[j].first);
+        support::json::write_string(os, d.witness[i].values[j].first);
         os << ":" << d.witness[i].values[j].second;
       }
       os << "}}";

@@ -1,42 +1,11 @@
 #include "analysis/driver.h"
 
-#include <iomanip>
 #include <ostream>
 #include <utility>
 
+#include "support/json.h"
+
 namespace repro::analysis {
-
-namespace {
-
-void write_escaped(std::ostream& os, std::string_view text) {
-  os << '"';
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          os << "\\u00" << std::hex << std::setw(2) << std::setfill('0')
-             << static_cast<int>(c) << std::dec << std::setfill(' ');
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-}  // namespace
 
 Driver::Driver(AnalysisOptions options)
     : options_(std::move(options)),
@@ -103,22 +72,22 @@ void Driver::write_json(std::ostream& os) const {
   for (const std::string& s : options_.abstraction.abstracted_signals) {
     if (!first) os << ",";
     first = false;
-    write_escaped(os, s);
+    support::json::write_string(os, s);
   }
   os << "],\"properties\":[";
   for (size_t i = 0; i < results_.size(); ++i) {
     const PropertyAnalysis& r = results_[i];
     if (i != 0) os << ",";
     os << "{\"name\":";
-    write_escaped(os, r.name);
+    support::json::write_string(os, r.name);
     os << ",\"rtl\":";
-    write_escaped(os, r.rtl);
+    support::json::write_string(os, r.rtl);
     os << ",\"tlm\":";
-    write_escaped(os, r.tlm);
+    support::json::write_string(os, r.tlm);
     os << ",\"classification\":";
-    write_escaped(os, rewrite::to_string(r.classification));
+    support::json::write_string(os, rewrite::to_string(r.classification));
     os << ",\"audit\":";
-    write_escaped(os, to_string(r.audit));
+    support::json::write_string(os, to_string(r.audit));
     os << ",\"lifetime\":{\"bounded\":" << (r.lifetime.bounded ? "true" : "false")
        << ",\"instants\":" << r.lifetime.instants
        << ",\"max_eps_ns\":" << r.lifetime.max_eps << "}";

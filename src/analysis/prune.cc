@@ -6,6 +6,7 @@
 
 #include "analysis/checks.h"
 #include "analysis/symbolic.h"
+#include "support/json.h"
 
 namespace repro::analysis {
 
@@ -212,28 +213,6 @@ void collect_atom_ids(const psl::ExprTable& table, psl::ExprId id,
   collect_atom_ids(table, n.rhs, out);
 }
 
-void write_escaped(std::ostream& os, std::string_view s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      default:
-        os << c;
-    }
-  }
-  os << '"';
-}
 
 }  // namespace
 
@@ -298,35 +277,35 @@ std::vector<Diagnostic> PrunePlan::diagnostics() const {
 
 void PrunePlan::write_json(std::ostream& os) const {
   os << "{\n  \"schema_version\": 1,\n  \"mode\": ";
-  write_escaped(os, to_string(mode));
+  support::json::write_string(os, to_string(mode));
   os << ",\n  \"live\": " << live() << ",\n  \"elided\": " << elided()
      << ",\n  \"subsumed\": " << subsumed() << ",\n  \"properties\": [";
   bool first = true;
   for (const PruneDecision& d : decisions) {
     os << (first ? "\n" : ",\n") << "    {\"name\": ";
     first = false;
-    write_escaped(os, d.name);
+    support::json::write_string(os, d.name);
     os << ", \"action\": ";
-    write_escaped(os, to_string(d.action));
+    support::json::write_string(os, to_string(d.action));
     if (d.action == PruneAction::kElide) {
       os << ", \"static_verdict\": " << (d.static_verdict ? "true" : "false");
     }
     if (d.action == PruneAction::kSubsumed) {
       os << ", \"subsumed_by\": ";
-      write_escaped(os, d.subsumed_by);
+      support::json::write_string(os, d.subsumed_by);
     }
     if (d.capped) os << ", \"capped\": true";
     if (!d.reason.empty()) {
       os << ", \"reason\": ";
-      write_escaped(os, d.reason);
+      support::json::write_string(os, d.reason);
     }
     if (d.specialized != nullptr) {
       os << ", \"specialized\": ";
-      write_escaped(os, psl::to_string(d.specialized));
+      support::json::write_string(os, psl::to_string(d.specialized));
     }
     if (d.program_fold != nullptr) {
       os << ", \"program_fold\": ";
-      write_escaped(os, psl::to_string(d.program_fold));
+      support::json::write_string(os, psl::to_string(d.program_fold));
     }
     os << "}";
   }

@@ -23,6 +23,8 @@
 #include "sim/clock.h"
 #include "support/metrics.h"
 #include "support/trace_sink.h"
+#include "support/tracelog.h"
+#include "tlm/record_source.h"
 #include "tlm/recorder.h"
 #include "tlm/socket.h"
 
@@ -181,6 +183,54 @@ PrunePrep prepare_prune(const RunConfig& config, const PropertySuite& suite) {
   return prep;
 }
 
+// Trace-log recording prepared once per runner (IngestConfig.record_path).
+// The meta block names this run's stream identity; the observable dictionary
+// is adopted from the first record so the producing model's key-table order
+// is preserved verbatim (witness byte-identity depends on it).
+struct IngestPrep {
+  tlm::RecordStreamMeta meta;
+  std::unique_ptr<support::tracelog::TraceWriter> writer;
+};
+
+IngestPrep prepare_ingest(const RunConfig& config) {
+  IngestPrep prep;
+  prep.meta.design = to_string(config.design);
+  prep.meta.level = to_string(config.level);
+  prep.meta.clock_period_ns = config.clock_period_ns;
+  if (!config.ingest.record_path.empty()) {
+    prep.writer = std::make_unique<support::tracelog::TraceWriter>(
+        config.ingest.record_path, prep.meta);
+  }
+  return prep;
+}
+
+void finish_ingest(IngestPrep& ingest, RunResult& result) {
+  if (ingest.writer != nullptr && !ingest.writer->finish()) {
+    result.ingest_error = ingest.writer->error();
+  }
+}
+
+// Runs a live TLM simulation to completion. With a consumer (checkers or a
+// record writer) the kernel is stepped through a LiveRecordSource and the
+// completed transactions are drained span by span into the environment —
+// the pull-based ingest path; the record stream (and therefore every
+// verdict) is identical to the historical push-based subscription. Without
+// a consumer the kernel just runs (the recorder stays inactive, so targets
+// skip snapshot materialization).
+void run_live_tlm(sim::Kernel& kernel, tlm::TransactionRecorder& recorder,
+                  abv::TlmAbvEnv& env, const IngestPrep& ingest, bool pull) {
+  if (pull) {
+    tlm::LiveRecordSource source(kernel, recorder, ingest.meta, kForever);
+    for (tlm::RecordSpan span = source.next(); !span.empty();
+         span = source.next()) {
+      env.on_records(span.begin, span.end);
+    }
+  } else {
+    kernel.run(kForever);
+  }
+  env.finish();
+}
+
 // ---- DES56 -----------------------------------------------------------------
 
 RunResult run_des56_rtl(const RunConfig& config, const PropertySuite& suite,
@@ -209,15 +259,17 @@ RunResult run_des56_rtl(const RunConfig& config, const PropertySuite& suite,
   abv::SignalBag bag;
   duv.register_signals(bag);
   bag.add("monitor_en", monitor_en);
+  IngestPrep ingest = prepare_ingest(config);
   abv::RtlAbvEnv env(kernel, bag);
   env.set_checker_options(checker_options(config));
+  if (ingest.writer != nullptr) env.set_record_writer(ingest.writer.get());
   if (prune.active) env.set_prune_plan(&prune.plan, prune.audit);
   if (abv_enabled(config)) {
     for (const psl::RtlProperty& p : pick(suite, config)) {
       env.add_property(p);
     }
-    env.attach(clock);
   }
+  if (abv_enabled(config) || ingest.writer != nullptr) env.attach(clock);
 
   RunResult result;
   const auto t0 = Clock::now();
@@ -235,6 +287,7 @@ RunResult run_des56_rtl(const RunConfig& config, const PropertySuite& suite,
   result.report = env.report();
   result.properties_ok = env.all_ok();
   record_sim_metrics(result, {});
+  finish_ingest(ingest, result);
   return result;
 }
 
@@ -250,8 +303,10 @@ RunResult run_des56_tlm_ca(const RunConfig& config, const PropertySuite& suite,
   const std::vector<DesOp> ops = make_des_ops(config.workload, config.seed);
   Des56DriverModel driver(ops);
 
+  IngestPrep ingest = prepare_ingest(config);
   abv::TlmAbvEnv env(suite.clock_period_ns);
   const TlmOutputs outputs = configure_tlm_env(env, config);
+  if (ingest.writer != nullptr) env.set_record_writer(ingest.writer.get());
   if (prune.active) env.set_prune_plan(&prune.plan, prune.audit);
   if (abv_enabled(config)) {
     // TLM-CA rows of Table I: the original RTL properties, unabstracted,
@@ -259,8 +314,9 @@ RunResult run_des56_tlm_ca(const RunConfig& config, const PropertySuite& suite,
     for (const psl::RtlProperty& p : pick(suite, config)) {
       env.add_rtl_property(p);
     }
-    env.attach(recorder);
   }
+  const bool pull = abv_enabled(config) || ingest.writer != nullptr;
+  if (pull) env.bind();
 
   // Per-cycle transaction loop. Inputs at edge k+1 derive from the outputs
   // returned by the edge-k transaction, exactly like the RTL driver.
@@ -286,8 +342,7 @@ RunResult run_des56_tlm_ca(const RunConfig& config, const PropertySuite& suite,
 
   RunResult result;
   const auto t0 = Clock::now();
-  kernel.run(kForever);
-  env.finish();
+  run_live_tlm(kernel, recorder, env, ingest, pull);
   result.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   result.sim_end_ns = kernel.now();
   result.kernel_events = kernel.events_executed();
@@ -301,6 +356,7 @@ RunResult run_des56_tlm_ca(const RunConfig& config, const PropertySuite& suite,
   result.report = env.report();
   result.properties_ok = env.all_ok();
   record_sim_metrics(result, env.metrics_snapshot());
+  finish_ingest(ingest, result);
   return result;
 }
 
@@ -323,8 +379,10 @@ RunResult run_des56_tlm_at(const RunConfig& config, const PropertySuite& suite,
 
   RunResult result;
   size_t deleted = 0;
+  IngestPrep ingest = prepare_ingest(config);
   abv::TlmAbvEnv env(suite.clock_period_ns);
   const TlmOutputs outputs = configure_tlm_env(env, config);
+  if (ingest.writer != nullptr) env.set_record_writer(ingest.writer.get());
   if (prune.active) env.set_prune_plan(&prune.plan, prune.audit);
   if (abv_enabled(config)) {
     if (config.abstraction.at_replay_unabstracted) {
@@ -336,8 +394,9 @@ RunResult run_des56_tlm_at(const RunConfig& config, const PropertySuite& suite,
         env.add_property(q);
       }
     }
-    env.attach(recorder);
   }
+  const bool pull = abv_enabled(config) || ingest.writer != nullptr;
+  if (pull) env.bind();
   result.properties_deleted = deleted;
 
   const sim::Time c = config.clock_period_ns;
@@ -368,8 +427,7 @@ RunResult run_des56_tlm_at(const RunConfig& config, const PropertySuite& suite,
   }
 
   const auto t0 = Clock::now();
-  kernel.run(kForever);
-  env.finish();
+  run_live_tlm(kernel, recorder, env, ingest, pull);
   result.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   result.sim_end_ns = kernel.now();
   result.kernel_events = kernel.events_executed();
@@ -382,6 +440,7 @@ RunResult run_des56_tlm_at(const RunConfig& config, const PropertySuite& suite,
   result.report = env.report();
   result.properties_ok = env.all_ok();
   record_sim_metrics(result, env.metrics_snapshot());
+  finish_ingest(ingest, result);
   return result;
 }
 
@@ -419,15 +478,17 @@ RunResult run_colorconv_rtl(const RunConfig& config, const PropertySuite& suite,
   duv.register_signals(bag);
   bag.add("sof", sof);
   bag.add("monitor_en", monitor_en);
+  IngestPrep ingest = prepare_ingest(config);
   abv::RtlAbvEnv env(kernel, bag);
   env.set_checker_options(checker_options(config));
+  if (ingest.writer != nullptr) env.set_record_writer(ingest.writer.get());
   if (prune.active) env.set_prune_plan(&prune.plan, prune.audit);
   if (abv_enabled(config)) {
     for (const psl::RtlProperty& p : pick(suite, config)) {
       env.add_property(p);
     }
-    env.attach(clock);
   }
+  if (abv_enabled(config) || ingest.writer != nullptr) env.attach(clock);
 
   RunResult result;
   const auto t0 = Clock::now();
@@ -445,6 +506,7 @@ RunResult run_colorconv_rtl(const RunConfig& config, const PropertySuite& suite,
   result.report = env.report();
   result.properties_ok = env.all_ok();
   record_sim_metrics(result, {});
+  finish_ingest(ingest, result);
   return result;
 }
 
@@ -463,15 +525,18 @@ RunResult run_colorconv_tlm_ca(const RunConfig& config,
   for (const CcBurst& b : bursts) total_pixels += b.pixels.size();
   ColorConvDriverModel driver(bursts);
 
+  IngestPrep ingest = prepare_ingest(config);
   abv::TlmAbvEnv env(suite.clock_period_ns);
   const TlmOutputs outputs = configure_tlm_env(env, config);
+  if (ingest.writer != nullptr) env.set_record_writer(ingest.writer.get());
   if (prune.active) env.set_prune_plan(&prune.plan, prune.audit);
   if (abv_enabled(config)) {
     for (const psl::RtlProperty& p : pick(suite, config)) {
       env.add_rtl_property(p);
     }
-    env.attach(recorder);
   }
+  const bool pull = abv_enabled(config) || ingest.writer != nullptr;
+  if (pull) env.bind();
 
   auto next_drive = std::make_shared<ColorConvDrive>();
   auto payload = std::make_shared<tlm::Payload>();
@@ -498,8 +563,7 @@ RunResult run_colorconv_tlm_ca(const RunConfig& config,
 
   RunResult result;
   const auto t0 = Clock::now();
-  kernel.run(kForever);
-  env.finish();
+  run_live_tlm(kernel, recorder, env, ingest, pull);
   result.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   result.sim_end_ns = kernel.now();
   result.kernel_events = kernel.events_executed();
@@ -513,6 +577,7 @@ RunResult run_colorconv_tlm_ca(const RunConfig& config,
   result.report = env.report();
   result.properties_ok = env.all_ok();
   record_sim_metrics(result, env.metrics_snapshot());
+  finish_ingest(ingest, result);
   return result;
 }
 
@@ -532,8 +597,10 @@ RunResult run_colorconv_tlm_at(const RunConfig& config,
 
   RunResult result;
   size_t deleted = 0;
+  IngestPrep ingest = prepare_ingest(config);
   abv::TlmAbvEnv env(suite.clock_period_ns);
   const TlmOutputs outputs = configure_tlm_env(env, config);
+  if (ingest.writer != nullptr) env.set_record_writer(ingest.writer.get());
   if (prune.active) env.set_prune_plan(&prune.plan, prune.audit);
   if (abv_enabled(config)) {
     if (config.abstraction.at_replay_unabstracted) {
@@ -545,8 +612,9 @@ RunResult run_colorconv_tlm_at(const RunConfig& config,
         env.add_property(q);
       }
     }
-    env.attach(recorder);
   }
+  const bool pull = abv_enabled(config) || ingest.writer != nullptr;
+  if (pull) env.bind();
   result.properties_deleted = deleted;
 
   // Temporally-decoupled initiator (TLM-2.0 LT style): a whole burst is
@@ -603,8 +671,7 @@ RunResult run_colorconv_tlm_at(const RunConfig& config,
   }
 
   const auto t0 = Clock::now();
-  kernel.run(kForever);
-  env.finish();
+  run_live_tlm(kernel, recorder, env, ingest, pull);
   result.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   result.sim_end_ns = kernel.now();
   result.kernel_events = kernel.events_executed();
@@ -617,6 +684,102 @@ RunResult run_colorconv_tlm_at(const RunConfig& config,
   result.report = env.report();
   result.properties_ok = env.all_ok();
   record_sim_metrics(result, env.metrics_snapshot());
+  finish_ingest(ingest, result);
+  return result;
+}
+
+// ---- Offline replay --------------------------------------------------------
+
+// Replays a recorded TLM stream through an environment configured exactly
+// like the live runner for (design, level) would configure it — same
+// property registration, abstraction, prune plan and engine knobs — so
+// verdicts, witness rings, coverage counters and prune-derived rows come out
+// byte-identical to the live run.
+RunResult run_tlm_replay(const RunConfig& config, const PropertySuite& suite,
+                         const PrunePrep& prune, tlm::RecordSource& source) {
+  RunResult result;
+  size_t deleted = 0;
+  IngestPrep ingest = prepare_ingest(config);
+  abv::TlmAbvEnv env(suite.clock_period_ns);
+  const TlmOutputs outputs = configure_tlm_env(env, config);
+  if (ingest.writer != nullptr) env.set_record_writer(ingest.writer.get());
+  if (prune.active) env.set_prune_plan(&prune.plan, prune.audit);
+  if (abv_enabled(config)) {
+    if (config.level == Level::kTlmAt &&
+        !config.abstraction.at_replay_unabstracted) {
+      for (const psl::TlmProperty& q : abstract_for_at(config, suite, deleted)) {
+        env.add_property(q);
+      }
+    } else {
+      for (const psl::RtlProperty& p : pick(suite, config)) {
+        env.add_rtl_property(p);
+      }
+    }
+  }
+  env.bind();
+  result.properties_deleted = deleted;
+
+  const auto t0 = Clock::now();
+  uint64_t records = 0;
+  sim::Time last_end = 0;
+  for (tlm::RecordSpan span = source.next(); !span.empty();
+       span = source.next()) {
+    env.on_records(span.begin, span.end);
+    records += span.size();
+    last_end = span.end[-1].end;
+  }
+  env.finish();
+  result.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  result.sim_end_ns = last_end;
+  result.transactions = records;
+  // No DUV executes during replay, so the driver self-check has no subject;
+  // functional verification happened when the stream was recorded.
+  result.functional_ok = true;
+  collect_prune_audit(env, prune, result);
+  result.report = env.report();
+  result.properties_ok = env.all_ok();
+  record_sim_metrics(result, env.metrics_snapshot());
+  finish_ingest(ingest, result);
+  return result;
+}
+
+// RTL replay: each record is one settled clock-edge sample (address 0 =
+// rising, 1 = falling); the recorded snapshots substitute for sampling a
+// live design, so the kernel and signal bag are inert placeholders.
+RunResult run_rtl_replay(const RunConfig& config, const PropertySuite& suite,
+                         const PrunePrep& prune, tlm::RecordSource& source) {
+  sim::Kernel kernel;
+  abv::SignalBag bag;
+  IngestPrep ingest = prepare_ingest(config);
+  abv::RtlAbvEnv env(kernel, bag);
+  env.set_checker_options(checker_options(config));
+  if (prune.active) env.set_prune_plan(&prune.plan, prune.audit);
+  if (abv_enabled(config)) {
+    for (const psl::RtlProperty& p : pick(suite, config)) {
+      env.add_property(p);
+    }
+  }
+
+  RunResult result;
+  const auto t0 = Clock::now();
+  sim::Time last_end = 0;
+  for (tlm::RecordSpan span = source.next(); !span.empty();
+       span = source.next()) {
+    for (const tlm::TransactionRecord* r = span.begin; r != span.end; ++r) {
+      if (ingest.writer != nullptr) ingest.writer->append(*r);
+      env.on_sample(r->end, r->address == 0, r->observables);
+      last_end = r->end;
+    }
+  }
+  env.finish();
+  result.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  result.sim_end_ns = last_end;
+  result.functional_ok = true;  // see run_tlm_replay
+  collect_prune_audit(env, prune, result);
+  result.report = env.report();
+  result.properties_ok = env.all_ok();
+  record_sim_metrics(result, {});
+  finish_ingest(ingest, result);
   return result;
 }
 
@@ -651,6 +814,59 @@ bool run_analysis(const RunConfig& config, const PropertySuite& suite,
                                        r.diagnostics.end());
   }
   return result.analysis_ok || config.analysis != AnalysisMode::kError;
+}
+
+// Shared post-run tail of both run_simulation overloads: merges the
+// analysis/prune diagnostics in their documented order, writes the prune
+// plan, and appends the static-vs-dynamic coverage cross-check.
+void finalize_run(const RunConfig& config, const PrunePrep& prune,
+                  RunResult& analyzed, RunResult& result) {
+  // Merge diagnostics: static analysis first, then the plan's
+  // PRN001/002/004 notes, then the PRN003 cross-check errors the runner
+  // appended (the only thing in result.analysis_diagnostics at this point).
+  std::vector<analysis::Diagnostic> prune_errors =
+      std::move(result.analysis_diagnostics);
+  result.analysis_diagnostics = std::move(analyzed.analysis_diagnostics);
+  if (prune.active) {
+    std::vector<analysis::Diagnostic> notes = prune.plan.diagnostics();
+    result.analysis_diagnostics.insert(result.analysis_diagnostics.end(),
+                                       std::make_move_iterator(notes.begin()),
+                                       std::make_move_iterator(notes.end()));
+  }
+  result.analysis_ok = analyzed.analysis_ok && prune_errors.empty();
+  result.analysis_diagnostics.insert(
+      result.analysis_diagnostics.end(),
+      std::make_move_iterator(prune_errors.begin()),
+      std::make_move_iterator(prune_errors.end()));
+  result.prune_plan = prune.plan;
+  if (prune.active && !config.observability.prune_plan_path.empty()) {
+    std::ofstream plan_out(config.observability.prune_plan_path);
+    prune.plan.write_json(plan_out);
+  }
+
+  // Post-run static-vs-dynamic cross-check: reconcile the analysis layer's
+  // vacuity predictions with the coverage the run actually observed
+  // (COV001/COV002 warnings appended after the static diagnostics).
+  if (config.analysis != AnalysisMode::kOff && abv_enabled(config)) {
+    std::vector<analysis::DynamicCoverage> observed;
+    for (const abv::PropertyReport& p : result.report.properties()) {
+      // Derived (pruned) rows carry no dynamic evidence; auditing them for
+      // vacuity would only restate the prune decision.
+      if (!p.prune.empty()) continue;
+      analysis::DynamicCoverage c;
+      c.property = p.name;
+      c.activations = p.activations;
+      c.failures = p.failures;
+      c.real_passes = p.real_passes;
+      c.vacuous_passes = p.vacuous_passes;
+      observed.push_back(std::move(c));
+    }
+    std::vector<analysis::Diagnostic> cov =
+        analysis::cross_check_coverage(result.analysis_diagnostics, observed);
+    result.analysis_diagnostics.insert(result.analysis_diagnostics.end(),
+                                       std::make_move_iterator(cov.begin()),
+                                       std::make_move_iterator(cov.end()));
+  }
 }
 
 }  // namespace
@@ -703,7 +919,51 @@ const char* to_string(Level l) {
   return "?";
 }
 
+bool parse_design(const std::string& name, Design& out) {
+  for (Design d : {Design::kDes56, Design::kColorConv}) {
+    if (name == to_string(d)) {
+      out = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_level(const std::string& name, Level& out) {
+  for (Level l : {Level::kRtl, Level::kTlmCa, Level::kTlmAt}) {
+    if (name == to_string(l)) {
+      out = l;
+      return true;
+    }
+  }
+  return false;
+}
+
 RunResult run_simulation(const RunConfig& config) {
+  if (!config.ingest.replay_path.empty()) {
+    // Offline replay: decode + validate the log, check its identity against
+    // this configuration, then feed it through the source-based overload.
+    RunResult result;
+    support::tracelog::TraceReader reader;
+    if (std::optional<support::tracelog::TraceError> err =
+            reader.open(config.ingest.replay_path)) {
+      result.ingest_error = err->to_string();
+      return result;
+    }
+    tlm::RecordStreamMeta expected;
+    expected.design = to_string(config.design);
+    expected.level = to_string(config.level);
+    expected.clock_period_ns = config.clock_period_ns;
+    expected.observables = level_observables(config.design, config.level);
+    if (std::optional<support::tracelog::TraceError> err =
+            support::tracelog::validate_meta(reader.meta(), expected)) {
+      result.ingest_error = err->to_string();
+      return result;
+    }
+    support::tracelog::TraceReplaySource source(std::move(reader));
+    return run_simulation(config, source);
+  }
+
   const PropertySuite suite =
       config.design == Design::kDes56 ? des56_suite() : colorconv_suite();
 
@@ -735,52 +995,26 @@ RunResult run_simulation(const RunConfig& config) {
       }
       break;
   }
-  // Merge diagnostics: static analysis first, then the plan's
-  // PRN001/002/004 notes, then the PRN003 cross-check errors the runner
-  // appended (the only thing in result.analysis_diagnostics at this point).
-  std::vector<analysis::Diagnostic> prune_errors =
-      std::move(result.analysis_diagnostics);
-  result.analysis_diagnostics = std::move(analyzed.analysis_diagnostics);
-  if (prune.active) {
-    std::vector<analysis::Diagnostic> notes = prune.plan.diagnostics();
-    result.analysis_diagnostics.insert(result.analysis_diagnostics.end(),
-                                       std::make_move_iterator(notes.begin()),
-                                       std::make_move_iterator(notes.end()));
-  }
-  result.analysis_ok = analyzed.analysis_ok && prune_errors.empty();
-  result.analysis_diagnostics.insert(
-      result.analysis_diagnostics.end(),
-      std::make_move_iterator(prune_errors.begin()),
-      std::make_move_iterator(prune_errors.end()));
-  result.prune_plan = prune.plan;
-  if (prune.active && !config.observability.prune_plan_path.empty()) {
-    std::ofstream plan_out(config.observability.prune_plan_path);
-    prune.plan.write_json(plan_out);
+  finalize_run(config, prune, analyzed, result);
+  return result;
+}
+
+RunResult run_simulation(const RunConfig& config, tlm::RecordSource& source) {
+  const PropertySuite suite =
+      config.design == Design::kDes56 ? des56_suite() : colorconv_suite();
+
+  RunResult analyzed;
+  if (config.analysis != AnalysisMode::kOff && abv_enabled(config)) {
+    if (!run_analysis(config, suite, analyzed)) {
+      return analyzed;  // kError: diagnostics block the replay too
+    }
   }
 
-  // Post-run static-vs-dynamic cross-check: reconcile the analysis layer's
-  // vacuity predictions with the coverage the run actually observed
-  // (COV001/COV002 warnings appended after the static diagnostics).
-  if (config.analysis != AnalysisMode::kOff && abv_enabled(config)) {
-    std::vector<analysis::DynamicCoverage> observed;
-    for (const abv::PropertyReport& p : result.report.properties()) {
-      // Derived (pruned) rows carry no dynamic evidence; auditing them for
-      // vacuity would only restate the prune decision.
-      if (!p.prune.empty()) continue;
-      analysis::DynamicCoverage c;
-      c.property = p.name;
-      c.activations = p.activations;
-      c.failures = p.failures;
-      c.real_passes = p.real_passes;
-      c.vacuous_passes = p.vacuous_passes;
-      observed.push_back(std::move(c));
-    }
-    std::vector<analysis::Diagnostic> cov =
-        analysis::cross_check_coverage(result.analysis_diagnostics, observed);
-    result.analysis_diagnostics.insert(result.analysis_diagnostics.end(),
-                                       std::make_move_iterator(cov.begin()),
-                                       std::make_move_iterator(cov.end()));
-  }
+  const PrunePrep prune = prepare_prune(config, suite);
+  RunResult result = config.level == Level::kRtl
+                         ? run_rtl_replay(config, suite, prune, source)
+                         : run_tlm_replay(config, suite, prune, source);
+  finalize_run(config, prune, analyzed, result);
   return result;
 }
 

@@ -18,6 +18,10 @@
 #include "sim/kernel.h"
 #include "support/metrics.h"
 
+namespace repro::tlm {
+class RecordSource;
+}  // namespace repro::tlm
+
 namespace repro::models {
 
 enum class Design { kDes56, kColorConv };
@@ -25,6 +29,12 @@ enum class Level { kRtl, kTlmCa, kTlmAt };
 
 const char* to_string(Design d);
 const char* to_string(Level l);
+
+// Inverse of to_string, accepting exactly the emitted names ("DES56",
+// "ColorConv", "RTL", "TLM-CA", "TLM-AT") — how replay tools map a trace
+// log's meta back onto a run configuration. Returns false on unknown names.
+bool parse_design(const std::string& name, Design& out);
+bool parse_level(const std::string& name, Level& out);
 
 // Static property analysis (analysis::Driver) ahead of the simulation:
 //   kOff    skip entirely (default; legacy behavior),
@@ -63,6 +73,23 @@ struct ObservabilityConfig {
   // write_json, schema_version 1) is written here. Ignored when pruning is
   // off.
   std::string prune_plan_path;
+};
+
+// Record-stream ingest selection (support::tracelog). The two paths are
+// independent: a run may record, replay, or both (replaying while recording
+// round-trips the log).
+struct IngestConfig {
+  // When non-empty, the ingested record stream is serialized here as a
+  // versioned trace log (binary, or JSONL for .jsonl paths). At RTL the
+  // stream is the sampled clock-edge sequence; at TLM it is the completed
+  // transactions, framed per sealed engine batch.
+  std::string record_path;
+  // When non-empty, no simulation runs: the trace log here is replayed
+  // through the identically-configured checker environment instead. The
+  // log's meta (design, level, clock period, observable dictionary) must
+  // match the run configuration. Reports are byte-identical to the live
+  // run that produced the log (timing excluded).
+  std::string replay_path;
 };
 
 // Property-abstraction knobs for the TLM-AT flow.
@@ -133,6 +160,7 @@ struct RunConfig {
   ObservabilityConfig observability;
   AbstractionConfig abstraction;
   AnalysisConfig analysis;
+  IngestConfig ingest;
 };
 
 struct RunResult {
@@ -160,10 +188,24 @@ struct RunResult {
   // PRN003 cross-check errors under AnalysisMode::kError) are merged into
   // analysis_diagnostics.
   analysis::PrunePlan prune_plan;
+  // Trace-log ingest failure (unreadable/corrupt replay input, meta that
+  // contradicts the run configuration, or a record-log write error). When
+  // non-empty the other result fields are meaningless; CLIs report it and
+  // exit with the usage/configuration status.
+  std::string ingest_error;
 };
 
-// Runs one configuration to completion.
+// Runs one configuration to completion. With config.ingest.replay_path set
+// no simulation runs: the recorded stream is replayed through the same
+// checker environment the live run would have built.
 RunResult run_simulation(const RunConfig& config);
+
+// Checks `config` against an explicit record source — the RecordSource half
+// of the ingest redesign: any producer of the stream (live adapter, trace
+// replay, synthetic) yields the same report the subscribed live run would.
+// The source's meta is NOT validated against the config here; callers that
+// care (the replay path above) validate first.
+RunResult run_simulation(const RunConfig& config, tlm::RecordSource& source);
 
 }  // namespace repro::models
 

@@ -50,12 +50,17 @@ void Kernel::execute_timestamp() {
 
 void Kernel::run(Time until) {
   stop_requested_ = false;
-  while (!stop_requested_ && !timed_.empty()) {
-    const Time next = timed_.begin()->first;
-    if (next > until) break;
-    now_ = next;
-    execute_timestamp();
+  while (step(until)) {
   }
+}
+
+bool Kernel::step(Time until) {
+  if (stop_requested_ || timed_.empty()) return false;
+  const Time next = timed_.begin()->first;
+  if (next > until) return false;
+  now_ = next;
+  execute_timestamp();
+  return true;
 }
 
 void Kernel::run_all() {

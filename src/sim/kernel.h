@@ -51,6 +51,13 @@ class Kernel {
   // Runs until the event queue is empty.
   void run_all();
 
+  // Advances exactly one timestamp (all its delta cycles). Returns false —
+  // without advancing — when a stop is pending, the queue is empty, or the
+  // next event lies beyond `until`. Pull-style drivers (tlm::LiveRecordSource)
+  // interleave step() with draining the records each timestamp produced;
+  // unlike run(), step() does not clear a pending stop request.
+  bool step(Time until);
+
   // Stops the simulation at the end of the current delta cycle.
   void stop() { stop_requested_ = true; }
 

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "support/json.h"
+
 namespace repro::support {
 
 CoverageTable::Row& CoverageTable::row(const std::string& property) {
@@ -53,29 +55,6 @@ std::vector<CoverageTable::RowSnapshot> CoverageTable::snapshot() const {
   return out;
 }
 
-namespace {
-
-void write_escaped(std::ostream& os, const std::string& s) {
-  for (char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-}
-
-}  // namespace
-
 void CoverageTable::write_json(std::ostream& os) const {
   const auto rows = snapshot();
   os << '[';
@@ -84,11 +63,11 @@ void CoverageTable::write_json(std::ostream& os) const {
     if (!first) os << ',';
     first = false;
     os << "{\"name\":\"";
-    write_escaped(os, r.name);
+    json::escape(os, r.name);
     os << '"';
     if (!r.prune.empty()) {
       os << ",\"prune\":\"";
-      write_escaped(os, r.prune);
+      json::escape(os, r.prune);
       os << '"';
     }
     os << ",\"activations\":" << r.activations

@@ -1,10 +1,46 @@
 #include "support/json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <ostream>
 
 namespace repro::support::json {
+
+void escape(std::ostream& os, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void write_string(std::ostream& os, std::string_view text) {
+  os << '"';
+  escape(os, text);
+  os << '"';
+}
 
 const Value* Value::find(std::string_view key) const {
   if (kind != Kind::kObject) return nullptr;
@@ -262,6 +298,16 @@ class Parser {
     if (end == nullptr || *end != '\0') {
       fail("bad number");
       return false;
+    }
+    // Plain unsigned integers additionally keep their exact 64-bit value
+    // (the double alone cannot represent integers above 2^53 exactly).
+    if (!token.empty() && token.size() <= 20 &&
+        token.find_first_not_of("0123456789") == std::string::npos) {
+      errno = 0;
+      const unsigned long long exact = std::strtoull(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        out.u64 = static_cast<uint64_t>(exact);
+      }
     }
     out.kind = Value::Kind::kNumber;
     return true;

@@ -10,6 +10,8 @@
 #ifndef REPRO_SUPPORT_JSON_H_
 #define REPRO_SUPPORT_JSON_H_
 
+#include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -18,6 +20,15 @@
 
 namespace repro::support::json {
 
+// The one string-escaping rule every emitter in the repo shares (reports,
+// coverage snapshots, prune plans, diagnostics, metrics, trace logs): the
+// JSON specials by name, other control characters as lowercase \u00xx,
+// everything else verbatim. Exactly the escapes the parser below accepts.
+void escape(std::ostream& os, std::string_view text);
+
+// escape() wrapped in double quotes — a complete JSON string literal.
+void write_string(std::ostream& os, std::string_view text);
+
 class Value {
  public:
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
@@ -25,6 +36,11 @@ class Value {
   Kind kind = Kind::kNull;
   bool boolean = false;
   double number = 0;
+  // Exact value when the number token is a plain unsigned integer (no sign,
+  // fraction or exponent) that fits 64 bits; `number` alone loses precision
+  // above 2^53. Consumers of u64 fields (e.g. tracelog JSONL records) read
+  // this instead of casting `number`.
+  std::optional<uint64_t> u64;
   std::string string;
   std::vector<Value> array;
   // Insertion order preserved (matters for byte-stable golden comparisons).

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <ostream>
 
+#include "support/json.h"
+
 namespace repro::support {
 
 Histogram::Histogram(std::vector<uint64_t> bounds)
@@ -109,7 +111,8 @@ void write_uint_map(std::ostream& os, const std::map<std::string, uint64_t>& m) 
   for (const auto& [name, value] : m) {
     if (!first) os << ',';
     first = false;
-    os << '"' << name << "\":" << value;
+    json::write_string(os, name);
+    os << ':' << value;
   }
   os << '}';
 }
@@ -135,7 +138,8 @@ void MetricsSnapshot::write_json(std::ostream& os) const {
   for (const auto& [name, h] : histograms) {
     if (!first) os << ',';
     first = false;
-    os << '"' << name << "\":{\"bounds\":";
+    json::write_string(os, name);
+    os << ":{\"bounds\":";
     write_uint_vector(os, h.bounds());
     os << ",\"counts\":";
     write_uint_vector(os, h.counts());

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <ostream>
 
+#include "support/json.h"
+
 namespace repro::support {
 
 TraceSink::TraceSink() : epoch_(std::chrono::steady_clock::now()) {}
@@ -72,29 +74,6 @@ size_t TraceSink::events() const {
 
 namespace {
 
-// Property names and thread labels only contain identifier-ish characters,
-// but escape the JSON specials anyway so the file always parses.
-void write_escaped(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
 // Chrome's "ts"/"dur" unit is microseconds; emit as <us>.<ns fraction>.
 void write_us(std::ostream& os, uint64_t ns) {
   os << ns / 1000;
@@ -116,11 +95,11 @@ void TraceSink::write(std::ostream& os) const {
     if (!first) os << ",";
     first = false;
     os << "\n{\"name\":";
-    write_escaped(os, e.name);
+    json::write_string(os, e.name);
     os << ",\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << e.tid;
     if (e.phase == 'M') {
       os << ",\"args\":{\"name\":";
-      write_escaped(os, e.thread_name);
+      json::write_string(os, e.thread_name);
       os << "}}";
       continue;
     }
@@ -135,7 +114,7 @@ void TraceSink::write(std::ostream& os) const {
       os << ",\"args\":{";
       for (size_t i = 0; i < e.args.size(); ++i) {
         if (i) os << ',';
-        write_escaped(os, e.args[i].first);
+        json::write_string(os, e.args[i].first);
         os << ':' << e.args[i].second;
       }
       os << '}';
